@@ -1,0 +1,104 @@
+//! C1/C2/C3 — the paper's claims: exactly-once vs baselines, the
+//! primary-backup ↔ active-replication spectrum, and composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xability_harness::three_tier::ThreeTier;
+use xability_harness::{Scenario, Scheme, Workload};
+use xability_sim::{LatencyModel, SimTime};
+
+fn bench_c1_schemes_under_crash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1_exactly_once_under_crash");
+    group.sample_size(10);
+    for scheme in [Scheme::XAble, Scheme::PrimaryBackup, Scheme::Active] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.to_string()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let report = Scenario::new(
+                        scheme,
+                        Workload::BankTransfers {
+                            count: 2,
+                            amount: 10,
+                        },
+                    )
+                    .seed(1)
+                    .crash(0, SimTime::from_millis(5))
+                    .run();
+                    // The x-able scheme must be violation-free; baselines
+                    // are measured, not asserted.
+                    if scheme == Scheme::XAble {
+                        assert!(report.exactly_once_violations.is_empty());
+                    }
+                    black_box(report.exactly_once_violations.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_c2_spectrum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_spectrum");
+    group.sample_size(10);
+    for spike in [0.0f64, 0.15, 0.40] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("spike_{spike:.2}")),
+            &spike,
+            |b, &spike| {
+                b.iter(|| {
+                    let report = Scenario::new(
+                        Scheme::XAble,
+                        Workload::BankTransfers {
+                            count: 2,
+                            amount: 10,
+                        },
+                    )
+                    .seed(3)
+                    .latency(LatencyModel::partially_synchronous(
+                        spike,
+                        SimTime::from_millis(700),
+                    ))
+                    .run();
+                    assert!(report.exactly_once_violations.is_empty());
+                    black_box(report.replica_metrics.rounds_owned)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_c3_three_tier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_three_tier");
+    group.sample_size(10);
+    group.bench_function("crash_free", |b| {
+        b.iter(|| {
+            let report = ThreeTier::new(2).seed(31).run();
+            assert!(report.is_correct());
+            black_box(report.backend_history_len)
+        });
+    });
+    group.bench_function("crashes_both_tiers", |b| {
+        b.iter(|| {
+            let report = ThreeTier::new(2)
+                .seed(34)
+                .crash(0, 0, SimTime::from_millis(5))
+                .crash(1, 0, SimTime::from_millis(30))
+                .run();
+            assert!(report.is_correct());
+            black_box(report.backend_history_len)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_c1_schemes_under_crash,
+    bench_c2_spectrum,
+    bench_c3_three_tier
+);
+criterion_main!(benches);

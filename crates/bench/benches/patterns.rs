@@ -1,0 +1,41 @@
+//! F1/F3 — pattern matching (Fig. 1–2) and history algebra (Fig. 3, §2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xability_bench::junk_then_retry;
+use xability_core::{ActionId, ActionName, Pattern, SimplePattern, Value};
+
+fn bench_matching(c: &mut Criterion) {
+    let a = ActionId::base(ActionName::idempotent("a"));
+    let pattern = Pattern::Interleaved(
+        SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2)),
+        SimplePattern::required(a, Value::from(1), Value::from(2)),
+    );
+    let mut group = c.benchmark_group("f1_pattern_matching");
+    for junk in [1usize, 8, 32, 128, 512] {
+        let h = junk_then_retry(junk);
+        group.bench_with_input(BenchmarkId::from_parameter(h.len()), &h, |b, h| {
+            b.iter(|| black_box(pattern.matches(black_box(h))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_history_algebra");
+    for junk in [8usize, 128, 512] {
+        let h = junk_then_retry(junk);
+        let a = ActionId::base(ActionName::idempotent("a"));
+        group.bench_with_input(BenchmarkId::new("concat", h.len()), &h, |b, h| {
+            b.iter(|| black_box(h.concat(black_box(h))));
+        });
+        group.bench_with_input(BenchmarkId::new("appears", h.len()), &h, |b, h| {
+            b.iter(|| black_box(h.appears(black_box(&a), black_box(&Value::from(1)))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_history_algebra);
+criterion_main!(benches);

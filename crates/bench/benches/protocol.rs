@@ -1,0 +1,101 @@
+//! F5/F6/F7 — the replication protocol: client failover (Fig. 5), server
+//! scaling (Fig. 6), and retry coordination (Fig. 7).
+//!
+//! Each iteration runs a complete deterministic simulation; the interesting
+//! output is as much the simulated metrics (see EXPERIMENTS.md) as the
+//! wall-clock cost measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xability_harness::{Scenario, Scheme, Workload};
+use xability_services::FailurePlan;
+use xability_sim::SimTime;
+
+fn bench_client_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_client_failover");
+    group.sample_size(10);
+    for crash_ms in [0u64, 5, 20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("crash_at_{crash_ms}ms")),
+            &crash_ms,
+            |b, &crash_ms| {
+                b.iter(|| {
+                    let report = Scenario::new(
+                        Scheme::XAble,
+                        Workload::BankTransfers {
+                            count: 1,
+                            amount: 10,
+                        },
+                    )
+                    .seed(5)
+                    .crash(0, SimTime::from_millis(crash_ms))
+                    .run();
+                    assert!(report.is_correct());
+                    black_box(report.mean_latency_micros())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_server_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_server_scaling");
+    group.sample_size(10);
+    for n in [1usize, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let report = Scenario::new(
+                    Scheme::XAble,
+                    Workload::BankTransfers {
+                        count: 3,
+                        amount: 10,
+                    },
+                )
+                .seed(6)
+                .replicas(n)
+                .run();
+                assert!(report.is_correct());
+                black_box(report.sim.messages_sent)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_retry_coordination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_retry_coordination");
+    group.sample_size(10);
+    for p in [0.0f64, 0.3, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("fail_prob_{p:.1}")),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let report = Scenario::new(
+                        Scheme::XAble,
+                        Workload::BankTransfers {
+                            count: 3,
+                            amount: 10,
+                        },
+                    )
+                    .seed(7)
+                    .service_failures(FailurePlan::probabilistic(p))
+                    .run();
+                    assert!(report.is_correct());
+                    black_box(report.replica_metrics.cancels)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_client_failover,
+    bench_server_scaling,
+    bench_retry_coordination
+);
+criterion_main!(benches);

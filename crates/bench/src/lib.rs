@@ -1,0 +1,86 @@
+//! # xability-bench — benchmark workload builders
+//!
+//! Shared history/scenario generators used by the criterion benches in
+//! `benches/`. One bench group per paper figure (F1–F7) and per claim
+//! (C1–C3); the mapping to the paper is documented in DESIGN.md §6 and the
+//! results narrative lives in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use xability_core::{ActionId, ActionName, Event, History, Value};
+
+/// A history of `junk_pairs` unrelated executions followed by a retried
+/// execution of action `a` (one failed attempt, one success) — the shape
+/// rule 18 deduplicates.
+pub fn junk_then_retry(junk_pairs: usize) -> History {
+    let a = ActionId::base(ActionName::idempotent("a"));
+    let junk = ActionId::base(ActionName::idempotent("junk"));
+    let mut events = Vec::with_capacity(junk_pairs * 2 + 3);
+    for i in 0..junk_pairs {
+        events.push(Event::start(junk.clone(), Value::from(i as i64)));
+        events.push(Event::complete(junk.clone(), Value::from(i as i64)));
+    }
+    events.push(Event::start(a.clone(), Value::from(1)));
+    events.push(Event::start(a.clone(), Value::from(1)));
+    events.push(Event::complete(a, Value::from(2)));
+    History::from_events(events)
+}
+
+/// A history with `k` failed attempts of one idempotent action before a
+/// success — the stress shape for the reduction search.
+pub fn k_failed_attempts(k: usize) -> History {
+    let a = ActionId::base(ActionName::idempotent("a"));
+    let mut events = Vec::with_capacity(k + 2);
+    for _ in 0..k {
+        events.push(Event::start(a.clone(), Value::from(1)));
+    }
+    events.push(Event::start(a.clone(), Value::from(1)));
+    events.push(Event::complete(a, Value::from(2)));
+    History::from_events(events)
+}
+
+/// A protocol-shaped history of `n` sequential requests, each with one
+/// cancelled round and one committed round — what crash/cleaning runs
+/// produce.
+pub fn n_requests_with_cancelled_rounds(n: usize) -> (History, Vec<(ActionId, Value)>) {
+    let base = ActionName::undoable("xfer");
+    let a = ActionId::base(base.clone());
+    let cancel = ActionId::Cancel(base.clone());
+    let commit = ActionId::Commit(base);
+    let mut events = Vec::new();
+    let mut ops = Vec::new();
+    for i in 0..n {
+        let key = Value::from(format!("r{i}"));
+        let iv1 = Value::pair(key.clone(), Value::from(1));
+        let iv2 = Value::pair(key.clone(), Value::from(2));
+        // Round 1: attempt, cancelled.
+        events.push(Event::start(a.clone(), iv1.clone()));
+        events.push(Event::start(cancel.clone(), iv1.clone()));
+        events.push(Event::complete(cancel.clone(), Value::Nil));
+        // Round 2: success + commit.
+        events.push(Event::start(a.clone(), iv2.clone()));
+        events.push(Event::complete(a.clone(), Value::from("ok")));
+        events.push(Event::start(commit.clone(), iv2.clone()));
+        events.push(Event::complete(commit.clone(), Value::Nil));
+        ops.push((a.clone(), key));
+    }
+    (History::from_events(events), ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xability_core::xable::fast;
+
+    #[test]
+    fn generators_produce_xable_histories() {
+        let h = junk_then_retry(4);
+        assert_eq!(h.len(), 11);
+        let h = k_failed_attempts(3);
+        assert_eq!(h.len(), 5);
+        let (h, ops) = n_requests_with_cancelled_rounds(3);
+        assert_eq!(h.len(), 21);
+        assert!(fast::check(&h, &ops, &[]).is_xable());
+    }
+}

@@ -1,0 +1,593 @@
+//! The multiplexed consensus engine.
+//!
+//! One [`ConsensusEngine`] lives inside each participant process and manages
+//! every consensus *instance* the process takes part in. Each instance runs
+//! an independent Chandra–Toueg rotating-coordinator consensus:
+//!
+//! 1. On entering round `r`, every participant sends its current estimate
+//!    (value + timestamp) to all peers; the round's coordinator is
+//!    `peers[r mod n]`.
+//! 2. The coordinator, upon gathering estimates from a majority, selects the
+//!    estimate with the highest timestamp and proposes it.
+//! 3. Participants acknowledge the proposal (adopting it with timestamp `r`)
+//!    — or, upon suspecting the coordinator or timing out, send a negative
+//!    acknowledgement and move to round `r + 1`.
+//! 4. A coordinator with a majority of positive acknowledgements decides and
+//!    reliably broadcasts the decision; receivers re-broadcast it once.
+//!
+//! The standard locking argument gives agreement: a value acknowledged by a
+//! majority in round `r` has timestamp `r` at a majority, so every later
+//! coordinator — which intersects that majority — picks it. Termination
+//! holds with a majority of correct processes once the failure detector
+//! stops making mistakes (eventually-perfect ◇P suffices for the paper's
+//! ◇S requirement). Validity holds because estimates only ever hold
+//! proposed values.
+//!
+//! Estimates are broadcast to *all* peers (not only the coordinator) so that
+//! processes which never proposed a value for an instance still join it and
+//! contribute to majorities — in the replication protocol of §5, typically
+//! only one or two replicas propose to a given instance.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use xability_sim::{ProcessId, SimDuration, SimTime};
+
+/// Names one consensus instance (one logical consensus object of §5.2,
+/// e.g. `owner-agreement[4]` or `result-agreement[req]`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(Arc<str>);
+
+impl InstanceId {
+    /// Creates an instance id from a name. Equal names denote the same
+    /// consensus object across all processes.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        InstanceId(Arc::from(name.as_ref()))
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}⟩", self.0)
+    }
+}
+
+/// Messages exchanged by the consensus engines. The embedding actor wraps
+/// these into its own message type and routes incoming ones to
+/// [`ConsensusEngine::on_message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsensusMsg<V> {
+    /// A participant's current estimate for a round (phase 1).
+    Estimate {
+        /// Target instance.
+        instance: InstanceId,
+        /// Round number.
+        round: u64,
+        /// The estimate value.
+        value: V,
+        /// The round in which the estimate was last adopted (0 = initial).
+        ts: u64,
+    },
+    /// The coordinator's proposal for a round (phase 2).
+    Propose {
+        /// Target instance.
+        instance: InstanceId,
+        /// Round number.
+        round: u64,
+        /// The proposed value.
+        value: V,
+    },
+    /// Positive acknowledgement of a proposal (phase 3).
+    Ack {
+        /// Target instance.
+        instance: InstanceId,
+        /// Round number.
+        round: u64,
+    },
+    /// Negative acknowledgement: the sender moved past this round.
+    Nack {
+        /// Target instance.
+        instance: InstanceId,
+        /// Round number.
+        round: u64,
+    },
+    /// Reliable broadcast of a decision (phase 4).
+    Decide {
+        /// Target instance.
+        instance: InstanceId,
+        /// The decided value.
+        value: V,
+    },
+}
+
+impl<V> ConsensusMsg<V> {
+    /// The instance this message belongs to.
+    pub fn instance(&self) -> &InstanceId {
+        match self {
+            ConsensusMsg::Estimate { instance, .. }
+            | ConsensusMsg::Propose { instance, .. }
+            | ConsensusMsg::Ack { instance, .. }
+            | ConsensusMsg::Nack { instance, .. }
+            | ConsensusMsg::Decide { instance, .. } => instance,
+        }
+    }
+}
+
+/// The network/oracle interface the engine needs from its embedding actor.
+///
+/// Implementations wrap a [`xability_sim::Context`], translating
+/// [`ConsensusMsg`] into the actor's own message type.
+pub trait ConsensusNet<V> {
+    /// Sends a consensus message to a peer.
+    fn send(&mut self, to: ProcessId, msg: ConsensusMsg<V>);
+    /// The current time.
+    fn now(&self) -> SimTime;
+    /// The failure-detector query `suspect(p)`.
+    fn suspects(&self, p: ProcessId) -> bool;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the coordinator's proposal (or, as coordinator, for a
+    /// majority of estimates).
+    Estimating,
+    /// Acknowledged the proposal; waiting for the decision.
+    Acked,
+}
+
+#[derive(Debug)]
+struct Instance<V> {
+    estimate: Option<(V, u64)>,
+    round: u64,
+    phase: Phase,
+    round_started_at: SimTime,
+    /// Coordinator state: estimates gathered for the current round.
+    estimates: BTreeMap<ProcessId, (V, u64)>,
+    /// Coordinator state: positive acks for the current round.
+    acks: BTreeSet<ProcessId>,
+    /// Coordinator state: whether this round's proposal went out.
+    proposed: bool,
+    decided: Option<V>,
+    /// Whether this process broadcast the decision already.
+    decision_relayed: bool,
+    participating: bool,
+}
+
+impl<V> Instance<V> {
+    fn new(now: SimTime) -> Self {
+        Instance {
+            estimate: None,
+            round: 0,
+            phase: Phase::Estimating,
+            round_started_at: now,
+            estimates: BTreeMap::new(),
+            acks: BTreeSet::new(),
+            proposed: false,
+            decided: None,
+            decision_relayed: false,
+            participating: false,
+        }
+    }
+}
+
+/// A multiplexed set of consensus objects for one participant process.
+///
+/// The engine is transport-agnostic: the embedding actor forwards incoming
+/// [`ConsensusMsg`]s to [`ConsensusEngine::on_message`], calls
+/// [`ConsensusEngine::on_tick`] periodically (a few times per failure
+/// detector timeout), and collects newly decided `(instance, value)` pairs
+/// from both calls.
+#[derive(Debug)]
+pub struct ConsensusEngine<V> {
+    me: ProcessId,
+    peers: Vec<ProcessId>,
+    round_timeout: SimDuration,
+    instances: BTreeMap<InstanceId, Instance<V>>,
+    /// Decisions reached inside nested calls (e.g. a coordinator whose own
+    /// implicit ack already forms a majority); drained by the public entry
+    /// points so callers observe every decision exactly once.
+    undrained: Vec<(InstanceId, V)>,
+}
+
+impl<V: Clone + Eq + fmt::Debug> ConsensusEngine<V> {
+    /// Creates an engine for participant `me` among `peers` (which must
+    /// include `me` and be identical at every participant).
+    ///
+    /// `round_timeout` bounds how long a participant waits in a round before
+    /// nacking an unresponsive coordinator even without a suspicion; it
+    /// provides progress when the coordinator is slow rather than crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` does not contain `me`.
+    pub fn new(me: ProcessId, peers: Vec<ProcessId>, round_timeout: SimDuration) -> Self {
+        assert!(peers.contains(&me), "peers must include the local process");
+        ConsensusEngine {
+            me,
+            peers,
+            round_timeout,
+            instances: BTreeMap::new(),
+            undrained: Vec::new(),
+        }
+    }
+
+    /// The majority threshold.
+    fn majority(&self) -> usize {
+        self.peers.len() / 2 + 1
+    }
+
+    fn coordinator(&self, round: u64) -> ProcessId {
+        self.peers[(round as usize) % self.peers.len()]
+    }
+
+    /// The paper's `propose()` (§5.2): proposes `value` for `instance`.
+    ///
+    /// If the decision is already known locally it is returned immediately;
+    /// otherwise the proposal enters the protocol and the decision will be
+    /// reported by a later [`ConsensusEngine::on_message`] /
+    /// [`ConsensusEngine::on_tick`] call.
+    pub fn propose(
+        &mut self,
+        net: &mut dyn ConsensusNet<V>,
+        instance: InstanceId,
+        value: V,
+    ) -> Option<V> {
+        let now = net.now();
+        let inst = self
+            .instances
+            .entry(instance.clone())
+            .or_insert_with(|| Instance::new(now));
+        if let Some(d) = &inst.decided {
+            return Some(d.clone());
+        }
+        if inst.estimate.is_none() {
+            inst.estimate = Some((value, 0));
+        }
+        if !inst.participating {
+            inst.participating = true;
+            inst.round_started_at = now;
+            self.broadcast_estimate(net, &instance);
+        }
+        // A coordinator alone in a singleton group decides synchronously.
+        self.undrained.retain(|(id, _)| id != &instance);
+        self.instances[&instance].decided.clone()
+    }
+
+    /// The paper's `read()` (§5.2): the locally known decision, if any.
+    ///
+    /// `None` means "no decision known here" — the instance may already be
+    /// decided elsewhere; proposing then returns that decision.
+    pub fn read(&self, instance: &InstanceId) -> Option<&V> {
+        self.instances.get(instance)?.decided.as_ref()
+    }
+
+    /// All instances with locally known decisions, in instance order.
+    pub fn decided_instances(&self) -> impl Iterator<Item = (&InstanceId, &V)> {
+        self.instances
+            .iter()
+            .filter_map(|(id, inst)| inst.decided.as_ref().map(|v| (id, v)))
+    }
+
+    /// Handles an incoming consensus message, returning newly decided
+    /// `(instance, value)` pairs (at most one).
+    pub fn on_message(
+        &mut self,
+        net: &mut dyn ConsensusNet<V>,
+        from: ProcessId,
+        msg: ConsensusMsg<V>,
+    ) -> Vec<(InstanceId, V)> {
+        let instance = msg.instance().clone();
+        let now = net.now();
+        let me = self.me;
+        let majority = self.majority();
+        {
+            let inst = self
+                .instances
+                .entry(instance.clone())
+                .or_insert_with(|| Instance::new(now));
+            if let Some(decided) = inst.decided.clone() {
+                // Help late peers: re-send the decision to the sender.
+                if !matches!(msg, ConsensusMsg::Decide { .. }) {
+                    net.send(
+                        from,
+                        ConsensusMsg::Decide {
+                            instance: instance.clone(),
+                            value: decided,
+                        },
+                    );
+                }
+                return Vec::new();
+            }
+        }
+
+        match msg {
+            ConsensusMsg::Decide { value, .. } => {
+                return self.decide(net, &instance, value);
+            }
+            ConsensusMsg::Estimate {
+                round, value, ts, ..
+            } => {
+                let coord = self.coordinator(round);
+                {
+                    // Adopt a value if we have none (lets non-proposers join).
+                    let inst = self.instances.get_mut(&instance).expect("created above");
+                    if inst.estimate.is_none() {
+                        inst.estimate = Some((value.clone(), 0));
+                    }
+                }
+                self.join(net, &instance);
+                let current = self.instances[&instance].round;
+                if round > current {
+                    self.advance_to(net, &instance, round);
+                }
+                let inst = self.instances.get_mut(&instance).expect("created above");
+                if round == inst.round && me == coord {
+                    inst.estimates.insert(from, (value, ts));
+                    self.maybe_propose(net, &instance);
+                }
+            }
+            ConsensusMsg::Propose { round, value, .. } => {
+                {
+                    let inst = self.instances.get_mut(&instance).expect("created above");
+                    if inst.estimate.is_none() {
+                        inst.estimate = Some((value.clone(), 0));
+                    }
+                }
+                self.join(net, &instance);
+                let current = self.instances[&instance].round;
+                if round > current {
+                    self.advance_to(net, &instance, round);
+                }
+                let inst = self.instances.get_mut(&instance).expect("created above");
+                if round == inst.round && inst.phase == Phase::Estimating {
+                    // Adopt the coordinator's value with timestamp = round.
+                    inst.estimate = Some((value, round));
+                    inst.phase = Phase::Acked;
+                    net.send(from, ConsensusMsg::Ack { instance, round });
+                }
+            }
+            ConsensusMsg::Ack { round, .. } => {
+                let coord = self.coordinator(round);
+                let inst = self.instances.get_mut(&instance).expect("created above");
+                if round == inst.round && me == coord {
+                    inst.acks.insert(from);
+                    if inst.acks.len() + 1 >= majority {
+                        // +1: the coordinator implicitly acks its own proposal.
+                        let value = inst
+                            .estimate
+                            .clone()
+                            .map(|(v, _)| v)
+                            .expect("coordinator proposed, so it has an estimate");
+                        return self.decide(net, &instance, value);
+                    }
+                }
+            }
+            ConsensusMsg::Nack { round, .. } => {
+                let current = self.instances[&instance].round;
+                if round == current {
+                    self.advance_to(net, &instance, round + 1);
+                }
+            }
+        }
+        std::mem::take(&mut self.undrained)
+    }
+
+    /// Periodic driver: applies round timeouts and failure-detector
+    /// suspicions, returning newly decided pairs (always empty today, but
+    /// kept symmetric with [`ConsensusEngine::on_message`] so embedders can
+    /// treat both uniformly).
+    pub fn on_tick(&mut self, net: &mut dyn ConsensusNet<V>) -> Vec<(InstanceId, V)> {
+        let ids: Vec<InstanceId> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.decided.is_none() && i.participating)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in ids {
+            let inst = self.instances.get(&id).expect("listed");
+            let coord = self.coordinator(inst.round);
+            let timed_out = net.now().since(inst.round_started_at) > self.round_timeout;
+            let suspected = coord != self.me && net.suspects(coord);
+            if timed_out || suspected {
+                let round = inst.round;
+                net.send(coord, ConsensusMsg::Nack { instance: id.clone(), round });
+                self.advance_to(net, &id, round + 1);
+            }
+        }
+        std::mem::take(&mut self.undrained)
+    }
+
+    /// Marks the instance as participating and sends the current-round
+    /// estimate if not already done.
+    fn join(&mut self, net: &mut dyn ConsensusNet<V>, id: &InstanceId) {
+        let inst = self.instances.get_mut(id).expect("caller created");
+        if inst.participating {
+            return;
+        }
+        inst.participating = true;
+        inst.round_started_at = net.now();
+        self.broadcast_estimate(net, id);
+    }
+
+    fn broadcast_estimate(&mut self, net: &mut dyn ConsensusNet<V>, id: &InstanceId) {
+        let me = self.me;
+        let (value, ts, round) = {
+            let inst = self.instances.get_mut(id).expect("exists");
+            let Some((value, ts)) = inst.estimate.clone() else {
+                return;
+            };
+            (value, ts, inst.round)
+        };
+        // Record our own estimate if we coordinate this round.
+        if self.coordinator(round) == me {
+            let inst = self.instances.get_mut(id).expect("exists");
+            inst.estimates.insert(me, (value.clone(), ts));
+        }
+        for &p in &self.peers {
+            if p != me {
+                net.send(
+                    p,
+                    ConsensusMsg::Estimate {
+                        instance: id.clone(),
+                        round,
+                        value: value.clone(),
+                        ts,
+                    },
+                );
+            }
+        }
+        self.maybe_propose(net, id);
+    }
+
+    /// Coordinator: propose once a majority of estimates is gathered.
+    fn maybe_propose(&mut self, net: &mut dyn ConsensusNet<V>, id: &InstanceId) {
+        let majority = self.majority();
+        let me = self.me;
+        let round = self.instances[id].round;
+        if self.coordinator(round) != me {
+            return;
+        }
+        let inst = self.instances.get_mut(id).expect("exists");
+        if inst.proposed || inst.estimates.len() < majority {
+            return;
+        }
+        let (value, _) = inst
+            .estimates
+            .values()
+            .max_by_key(|(_, ts)| *ts)
+            .cloned()
+            .expect("majority gathered");
+        inst.proposed = true;
+        inst.estimate = Some((value.clone(), inst.round));
+        inst.phase = Phase::Acked;
+        let round = inst.round;
+        for &p in &self.peers {
+            if p != me {
+                net.send(
+                    p,
+                    ConsensusMsg::Propose {
+                        instance: id.clone(),
+                        round,
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        // The coordinator implicitly acks its own proposal; in a singleton
+        // group that already is a majority.
+        if 1 >= majority {
+            let decided = self.decide(net, id, value);
+            self.undrained.extend(decided);
+        }
+    }
+
+    fn advance_to(&mut self, net: &mut dyn ConsensusNet<V>, id: &InstanceId, round: u64) {
+        let inst = self.instances.get_mut(id).expect("exists");
+        if round <= inst.round || inst.decided.is_some() {
+            return;
+        }
+        inst.round = round;
+        inst.phase = Phase::Estimating;
+        inst.estimates.clear();
+        inst.acks.clear();
+        inst.proposed = false;
+        inst.round_started_at = net.now();
+        if inst.participating {
+            self.broadcast_estimate(net, id);
+        }
+    }
+
+    fn decide(
+        &mut self,
+        net: &mut dyn ConsensusNet<V>,
+        id: &InstanceId,
+        value: V,
+    ) -> Vec<(InstanceId, V)> {
+        let me = self.me;
+        let inst = self.instances.get_mut(id).expect("exists");
+        if inst.decided.is_some() {
+            return Vec::new();
+        }
+        inst.decided = Some(value.clone());
+        if !inst.decision_relayed {
+            inst.decision_relayed = true;
+            for &p in &self.peers {
+                if p != me {
+                    net.send(
+                        p,
+                        ConsensusMsg::Decide {
+                            instance: id.clone(),
+                            value: value.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        vec![(id.clone(), value)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_id_semantics() {
+        let a = InstanceId::new("owner/1");
+        let b = InstanceId::new("owner/1");
+        let c = InstanceId::new("owner/2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "owner/1");
+        assert_eq!(format!("{a}"), "⟨owner/1⟩");
+    }
+
+    #[test]
+    fn message_instance_accessor() {
+        let id = InstanceId::new("x");
+        let msgs: Vec<ConsensusMsg<u32>> = vec![
+            ConsensusMsg::Estimate {
+                instance: id.clone(),
+                round: 0,
+                value: 1,
+                ts: 0,
+            },
+            ConsensusMsg::Propose {
+                instance: id.clone(),
+                round: 0,
+                value: 1,
+            },
+            ConsensusMsg::Ack {
+                instance: id.clone(),
+                round: 0,
+            },
+            ConsensusMsg::Nack {
+                instance: id.clone(),
+                round: 0,
+            },
+            ConsensusMsg::Decide {
+                instance: id.clone(),
+                value: 1,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.instance(), &id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peers must include")]
+    fn engine_requires_membership() {
+        let _ = ConsensusEngine::<u32>::new(
+            ProcessId(9),
+            vec![ProcessId(0), ProcessId(1)],
+            SimDuration::from_millis(50),
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Events (§2.2).
+//!
+//! Events mark the start and completion of action executions as seen by the
+//! paper's hypothetical observer:
+//!
+//! ```text
+//! e ::= S(a, iv) | C(a, ov)
+//! ```
+//!
+//! Note that, exactly as in the paper, a completion event records the
+//! action's *output* value but not its input: the observer sees what an
+//! execution produced, not which in-flight attempt it belongs to. Ambiguity
+//! in attributing completions to starts is resolved existentially by the
+//! pattern matching and reduction machinery.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::ActionId;
+use crate::value::Value;
+
+/// An observable event: the start or completion of an action execution.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{ActionId, ActionName, Event, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let s = Event::start(a.clone(), Value::from(1));
+/// let c = Event::complete(a.clone(), Value::from(42));
+/// assert!(s.is_start() && c.is_complete());
+/// assert_eq!(s.action(), &a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// `S(a, iv)` — the execution of `a` with input `iv` has started; its
+    /// side-effect *may* happen.
+    Start(ActionId, Value),
+    /// `C(a, ov)` — an execution of `a` has completed successfully with
+    /// output `ov`; its side-effect *has* happened.
+    Complete(ActionId, Value),
+}
+
+impl Event {
+    /// Creates a start event `S(a, iv)`.
+    pub fn start(action: ActionId, input: Value) -> Self {
+        Event::Start(action, input)
+    }
+
+    /// Creates a completion event `C(a, ov)`.
+    pub fn complete(action: ActionId, output: Value) -> Self {
+        Event::Complete(action, output)
+    }
+
+    /// The action this event belongs to.
+    pub fn action(&self) -> &ActionId {
+        match self {
+            Event::Start(a, _) | Event::Complete(a, _) => a,
+        }
+    }
+
+    /// The value carried by the event: the input for a start event, the
+    /// output for a completion event.
+    pub fn value(&self) -> &Value {
+        match self {
+            Event::Start(_, v) | Event::Complete(_, v) => v,
+        }
+    }
+
+    /// Returns `true` for start events.
+    pub fn is_start(&self) -> bool {
+        matches!(self, Event::Start(..))
+    }
+
+    /// Returns `true` for completion events.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Event::Complete(..))
+    }
+
+    /// Returns `true` if this is the start event `S(action, input)`.
+    pub fn is_start_of(&self, action: &ActionId, input: &Value) -> bool {
+        matches!(self, Event::Start(a, v) if a == action && v == input)
+    }
+
+    /// Returns `true` if this is a completion event of `action` (with any
+    /// output).
+    pub fn is_completion_of(&self, action: &ActionId) -> bool {
+        matches!(self, Event::Complete(a, _) if a == action)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Start(a, iv) => write!(f, "S({a}, {iv})"),
+            Event::Complete(a, ov) => write!(f, "C({a}, {ov})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionName;
+
+    fn act() -> ActionId {
+        ActionId::base(ActionName::idempotent("a"))
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Event::start(act(), Value::from(1));
+        let c = Event::complete(act(), Value::from(2));
+        assert!(s.is_start() && !s.is_complete());
+        assert!(c.is_complete() && !c.is_start());
+        assert_eq!(s.value(), &Value::from(1));
+        assert_eq!(c.value(), &Value::from(2));
+        assert_eq!(s.action(), &act());
+    }
+
+    #[test]
+    fn is_start_of_matches_action_and_input() {
+        let s = Event::start(act(), Value::from(1));
+        assert!(s.is_start_of(&act(), &Value::from(1)));
+        assert!(!s.is_start_of(&act(), &Value::from(2)));
+        let other = ActionId::base(ActionName::undoable("a"));
+        assert!(!s.is_start_of(&other, &Value::from(1)));
+        // Completion events are never starts.
+        let c = Event::complete(act(), Value::from(1));
+        assert!(!c.is_start_of(&act(), &Value::from(1)));
+    }
+
+    #[test]
+    fn is_completion_of_ignores_output() {
+        let c = Event::complete(act(), Value::from(9));
+        assert!(c.is_completion_of(&act()));
+        let other = ActionId::base(ActionName::idempotent("b"));
+        assert!(!c.is_completion_of(&other));
+    }
+
+    #[test]
+    fn display_mirrors_paper_notation() {
+        let s = Event::start(act(), Value::from(1));
+        assert_eq!(format!("{s}"), "S(aⁱ, 1)");
+        let c = Event::complete(act(), Value::Nil);
+        assert_eq!(format!("{c}"), "C(aⁱ, nil)");
+    }
+}

@@ -1,0 +1,494 @@
+//! History patterns and the matching relation ⊨ (§2.4, Fig. 1–2).
+//!
+//! The paper's abstract syntax:
+//!
+//! ```text
+//! sp ::= [a, iv, ov] | ?[a, iv, ov]
+//! p  ::= sp | sp₁ ‖ₕ sp₂
+//! ```
+//!
+//! A required simple pattern `[a, iv, ov]` matches the two-event history of
+//! a failure-free execution (rule 5). A maybe pattern `?[a, iv, ov]` matches
+//! the empty history, a lone start event, or a full execution (rules 6–8).
+//! The interleaved pattern `sp₁ ‖ₕ sp₂` matches a window containing a match
+//! of `sp₁`, a match of `sp₂` and arbitrary interleaved events `h`, such that
+//! the window's first event comes from the `sp₁` match (when non-empty) and
+//! the window's last event is the last event of the `sp₂` match (rules 9–11).
+//!
+//! # Implemented interleaving semantics
+//!
+//! Rules (9)–(11) as literally written require either the two matches to be
+//! adjacent blocks (9), or — for split matches — use `first`/`second`
+//! decompositions (10)–(11) that, for a *singleton* `sp₁` match, would
+//! duplicate the event value. We implement the following equivalent
+//! formulation over event *positions*:
+//!
+//! * the `sp₂` match is a pair of positions `s₂ < c₂` with `c₂` the last
+//!   position of the window;
+//! * the `sp₁` match is empty, or a start at the window's first position,
+//!   or a start at the window's first position plus a later completion
+//!   `c₁ ∉ {s₂, c₂}`;
+//! * everything else in the window is the interleaved history `h`.
+//!
+//! This formulation is equivalent to the paper's rules *with respect to the
+//! reduction closure ⇒\** (which is the only consumer of matching): any
+//! relaxed match factors into a "compaction" step (an interleaved match with
+//! empty `sp₁`) followed by a literal rule-(9)/(11) match. The equivalence is
+//! exercised by tests in this module and by the property tests in
+//! `tests/pattern_props.rs`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::ActionId;
+use crate::event::Event;
+use crate::history::History;
+use crate::value::Value;
+
+/// A simple pattern `[a, iv, ov]` (required) or `?[a, iv, ov]` (maybe).
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{ActionId, ActionName, Event, History, SimplePattern, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let p = SimplePattern::required(a.clone(), Value::from(1), Value::from(42));
+/// let h: History = [
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::complete(a, Value::from(42)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert!(p.matches(&h));
+/// assert!(!p.matches(&History::empty()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SimplePattern {
+    required: bool,
+    action: ActionId,
+    input: Value,
+    output: Value,
+}
+
+impl SimplePattern {
+    /// The required pattern `[a, iv, ov]`: matches exactly a failure-free
+    /// execution.
+    pub fn required(action: ActionId, input: Value, output: Value) -> Self {
+        SimplePattern {
+            required: true,
+            action,
+            input,
+            output,
+        }
+    }
+
+    /// The maybe pattern `?[a, iv, ov]`: matches a possibly-failed execution.
+    pub fn maybe(action: ActionId, input: Value, output: Value) -> Self {
+        SimplePattern {
+            required: false,
+            action,
+            input,
+            output,
+        }
+    }
+
+    /// Returns `true` for required patterns `[a, iv, ov]`.
+    pub fn is_required(&self) -> bool {
+        self.required
+    }
+
+    /// The action of the pattern.
+    pub fn action(&self) -> &ActionId {
+        &self.action
+    }
+
+    /// The input value `iv`.
+    pub fn input(&self) -> &Value {
+        &self.input
+    }
+
+    /// The output value `ov`.
+    pub fn output(&self) -> &Value {
+        &self.output
+    }
+
+    /// The start event `S(a, iv)` this pattern expects.
+    pub fn start_event(&self) -> Event {
+        Event::start(self.action.clone(), self.input.clone())
+    }
+
+    /// The completion event `C(a, ov)` this pattern expects.
+    pub fn completion_event(&self) -> Event {
+        Event::complete(self.action.clone(), self.output.clone())
+    }
+
+    /// The matching relation ⊨ restricted to simple patterns
+    /// (rules 5–8 of Fig. 2).
+    pub fn matches(&self, h: &History) -> bool {
+        let s = self.start_event();
+        let c = self.completion_event();
+        if self.required {
+            // Rule (5): S(a,iv) C(a,ov) ⊨ [a,iv,ov]
+            h.len() == 2 && h[0] == s && h[1] == c
+        } else {
+            // Rules (6)-(8): Λ, S(a,iv), or S(a,iv) C(a,ov) ⊨ ?[a,iv,ov]
+            match h.len() {
+                0 => true,
+                1 => h[0] == s,
+                2 => h[0] == s && h[1] == c,
+                _ => false,
+            }
+        }
+    }
+}
+
+impl fmt::Display for SimplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = if self.required { "" } else { "?" };
+        write!(f, "{q}[{}, {}, {}]", self.action, self.input, self.output)
+    }
+}
+
+/// A pattern `p ::= sp | sp₁ ‖ₕ sp₂` (Fig. 1).
+///
+/// The interleaved history `h` of `sp₁ ‖ₕ sp₂` is existential: matching a
+/// history against an interleaved pattern *produces* the interleaving as part
+/// of the [`InterleavedWitness`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// A simple pattern.
+    Simple(SimplePattern),
+    /// The interleaved pattern `sp₁ ‖ₕ sp₂`.
+    Interleaved(SimplePattern, SimplePattern),
+}
+
+impl Pattern {
+    /// The matching relation ⊨ (Fig. 2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xability_core::{ActionId, ActionName, Event, History, Pattern, SimplePattern, Value};
+    ///
+    /// let a = ActionId::base(ActionName::idempotent("get"));
+    /// let iv = Value::from(1);
+    /// let ov = Value::from(42);
+    /// // A retried idempotent action: failed attempt, then success.
+    /// let h: History = [
+    ///     Event::start(a.clone(), iv.clone()),
+    ///     Event::start(a.clone(), iv.clone()),
+    ///     Event::complete(a.clone(), ov.clone()),
+    /// ]
+    /// .into_iter()
+    /// .collect();
+    /// let p = Pattern::Interleaved(
+    ///     SimplePattern::maybe(a.clone(), iv.clone(), ov.clone()),
+    ///     SimplePattern::required(a, iv, ov),
+    /// );
+    /// assert!(p.matches(&h));
+    /// ```
+    pub fn matches(&self, h: &History) -> bool {
+        match self {
+            Pattern::Simple(sp) => sp.matches(h),
+            Pattern::Interleaved(sp1, sp2) => !interleaved_witnesses(h, sp1, sp2).is_empty(),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Simple(sp) => write!(f, "{sp}"),
+            Pattern::Interleaved(sp1, sp2) => write!(f, "({sp1} ‖ {sp2})"),
+        }
+    }
+}
+
+/// A witness that a window history matches `sp₁ ‖ₕ sp₂`: the positions of
+/// the `sp₁` and `sp₂` matches within the window. All remaining positions
+/// form the interleaved history `h`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterleavedWitness {
+    /// Positions of the `sp₁` match: `[]`, `[s₁]`, or `[s₁, c₁]`.
+    pub left: Vec<usize>,
+    /// Position of the `sp₂` start event.
+    pub right_start: usize,
+    /// Position of the `sp₂` completion event (always the window's last).
+    pub right_complete: usize,
+}
+
+impl InterleavedWitness {
+    /// The positions of the interleaved history `h` (everything not matched
+    /// by `sp₁` or `sp₂`), ascending.
+    pub fn interleaved_positions(&self, window_len: usize) -> Vec<usize> {
+        (0..window_len)
+            .filter(|i| {
+                !self.left.contains(i) && *i != self.right_start && *i != self.right_complete
+            })
+            .collect()
+    }
+
+    /// Extracts the interleaved history `h` from the window.
+    pub fn interleaved_history(&self, window: &History) -> History {
+        window.select(&self.interleaved_positions(window.len()))
+    }
+}
+
+/// Enumerates all witnesses that `window ⊨ (sp1 ‖ₕ sp2)` under the
+/// position-based semantics documented at the module level.
+///
+/// The right pattern must be required for the enumeration to be non-empty in
+/// the cases used by the reduction rules (rules 18–20 always have a required
+/// right pattern); a maybe right pattern is matched as if required, since the
+/// paper's reduction rules never need the degenerate cases.
+pub fn interleaved_witnesses(
+    window: &History,
+    sp1: &SimplePattern,
+    sp2: &SimplePattern,
+) -> Vec<InterleavedWitness> {
+    let n = window.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let right_start_ev = sp2.start_event();
+    let right_complete_ev = sp2.completion_event();
+    let left_start_ev = sp1.start_event();
+    let left_complete_ev = sp1.completion_event();
+
+    let mut out = Vec::new();
+    // The window's last event must be sp2's completion.
+    let c2 = n - 1;
+    if window[c2] != right_complete_ev {
+        return out;
+    }
+    for s2 in 0..c2 {
+        if window[s2] != right_start_ev {
+            continue;
+        }
+        // Case 1: empty sp1 match (only for maybe patterns).
+        if !sp1.is_required() {
+            out.push(InterleavedWitness {
+                left: vec![],
+                right_start: s2,
+                right_complete: c2,
+            });
+        }
+        // Cases 2-3 need sp1's start at the window's first position.
+        if window[0] != left_start_ev || s2 == 0 {
+            continue;
+        }
+        // Case 2: singleton sp1 match (start only; maybe patterns only).
+        if !sp1.is_required() {
+            out.push(InterleavedWitness {
+                left: vec![0],
+                right_start: s2,
+                right_complete: c2,
+            });
+        }
+        // Case 3: full sp1 match: start at 0, completion at any c1 ∉ {0, s2, c2}.
+        for c1 in 1..c2 {
+            if c1 == s2 {
+                continue;
+            }
+            if window[c1] == left_complete_ev {
+                out.push(InterleavedWitness {
+                    left: vec![0, c1],
+                    right_start: s2,
+                    right_complete: c2,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionName;
+
+    fn idem(name: &str) -> ActionId {
+        ActionId::base(ActionName::idempotent(name))
+    }
+
+    fn s(a: &ActionId, v: i64) -> Event {
+        Event::start(a.clone(), Value::from(v))
+    }
+
+    fn c(a: &ActionId, v: i64) -> Event {
+        Event::complete(a.clone(), Value::from(v))
+    }
+
+    fn h(events: Vec<Event>) -> History {
+        History::from_events(events)
+    }
+
+    #[test]
+    fn rule_5_required_matches_exact_execution() {
+        let a = idem("a");
+        let p = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        assert!(p.matches(&h(vec![s(&a, 1), c(&a, 2)])));
+        assert!(!p.matches(&History::empty()));
+        assert!(!p.matches(&h(vec![s(&a, 1)])));
+        assert!(!p.matches(&h(vec![s(&a, 1), c(&a, 3)]))); // wrong output
+        assert!(!p.matches(&h(vec![c(&a, 2), s(&a, 1)]))); // wrong order
+        assert!(!p.matches(&h(vec![s(&a, 1), c(&a, 2), s(&a, 1)]))); // extra event
+    }
+
+    #[test]
+    fn rules_6_to_8_maybe_matches_partial_executions() {
+        let a = idem("a");
+        let p = SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2));
+        assert!(p.matches(&History::empty())); // rule 6
+        assert!(p.matches(&h(vec![s(&a, 1)]))); // rule 7
+        assert!(p.matches(&h(vec![s(&a, 1), c(&a, 2)]))); // rule 8
+        assert!(!p.matches(&h(vec![c(&a, 2)]))); // lone completion is not a match
+        assert!(!p.matches(&h(vec![s(&a, 2)]))); // wrong input
+        assert!(!p.matches(&h(vec![s(&a, 1), c(&a, 9)]))); // wrong output
+    }
+
+    #[test]
+    fn interleaved_sequential_match_rule_9() {
+        let a = idem("a");
+        let iv = Value::from(1);
+        let ov = Value::from(2);
+        // S1 C1 S2 C2 — two back-to-back executions.
+        let hist = h(vec![s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 2)]);
+        let sp1 = SimplePattern::maybe(a.clone(), iv.clone(), ov.clone());
+        let sp2 = SimplePattern::required(a.clone(), iv, ov);
+        let ws = interleaved_witnesses(&hist, &sp1, &sp2);
+        // Among the witnesses: the full left match [0,1] with right (2,3).
+        assert!(ws
+            .iter()
+            .any(|w| w.left == vec![0, 1] && w.right_start == 2 && w.right_complete == 3));
+        // The interleaved history for that witness is empty.
+        let w = ws
+            .iter()
+            .find(|w| w.left == vec![0, 1])
+            .expect("witness exists");
+        assert!(w.interleaved_history(&hist).is_empty());
+    }
+
+    #[test]
+    fn interleaved_overlapping_match_rule_11() {
+        let a = idem("a");
+        let b = idem("b");
+        let iv = Value::from(1);
+        let ov = Value::from(2);
+        // S1 junk S2 C1 C2 — overlapping executions with junk interleaved.
+        let hist = h(vec![s(&a, 1), s(&b, 9), s(&a, 1), c(&a, 2), c(&a, 2)]);
+        let sp1 = SimplePattern::maybe(a.clone(), iv.clone(), ov.clone());
+        let sp2 = SimplePattern::required(a.clone(), iv, ov);
+        let ws = interleaved_witnesses(&hist, &sp1, &sp2);
+        // Overlapping witness: left S at 0, left C at 3, right (2, 4).
+        let w = ws
+            .iter()
+            .find(|w| w.left == vec![0, 3] && w.right_start == 2)
+            .expect("overlap witness");
+        assert_eq!(w.right_complete, 4);
+        let junk = w.interleaved_history(&hist);
+        assert_eq!(junk.events(), &[s(&b, 9)]);
+    }
+
+    #[test]
+    fn containment_is_not_a_match() {
+        // S1 S2 C2 C1 — the successful execution strictly inside the failed
+        // attempt. The window's last event (C1) would have to belong to sp2,
+        // so sp2's completion is C1 and sp2's start... there is no witness
+        // with sp1 = [0, 3]: position 3 is the right completion.
+        let a = idem("a");
+        let iv = Value::from(1);
+        let ov = Value::from(2);
+        let hist = h(vec![s(&a, 1), s(&a, 1), c(&a, 2), c(&a, 2)]);
+        let sp1 = SimplePattern::maybe(a.clone(), iv.clone(), ov.clone());
+        let sp2 = SimplePattern::required(a.clone(), iv, ov);
+        for w in interleaved_witnesses(&hist, &sp1, &sp2) {
+            // No witness may claim a left completion after the right
+            // completion — right_complete is always last.
+            assert_eq!(w.right_complete, 3);
+            if w.left.len() == 2 {
+                assert!(w.left[1] < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_left_match_allows_leading_junk() {
+        let a = idem("a");
+        let b = idem("b");
+        let hist = h(vec![s(&b, 9), s(&a, 1), c(&b, 9), c(&a, 2)]);
+        let sp1 = SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2));
+        let sp2 = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        let ws = interleaved_witnesses(&hist, &sp1, &sp2);
+        let w = ws.iter().find(|w| w.left.is_empty()).expect("empty-left");
+        assert_eq!((w.right_start, w.right_complete), (1, 3));
+        let junk = w.interleaved_history(&hist);
+        assert_eq!(junk.events(), &[s(&b, 9), c(&b, 9)]);
+    }
+
+    #[test]
+    fn required_left_forbids_empty_and_singleton_matches() {
+        let a = idem("a");
+        let hist = h(vec![s(&a, 1), s(&a, 1), c(&a, 2)]);
+        let sp1 = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        let sp2 = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        let ws = interleaved_witnesses(&hist, &sp1, &sp2);
+        assert!(ws.iter().all(|w| w.left.len() == 2));
+        assert!(ws.is_empty(), "no full left execution exists: {ws:?}");
+    }
+
+    #[test]
+    fn window_last_event_must_be_right_completion() {
+        let a = idem("a");
+        let hist = h(vec![s(&a, 1), c(&a, 2), s(&a, 1)]);
+        let sp1 = SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2));
+        let sp2 = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        assert!(interleaved_witnesses(&hist, &sp1, &sp2).is_empty());
+    }
+
+    #[test]
+    fn pattern_matches_dispatches() {
+        let a = idem("a");
+        let hist = h(vec![s(&a, 1), c(&a, 2)]);
+        let sp = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        assert!(Pattern::Simple(sp.clone()).matches(&hist));
+        let longer = h(vec![s(&a, 1), s(&a, 1), c(&a, 2)]);
+        let p = Pattern::Interleaved(
+            SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2)),
+            sp,
+        );
+        assert!(p.matches(&longer));
+        assert!(!p.matches(&h(vec![s(&a, 1)])));
+    }
+
+    #[test]
+    fn witness_positions_partition_the_window() {
+        let a = idem("a");
+        let b = idem("b");
+        let hist = h(vec![s(&a, 1), s(&b, 9), c(&a, 2), s(&a, 1), c(&a, 2)]);
+        let sp1 = SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2));
+        let sp2 = SimplePattern::required(a.clone(), Value::from(1), Value::from(2));
+        for w in interleaved_witnesses(&hist, &sp1, &sp2) {
+            let mut all: Vec<usize> = w.left.clone();
+            all.push(w.right_start);
+            all.push(w.right_complete);
+            all.extend(w.interleaved_positions(hist.len()));
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all, (0..hist.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = idem("a");
+        let sp = SimplePattern::maybe(a.clone(), Value::from(1), Value::from(2));
+        assert_eq!(format!("{sp}"), "?[aⁱ, 1, 2]");
+        let rp = SimplePattern::required(a, Value::from(1), Value::from(2));
+        assert_eq!(format!("{rp}"), "[aⁱ, 1, 2]");
+        let p = Pattern::Interleaved(sp, rp);
+        assert!(format!("{p}").contains('‖'));
+    }
+}

@@ -1,0 +1,598 @@
+//! History reduction ⇒ (§3.1, Fig. 4).
+//!
+//! A reduction step transforms a history into one with the *same side-effect*
+//! but fewer (or reordered) events, by exploiting idempotence and
+//! undoability:
+//!
+//! * **Rule (18) — idempotent deduplication.** If an idempotent action
+//!   completed successfully, an earlier (possibly partial) attempt with the
+//!   same input and output can be erased, and the surviving execution is
+//!   compacted to an adjacent `S C` pair with the interleaved events moved in
+//!   front of it.
+//! * **Rule (19) — cancellation erasure.** An undoable action attempt
+//!   followed by a successfully completed cancellation (with no commit of the
+//!   same request interleaved, and no earlier start of the same request to
+//!   the left) is erased entirely: it appears as if the action never ran.
+//! * **Rule (20) — commit deduplication.** Commit actions are idempotent;
+//!   duplicate commits of the same request collapse, provided the committed
+//!   action itself does not overlap the commit pair.
+//!
+//! Rule (17), transitivity, is realized by taking the closure of single steps
+//! (see [`crate::xable`]).
+//!
+//! Cancellation actions are idempotent by definition (§3.1), so rule (18)
+//! applies to them as well as to base idempotent actions. Commit actions are
+//! *also* declared idempotent by the paper, but their deduplication is
+//! governed by the dedicated rule (20), whose extra side condition
+//! (`(aᵘ, iv) ∉ h′`) would be vacuous if rule (18) also applied to commits;
+//! we therefore deduplicate commits exclusively through rule (20).
+//!
+//! # Window enumeration
+//!
+//! Each rule rewrites `h₁ • h • h₂` for a window `h` matching an interleaved
+//! pattern. The *result* of a step is independent of the exact window
+//! boundaries (the prefix `h₁` and the in-window interleaving `h′`
+//! concatenate to the same event sequence either way); only the *side
+//! conditions* of rules (19) and (20) depend on where the window starts. The
+//! enumeration below therefore materializes one step per choice of matched
+//! event positions, and checks feasibility — the existence of a window start
+//! satisfying the side conditions — analytically instead of iterating over
+//! every boundary. This keeps single-step enumeration polynomial.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::action::ActionId;
+use crate::event::Event;
+use crate::history::History;
+use crate::value::Value;
+
+/// Which reduction rule produced a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionRule {
+    /// Rule (18): idempotent-action deduplication / compaction.
+    Idempotent,
+    /// Rule (19): erasure of a cancelled undoable attempt.
+    CancelErasure,
+    /// Rule (20): commit deduplication / compaction.
+    CommitDedup,
+}
+
+impl fmt::Display for ReductionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReductionRule::Idempotent => write!(f, "rule 18 (idempotent)"),
+            ReductionRule::CancelErasure => write!(f, "rule 19 (cancel erasure)"),
+            ReductionRule::CommitDedup => write!(f, "rule 20 (commit dedup)"),
+        }
+    }
+}
+
+/// One application of a reduction rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionStep {
+    /// The rule applied.
+    pub rule: ReductionRule,
+    /// Indices of the events erased from the input history (ascending).
+    pub removed: Vec<usize>,
+    /// The resulting history.
+    pub result: History,
+}
+
+/// Enumerates every distinct single reduction step `h ⇒ h′` with `h′ ≠ h`.
+///
+/// The result list is deduplicated by resulting history; among steps yielding
+/// the same result, an arbitrary representative is kept.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{reduce, ActionId, ActionName, Event, History, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("ping"));
+/// // Two identical completed executions: reducible to one.
+/// let h: History = [
+///     Event::start(a.clone(), Value::Nil),
+///     Event::complete(a.clone(), Value::Nil),
+///     Event::start(a.clone(), Value::Nil),
+///     Event::complete(a.clone(), Value::Nil),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let steps = reduce::reduction_steps(&h);
+/// assert!(steps.iter().any(|s| s.result.len() == 2));
+/// ```
+pub fn reduction_steps(h: &History) -> Vec<ReductionStep> {
+    let mut steps: Vec<ReductionStep> = Vec::new();
+    let mut seen: BTreeSet<History> = BTreeSet::new();
+    seen.insert(h.clone());
+    let n = h.len();
+
+    let mut push = |rule: ReductionRule, removed: Vec<usize>, result: History, seen: &mut BTreeSet<History>| {
+        if seen.insert(result.clone()) {
+            steps.push(ReductionStep {
+                rule,
+                removed,
+                result,
+            });
+        }
+    };
+
+    for j in 0..n {
+        let (action, out) = match &h[j] {
+            Event::Complete(a, out) => (a.clone(), out.clone()),
+            Event::Start(..) => continue,
+        };
+
+        // ---- Rule (18): idempotent dedup (base idempotent actions and
+        // cancellation actions). ----
+        if executes_idempotently(&action) {
+            for r0 in 0..j {
+                let iv = match &h[r0] {
+                    Event::Start(a, iv) if a == &action => iv.clone(),
+                    _ => continue,
+                };
+                let s_ev = Event::start(action.clone(), iv.clone());
+                let c_ev = Event::complete(action.clone(), out.clone());
+
+                // Empty left match: pure compaction (no event erased).
+                let result = compact(h, &[], r0, j, &s_ev, &c_ev);
+                push(ReductionRule::Idempotent, vec![], result, &mut seen);
+
+                for l0 in 0..r0 {
+                    if h[l0] != s_ev {
+                        continue;
+                    }
+                    // Singleton left match: erase a dangling start.
+                    let result = compact(h, &[l0], r0, j, &s_ev, &c_ev);
+                    push(ReductionRule::Idempotent, vec![l0], result, &mut seen);
+                    // Full left match: erase a completed duplicate (same output).
+                    for c1 in (l0 + 1)..j {
+                        if c1 == r0 || h[c1] != c_ev {
+                            continue;
+                        }
+                        let mut removed = vec![l0, c1];
+                        removed.sort_unstable();
+                        let result = compact(h, &removed, r0, j, &s_ev, &c_ev);
+                        push(ReductionRule::Idempotent, removed, result, &mut seen);
+                    }
+                }
+            }
+        }
+
+        // ---- Rule (19): cancellation erasure. ----
+        if let (ActionId::Cancel(base), true) = (&action, out.is_nil()) {
+            let au = ActionId::Base(base.clone());
+            for r0 in 0..j {
+                let iv = match &h[r0] {
+                    Event::Start(a, iv) if a == &action => iv.clone(),
+                    _ => continue,
+                };
+                let commit_start = Event::start(
+                    ActionId::Commit(base.clone()),
+                    iv.clone(),
+                );
+                let au_start = Event::start(au.clone(), iv.clone());
+
+                let first_au_start = (0..n).find(|&q| h[q] == au_start);
+
+                // Empty left match: erase a cancellation that cancelled
+                // nothing. The paper's prose ("only matches the empty
+                // history if there are no events from a to the left") makes
+                // the intent clear: no start of (aᵘ, iv) may precede the
+                // cancellation at all. We implement that intended reading
+                // (the literal side condition constrains only h₁ and would
+                // allow hiding an attempt start in the window interleaving).
+                {
+                    let au_start_before_cancel = (0..r0).any(|q| h[q] == au_start);
+                    let commit_in_window = ((r0 + 1)..j).any(|q| h[q] == commit_start);
+                    if !au_start_before_cancel && !commit_in_window {
+                        let removed = vec![r0, j];
+                        let result = erase(h, &removed);
+                        push(ReductionRule::CancelErasure, removed, result, &mut seen);
+                    }
+                }
+
+                // Left matches: the attempt being cancelled starts the window.
+                for l0 in 0..r0 {
+                    if h[l0] != au_start {
+                        continue;
+                    }
+                    // Side condition (aᵘ, iv) ∉ h₁: l0 must be the first
+                    // start of (aᵘ, iv).
+                    if first_au_start != Some(l0) {
+                        continue;
+                    }
+                    // Side condition (aᶜ, iv) ∉ h′: no commit start strictly
+                    // inside the window (exclusive of matched positions).
+                    let commit_in_junk = ((l0 + 1)..j)
+                        .any(|q| q != r0 && h[q] == commit_start);
+                    if commit_in_junk {
+                        continue;
+                    }
+                    // Singleton left: erase a failed attempt plus its
+                    // cancellation.
+                    {
+                        let mut removed = vec![l0, r0, j];
+                        removed.sort_unstable();
+                        let result = erase(h, &removed);
+                        push(ReductionRule::CancelErasure, removed, result, &mut seen);
+                    }
+                    // Full left: the attempt completed (any output) before
+                    // being cancelled.
+                    for c1 in (l0 + 1)..j {
+                        if c1 == r0 {
+                            continue;
+                        }
+                        if !h[c1].is_completion_of(&au) {
+                            continue;
+                        }
+                        let mut removed = vec![l0, c1, r0, j];
+                        removed.sort_unstable();
+                        let result = erase(h, &removed);
+                        push(ReductionRule::CancelErasure, removed, result, &mut seen);
+                    }
+                }
+            }
+        }
+
+        // ---- Rule (20): commit dedup / compaction. ----
+        if let (ActionId::Commit(base), true) = (&action, out.is_nil()) {
+            for r0 in 0..j {
+                let iv = match &h[r0] {
+                    Event::Start(a, iv) if a == &action => iv.clone(),
+                    _ => continue,
+                };
+                let s_ev = Event::start(action.clone(), iv.clone());
+                let c_ev = Event::complete(action.clone(), Value::Nil);
+                let au_start = Event::start(ActionId::Base(base.clone()), iv.clone());
+
+                // Empty left: compaction. Side condition (aᵘ, iv) ∉ h′:
+                // feasible iff some window start i ≤ r0 puts all starts of
+                // (aᵘ, iv) at positions ≤ j into the prefix.
+                {
+                    let last_au_start_le_j =
+                        (0..=j).rev().find(|&q| q != r0 && q != j && h[q] == au_start);
+                    let i_min = last_au_start_le_j.map_or(0, |q| q + 1);
+                    if i_min <= r0 {
+                        let result = compact(h, &[], r0, j, &s_ev, &c_ev);
+                        push(ReductionRule::CommitDedup, vec![], result, &mut seen);
+                    }
+                }
+
+                for l0 in 0..r0 {
+                    if h[l0] != s_ev {
+                        continue;
+                    }
+                    // Side condition: no (aᵘ, iv) start strictly inside the
+                    // window.
+                    let au_in_junk = ((l0 + 1)..j).any(|q| q != r0 && h[q] == au_start);
+                    if au_in_junk {
+                        continue;
+                    }
+                    // Singleton left: erase a dangling commit start.
+                    let result = compact(h, &[l0], r0, j, &s_ev, &c_ev);
+                    push(ReductionRule::CommitDedup, vec![l0], result, &mut seen);
+                    // Full left: erase a completed duplicate commit.
+                    for c1 in (l0 + 1)..j {
+                        if c1 == r0 || h[c1] != c_ev {
+                            continue;
+                        }
+                        let mut removed = vec![l0, c1];
+                        removed.sort_unstable();
+                        let result = compact(h, &removed, r0, j, &s_ev, &c_ev);
+                        push(ReductionRule::CommitDedup, removed, result, &mut seen);
+                    }
+                }
+            }
+        }
+    }
+
+    steps
+}
+
+/// All distinct one-step successors of `h` under ⇒ (excluding `h` itself).
+pub fn successors(h: &History) -> Vec<History> {
+    reduction_steps(h).into_iter().map(|s| s.result).collect()
+}
+
+/// Returns `true` if the action's *execution* deduplicates under rule (18):
+/// base idempotent actions and cancellation actions.
+fn executes_idempotently(action: &ActionId) -> bool {
+    match action {
+        ActionId::Base(name) => name.is_idempotent(),
+        ActionId::Cancel(_) => true,
+        ActionId::Commit(_) => false, // governed by rule (20)
+    }
+}
+
+/// Builds the result of a rule-(18)/(20) step: erase `removed`, move the
+/// surviving pair (`r0`, `j`) to an adjacent `S C` at the window's end.
+fn compact(
+    h: &History,
+    removed: &[usize],
+    r0: usize,
+    j: usize,
+    s_ev: &Event,
+    c_ev: &Event,
+) -> History {
+    debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+    let mut events = Vec::with_capacity(h.len() - removed.len());
+    for q in 0..=j {
+        if q == r0 || q == j || removed.binary_search(&q).is_ok() {
+            continue;
+        }
+        events.push(h[q].clone());
+    }
+    events.push(s_ev.clone());
+    events.push(c_ev.clone());
+    for q in (j + 1)..h.len() {
+        events.push(h[q].clone());
+    }
+    History::from_events(events)
+}
+
+/// Builds the result of a rule-(19) step: erase `removed` outright.
+fn erase(h: &History, removed: &[usize]) -> History {
+    h.without_sorted(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionName;
+
+    fn idem(name: &str) -> ActionId {
+        ActionId::base(ActionName::idempotent(name))
+    }
+
+    fn undo(name: &str) -> ActionId {
+        ActionId::base(ActionName::undoable(name))
+    }
+
+    fn s(a: &ActionId, v: i64) -> Event {
+        Event::start(a.clone(), Value::from(v))
+    }
+
+    fn c(a: &ActionId, v: i64) -> Event {
+        Event::complete(a.clone(), Value::from(v))
+    }
+
+    fn cnil(a: &ActionId) -> Event {
+        Event::complete(a.clone(), Value::Nil)
+    }
+
+    fn hist(events: Vec<Event>) -> History {
+        History::from_events(events)
+    }
+
+    #[test]
+    fn rule_18_removes_duplicate_completed_execution() {
+        let a = idem("a");
+        let h = hist(vec![s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 2)]);
+        let target = hist(vec![s(&a, 1), c(&a, 2)]);
+        assert!(successors(&h).contains(&target));
+    }
+
+    #[test]
+    fn rule_18_removes_dangling_start_before_success() {
+        let a = idem("a");
+        let h = hist(vec![s(&a, 1), s(&a, 1), c(&a, 2)]);
+        let target = hist(vec![s(&a, 1), c(&a, 2)]);
+        assert!(successors(&h).contains(&target));
+    }
+
+    #[test]
+    fn rule_18_requires_equal_outputs() {
+        let a = idem("a");
+        // Two completed executions with different outputs: a *completed*
+        // attempt can only be erased against an equal output, so both
+        // completion events survive every step. (A dangling start may still
+        // pair with either completion — rule 7's match of a lone start does
+        // not constrain the output.)
+        let h = hist(vec![s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 3)]);
+        for succ in successors(&h) {
+            assert_eq!(succ.count_completions(&a), 2, "completion erased: {succ}");
+        }
+    }
+
+    #[test]
+    fn rule_18_requires_equal_inputs() {
+        let a = idem("a");
+        // Same action, different inputs: distinct logical executions.
+        let h = hist(vec![s(&a, 1), c(&a, 9), s(&a, 2), c(&a, 9)]);
+        for succ in successors(&h) {
+            assert_eq!(succ.len(), h.len());
+        }
+    }
+
+    #[test]
+    fn rule_18_compaction_moves_junk_before_survivor() {
+        let a = idem("a");
+        let b = idem("b");
+        // S(a) S(b) C(a): compaction moves S(b) in front of the pair.
+        let h = hist(vec![s(&a, 1), s(&b, 5), c(&a, 2)]);
+        let target = hist(vec![s(&b, 5), s(&a, 1), c(&a, 2)]);
+        assert!(successors(&h).contains(&target));
+    }
+
+    #[test]
+    fn rule_18_dangling_start_after_success_is_stuck() {
+        let a = idem("a");
+        // A retry started after the last completion cannot be erased: the
+        // window would have to end at a completion to its right.
+        let h = hist(vec![s(&a, 1), c(&a, 2), s(&a, 1)]);
+        assert!(successors(&h).is_empty());
+    }
+
+    #[test]
+    fn rule_18_applies_to_cancellation_actions() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let h = hist(vec![
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&cancel, 1),
+            cnil(&cancel),
+        ]);
+        let target = hist(vec![s(&cancel, 1), cnil(&cancel)]);
+        assert!(successors(&h).contains(&target));
+    }
+
+    #[test]
+    fn rule_19_erases_cancelled_attempt() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        // Attempt completed, then cancelled.
+        let h = hist(vec![s(&u, 1), c(&u, 7), s(&cancel, 1), cnil(&cancel)]);
+        assert!(successors(&h).contains(&History::empty()));
+    }
+
+    #[test]
+    fn rule_19_erases_failed_attempt() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        // Attempt never completed (failed), then cancelled.
+        let h = hist(vec![s(&u, 1), s(&cancel, 1), cnil(&cancel)]);
+        assert!(successors(&h).contains(&History::empty()));
+    }
+
+    #[test]
+    fn rule_19_erases_spurious_cancel() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        // A cancellation with no preceding attempt erases alone.
+        let h = hist(vec![s(&cancel, 1), cnil(&cancel)]);
+        assert!(successors(&h).contains(&History::empty()));
+    }
+
+    #[test]
+    fn rule_19_blocked_by_interleaved_commit() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        // Commit starts between the attempt and the cancellation: the
+        // cancellation may not take effect, so erasure is forbidden.
+        let h = hist(vec![
+            s(&u, 1),
+            c(&u, 7),
+            s(&commit, 1),
+            cnil(&commit),
+            s(&cancel, 1),
+            cnil(&cancel),
+        ]);
+        for succ in successors(&h) {
+            // The attempt events must survive every step.
+            assert!(
+                succ.appears(&u, &Value::from(1)),
+                "attempt erased despite commit: {succ}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_19_left_context_forces_leftmost_pair_first() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        // Two attempt/cancel pairs. The right pair cannot be erased first
+        // because (aᵘ, iv) appears to its left; the left pair can.
+        let h = hist(vec![
+            s(&u, 1),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&u, 1),
+            s(&cancel, 1),
+            cnil(&cancel),
+        ]);
+        let succs = successors(&h);
+        // Erasing the left pair leaves the right pair.
+        let right_pair = hist(vec![s(&u, 1), s(&cancel, 1), cnil(&cancel)]);
+        assert!(succs.contains(&right_pair));
+        // No single step can erase both attempts at once, and every
+        // successor that erased an attempt keeps at least one cancel pair
+        // available for the remaining attempt.
+        for succ in &succs {
+            assert!(succ.len() >= 3, "two pairs erased in one step: {succ}");
+        }
+    }
+
+    #[test]
+    fn rule_20_dedups_commits() {
+        let u = undo("u");
+        let commit = u.commit().unwrap();
+        let h = hist(vec![
+            s(&commit, 1),
+            cnil(&commit),
+            s(&commit, 1),
+            cnil(&commit),
+        ]);
+        let target = hist(vec![s(&commit, 1), cnil(&commit)]);
+        assert!(successors(&h).contains(&target));
+    }
+
+    #[test]
+    fn rule_20_blocked_by_overlapping_action() {
+        let u = undo("u");
+        let commit = u.commit().unwrap();
+        // The committed action starts between the two commits: dedup
+        // would lose the ordering constraint, so it is forbidden.
+        let h = hist(vec![
+            s(&commit, 1),
+            cnil(&commit),
+            s(&u, 1),
+            s(&commit, 1),
+            cnil(&commit),
+        ]);
+        for succ in successors(&h) {
+            assert!(succ.count_starts(&commit, &Value::from(1)) >= 2
+                || succ.len() == h.len(),
+                "commit dedup happened across an overlapping action: {succ}");
+        }
+    }
+
+    #[test]
+    fn steps_report_rule_and_removed_indices() {
+        let a = idem("a");
+        let h = hist(vec![s(&a, 1), s(&a, 1), c(&a, 2)]);
+        let steps = reduction_steps(&h);
+        let erasing = steps
+            .iter()
+            .find(|st| st.result.len() == 2)
+            .expect("erasing step");
+        assert_eq!(erasing.rule, ReductionRule::Idempotent);
+        assert_eq!(erasing.removed, vec![0]);
+    }
+
+    #[test]
+    fn successors_never_return_identity() {
+        let a = idem("a");
+        let h = hist(vec![s(&a, 1), c(&a, 2)]);
+        assert!(!successors(&h).contains(&h));
+    }
+
+    #[test]
+    fn reduction_never_increases_length() {
+        let a = idem("a");
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let h = hist(vec![
+            s(&a, 1),
+            s(&u, 1),
+            c(&a, 2),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&a, 1),
+            c(&a, 2),
+        ]);
+        for st in reduction_steps(&h) {
+            assert!(st.result.len() <= h.len());
+        }
+    }
+
+    #[test]
+    fn display_of_rules() {
+        assert!(format!("{}", ReductionRule::Idempotent).contains("18"));
+        assert!(format!("{}", ReductionRule::CancelErasure).contains("19"));
+        assert!(format!("{}", ReductionRule::CommitDedup).contains("20"));
+    }
+}

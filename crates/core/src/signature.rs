@@ -1,0 +1,176 @@
+//! History signatures (§3.3).
+//!
+//! A signature of a server-side history is a client-visible triple
+//! `(a, iv, ov)` that is *legal* for that history: the history reduces to
+//! the failure-free execution of `a` on `iv` producing `ov` (rules 24–25).
+//! Because of non-determinism and server-side retry, a history can have
+//! multiple signatures (though for histories produced by a correct protocol
+//! the output is fixed by result agreement).
+
+use std::collections::BTreeSet;
+
+use crate::action::ActionId;
+use crate::event::Event;
+use crate::failure_free::eventsof;
+use crate::history::History;
+use crate::value::Value;
+use crate::xable::search::{search_reduction, SearchBudget, SearchResult};
+
+/// A client-visible signature triple `(a, iv, ov)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Signature {
+    /// The action submitted.
+    pub action: ActionId,
+    /// The input value of the request.
+    pub input: Value,
+    /// The output value returned to the client.
+    pub output: Value,
+}
+
+/// Computes the signatures of `h` (rules 24–25): all `(a, iv, ov)` such that
+/// `h ⇒* eventsof(a, iv, ov)`.
+///
+/// Candidate actions and inputs are drawn from the start events of `h`, and
+/// candidate outputs from its completion events; any triple outside that set
+/// trivially cannot be a signature (reduction cannot invent events).
+///
+/// Searches are bounded by `budget`; a triple whose search exceeds the
+/// budget is *omitted*, so on pathological histories the result is a subset
+/// of the true signature set.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::signature::signatures;
+/// use xability_core::xable::SearchBudget;
+/// use xability_core::{ActionId, ActionName, Event, History, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let h: History = [
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::complete(a.clone(), Value::from(5)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let sigs = signatures(&h, SearchBudget::default());
+/// assert_eq!(sigs.len(), 1);
+/// assert_eq!(sigs[0].output, Value::from(5));
+/// ```
+pub fn signatures(h: &History, budget: SearchBudget) -> Vec<Signature> {
+    let mut candidates: BTreeSet<(ActionId, Value)> = BTreeSet::new();
+    let mut outputs: BTreeSet<(ActionId, Value)> = BTreeSet::new();
+    for ev in h.iter() {
+        match ev {
+            Event::Start(a, iv) => {
+                if matches!(a, ActionId::Base(_)) {
+                    candidates.insert((a.clone(), iv.clone()));
+                }
+            }
+            Event::Complete(a, ov) => {
+                if matches!(a, ActionId::Base(_)) {
+                    outputs.insert((a.clone(), ov.clone()));
+                }
+            }
+        }
+    }
+
+    let mut result = Vec::new();
+    for (action, input) in &candidates {
+        for (out_action, output) in &outputs {
+            if out_action != action {
+                continue;
+            }
+            let target = eventsof(action, input, output);
+            let reached = search_reduction(h, |cand| cand == &target, target.len(), budget);
+            if matches!(reached, SearchResult::Reached(_)) {
+                result.push(Signature {
+                    action: action.clone(),
+                    input: input.clone(),
+                    output: output.clone(),
+                });
+            }
+        }
+    }
+    result.sort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionName;
+
+    fn idem(name: &str) -> ActionId {
+        ActionId::base(ActionName::idempotent(name))
+    }
+
+    fn undo(name: &str) -> ActionId {
+        ActionId::base(ActionName::undoable(name))
+    }
+
+    #[test]
+    fn failure_free_history_has_its_own_signature() {
+        let a = idem("a");
+        let h = eventsof(&a, &Value::from(1), &Value::from(5));
+        let sigs = signatures(&h, SearchBudget::default());
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].action, a);
+        assert_eq!(sigs[0].input, Value::from(1));
+        assert_eq!(sigs[0].output, Value::from(5));
+    }
+
+    #[test]
+    fn undoable_history_signature_requires_commit() {
+        let u = undo("u");
+        // Attempt completed but never committed: no signature.
+        let h: History = [
+            Event::start(u.clone(), Value::from(1)),
+            Event::complete(u.clone(), Value::from(7)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(signatures(&h, SearchBudget::default()).is_empty());
+        // With the commit, the signature appears.
+        let h = eventsof(&u, &Value::from(1), &Value::from(7));
+        let sigs = signatures(&h, SearchBudget::default());
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].output, Value::from(7));
+    }
+
+    #[test]
+    fn empty_history_has_no_signatures() {
+        assert!(signatures(&History::empty(), SearchBudget::default()).is_empty());
+    }
+
+    #[test]
+    fn retried_history_has_single_signature() {
+        let a = idem("a");
+        let h: History = [
+            Event::start(a.clone(), Value::from(1)),
+            Event::start(a.clone(), Value::from(1)),
+            Event::complete(a.clone(), Value::from(5)),
+            Event::start(a.clone(), Value::from(1)),
+            Event::complete(a.clone(), Value::from(5)),
+        ]
+        .into_iter()
+        .collect();
+        let sigs = signatures(&h, SearchBudget::default());
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].output, Value::from(5));
+    }
+
+    #[test]
+    fn disagreeing_outputs_yield_no_signature() {
+        let a = idem("a");
+        let h: History = [
+            Event::start(a.clone(), Value::from(1)),
+            Event::complete(a.clone(), Value::from(5)),
+            Event::start(a.clone(), Value::from(1)),
+            Event::complete(a.clone(), Value::from(6)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(signatures(&h, SearchBudget::default()).is_empty());
+    }
+}

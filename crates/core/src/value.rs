@@ -1,0 +1,270 @@
+//! The `Value` domain of the paper (§2.1).
+//!
+//! The paper posits a set `Value` containing the input and output values of
+//! actions. We realize it as a small algebraic data type that is totally
+//! ordered and hashable, so that values can serve as deterministic keys in
+//! histories, consensus payloads, and deduplication tables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An element of the paper's `Value` set: inputs and outputs of actions.
+///
+/// `Value` is deliberately closed (not generic) so that histories produced by
+/// different subsystems are directly comparable, and so that the theory crate
+/// stays free of type parameters that would leak into every downstream
+/// signature.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::Value;
+///
+/// let v = Value::list([Value::from("transfer"), Value::from(250)]);
+/// assert_eq!(v.as_list().unwrap().len(), 2);
+/// assert_ne!(v, Value::Nil);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum Value {
+    /// The distinguished `nil` value returned by commit and cancellation
+    /// actions (§3.1).
+    #[default]
+    Nil,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence of values.
+    List(Vec<Value>),
+    /// A key/value pair; maps are encoded as sorted lists of pairs.
+    Pair(Box<(Value, Value)>),
+}
+
+impl Value {
+    /// Builds a list value from an iterator of values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xability_core::Value;
+    /// let v = Value::list([Value::from(1), Value::from(2)]);
+    /// assert_eq!(v.as_list().unwrap()[1], Value::from(2));
+    /// ```
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Builds a pair value.
+    pub fn pair(first: Value, second: Value) -> Self {
+        Value::Pair(Box::new((first, second)))
+    }
+
+    /// Returns the contained integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained list, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained pair, if this is a `Pair`.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this value is `Nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Looks up `key` in a map encoded as a list of pairs.
+    ///
+    /// Returns the value of the first pair whose first component equals
+    /// `key`, or `None` if this value is not a list of pairs containing the
+    /// key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xability_core::Value;
+    /// let m = Value::list([
+    ///     Value::pair(Value::from("amount"), Value::from(250)),
+    ///     Value::pair(Value::from("to"), Value::from("alice")),
+    /// ]);
+    /// assert_eq!(m.lookup(&Value::from("amount")), Some(&Value::from(250)));
+    /// assert_eq!(m.lookup(&Value::from("cc")), None);
+    /// ```
+    pub fn lookup(&self, key: &Value) -> Option<&Value> {
+        let items = self.as_list()?;
+        items.iter().find_map(|item| match item {
+            Value::Pair(p) if &p.0 == key => Some(&p.1),
+            _ => None,
+        })
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Self {
+        Value::pair(a.into(), b.into())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_default() {
+        assert_eq!(Value::default(), Value::Nil);
+        assert!(Value::Nil.is_nil());
+        assert!(!Value::Int(0).is_nil());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value::from(7).as_int(), Some(7));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(("k", 1)).as_pair().unwrap().0, &Value::from("k"));
+    }
+
+    #[test]
+    fn accessors_reject_wrong_variant() {
+        assert_eq!(Value::Nil.as_int(), None);
+        assert_eq!(Value::from(1).as_str(), None);
+        assert_eq!(Value::from("x").as_bool(), None);
+        assert_eq!(Value::from(1).as_list(), None);
+        assert_eq!(Value::from(1).as_pair(), None);
+    }
+
+    #[test]
+    fn lookup_finds_first_matching_pair() {
+        let m = Value::list([
+            Value::pair(Value::from("a"), Value::from(1)),
+            Value::pair(Value::from("a"), Value::from(2)),
+            Value::from(99), // non-pair entries are skipped
+        ]);
+        assert_eq!(m.lookup(&Value::from("a")), Some(&Value::from(1)));
+        assert_eq!(m.lookup(&Value::from("b")), None);
+        assert_eq!(Value::Nil.lookup(&Value::from("a")), None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_structural() {
+        let mut vs = vec![
+            Value::from("b"),
+            Value::Nil,
+            Value::from(2),
+            Value::from(1),
+            Value::from("a"),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Nil);
+        // Ints sort before strings (variant order), and within variant by value.
+        assert_eq!(vs[1], Value::from(1));
+        assert_eq!(vs[2], Value::from(2));
+        assert_eq!(vs[3], Value::from("a"));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Nil,
+            Value::from(0),
+            Value::from(""),
+            Value::list([]),
+            Value::pair(Value::Nil, Value::Nil),
+        ] {
+            assert!(!format!("{v}").is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! A polynomial x-ability checker for protocol-shaped histories.
+//!
+//! The exhaustive checker ([`super::search`]) explores the whole reduction
+//! closure and is exponential in the worst case. Replication protocols,
+//! however, produce histories with a lot of structure: every event belongs
+//! to the processing of one request, and requests are submitted one after
+//! another (§4 considers a single client that submits `Rᵢ₊₁` only after `Rᵢ`
+//! succeeds). This checker exploits that structure:
+//!
+//! 1. **Grouping.** Events are partitioned by `(base action, input)` —
+//!    cancellations and commits join the group of their base action. All the
+//!    side conditions of reduction rules (18)–(20) relate events of a single
+//!    group, so reduction steps never cross groups (only the interleaving
+//!    moves).
+//! 2. **Per-group decision.** Each group's sub-history is decided by a
+//!    (small, bounded) exhaustive search: request groups must reduce to a
+//!    failure-free `eventsof` history; groups listed as *erasable* must
+//!    reduce to `Λ`.
+//! 3. **Ordering.** Request effects must occur in submission order: each
+//!    group's first surviving completion must precede the next group's.
+//!    For histories whose groups occupy disjoint index ranges this is
+//!    equivalent to reducibility to the ordered concatenation of
+//!    failure-free histories (reduction is congruent with respect to
+//!    concatenation of group blocks, and compaction moves interleaved
+//!    events before surviving pairs). For histories with *trailing
+//!    duplicates* — deduplicated re-executions or help-commits landing
+//!    after a later request began — the strict ordered-concatenation
+//!    target is unreachable by construction (rules 18/20 keep the latest
+//!    duplicate), so the checker deliberately applies this per-request,
+//!    effect-ordered reading; see DESIGN.md §4.3.
+//!
+//! Soundness is argued in the doc comments above each step and validated by
+//! property tests that compare this checker against the exhaustive one on
+//! randomly generated histories (`tests/checker_agreement.rs`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::action::{ActionId, ActionName, Request};
+use crate::failure_free::failure_free_output;
+use crate::history::History;
+use crate::value::Value;
+use crate::xable::search::{search_reduction, SearchBudget, SearchResult};
+
+/// The answer of the fast checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history is x-able; `outputs[i]` is the agreed output of the
+    /// `i`-th request.
+    XAble {
+        /// Output value of each surviving request, in request order.
+        outputs: Vec<Value>,
+    },
+    /// The history is definitely not x-able.
+    NotXAble {
+        /// Human-readable explanation of the first violation found.
+        reason: String,
+    },
+    /// The history falls outside the checker's class (or a per-group search
+    /// ran out of budget); use the exhaustive checker.
+    Unknown {
+        /// Why the checker could not decide.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` if the verdict is [`Verdict::XAble`].
+    pub fn is_xable(&self) -> bool {
+        matches!(self, Verdict::XAble { .. })
+    }
+
+    /// Returns `true` if the verdict is [`Verdict::NotXAble`].
+    pub fn is_not_xable(&self) -> bool {
+        matches!(self, Verdict::NotXAble { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::XAble { outputs } => write!(f, "x-able ({} outputs)", outputs.len()),
+            Verdict::NotXAble { reason } => write!(f, "not x-able: {reason}"),
+            Verdict::Unknown { reason } => write!(f, "unknown: {reason}"),
+        }
+    }
+}
+
+/// Group key: base action name plus input value.
+type GroupKey = (ActionName, Value);
+
+fn key_of(action: &ActionId, input: &Value) -> GroupKey {
+    (action.base_name().clone(), input.clone())
+}
+
+/// Decides x-ability of `h` with respect to the ordered request sequence
+/// `ops`, additionally allowing the requests in `erasable` to have left
+/// events that reduce to nothing (the R3 "last request may have been
+/// abandoned" case).
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::xable::fast::{check, Verdict};
+/// use xability_core::{ActionId, ActionName, Event, History, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let h: History = [
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::complete(a.clone(), Value::from(5)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let verdict = check(&h, &[(a, Value::from(1))], &[]);
+/// assert!(verdict.is_xable());
+/// ```
+pub fn check(
+    h: &History,
+    ops: &[(ActionId, Value)],
+    erasable: &[(ActionId, Value)],
+) -> Verdict {
+    // --- Validate the op list. ---
+    let mut op_keys: Vec<GroupKey> = Vec::with_capacity(ops.len());
+    let mut seen_keys: BTreeSet<GroupKey> = BTreeSet::new();
+    for (action, input) in ops.iter().chain(erasable.iter()) {
+        if !matches!(action, ActionId::Base(_)) {
+            return Verdict::Unknown {
+                reason: format!("request action {action} is not a base action"),
+            };
+        }
+        let key = key_of(action, input);
+        if !seen_keys.insert(key.clone()) {
+            return Verdict::Unknown {
+                reason: format!("duplicate request identity {}/{}", key.0, key.1),
+            };
+        }
+        op_keys.push(key);
+    }
+    let erasable_keys: BTreeSet<GroupKey> = erasable
+        .iter()
+        .map(|(a, iv)| key_of(a, iv))
+        .collect();
+
+    // --- Attribute completions to inputs. ---
+    // A completion event does not carry the input value. We attribute each
+    // completion to the *nearest open start* of its action (the most recent
+    // start whose execution has not completed yet). For histories recorded
+    // by an atomic observer — such as the service ledger, where a
+    // completion immediately follows its start — this attribution is exact.
+    // When several distinct inputs are open at a completion the choice is
+    // heuristic; we then remember the ambiguity and later downgrade a
+    // NotXAble verdict to Unknown (a different attribution might have
+    // succeeded), while an XAble verdict remains sound (it exhibits a
+    // concrete witness).
+    let mut ambiguous = false;
+    let mut open: BTreeMap<ActionId, Vec<Value>> = BTreeMap::new();
+    let mut last_start_input: BTreeMap<ActionId, Value> = BTreeMap::new();
+    let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+    for (i, ev) in h.iter().enumerate() {
+        let key = match ev {
+            crate::event::Event::Start(a, iv) => {
+                open.entry(a.clone()).or_default().push(iv.clone());
+                last_start_input.insert(a.clone(), iv.clone());
+                key_of(a, iv)
+            }
+            crate::event::Event::Complete(a, _) => {
+                let stack = open.entry(a.clone()).or_default();
+                let distinct: BTreeSet<&Value> = stack.iter().collect();
+                if distinct.len() > 1 {
+                    ambiguous = true;
+                }
+                match stack.pop() {
+                    Some(iv) => key_of(a, &iv),
+                    None => match last_start_input.get(a) {
+                        // Duplicate completion after all starts closed:
+                        // attribute to the most recent start.
+                        Some(iv) => {
+                            ambiguous = true;
+                            key_of(a, iv)
+                        }
+                        None => {
+                            return Verdict::NotXAble {
+                                reason: format!(
+                                    "completion of {a} at index {i} has no start event (violates the event axioms of §2.2)"
+                                ),
+                            };
+                        }
+                    },
+                }
+            }
+        };
+        groups.entry(key).or_default().push(i);
+    }
+
+    // When attribution was ambiguous, a negative verdict is unreliable (a
+    // different attribution might have succeeded); downgrade it.
+    let fail = |reason: String| {
+        if ambiguous {
+            Verdict::Unknown {
+                reason: format!("(after ambiguous completion attribution) {reason}"),
+            }
+        } else {
+            Verdict::NotXAble { reason }
+        }
+    };
+
+    // --- Every group must correspond to a declared request, directly or
+    // as a round-stamped transaction of a declared undoable request
+    // (§5.4: the round number is part of the action's parameters). ---
+    let is_declared = |key: &GroupKey| -> bool {
+        if seen_keys.contains(key) {
+            return true;
+        }
+        if !key.0.is_undoable() {
+            return false;
+        }
+        match &key.1 {
+            Value::Pair(p) if matches!(p.1, Value::Int(_)) => {
+                seen_keys.contains(&(key.0.clone(), p.0.clone()))
+            }
+            _ => false,
+        }
+    };
+    // Undeclared groups are not automatically violations: a group that
+    // reduces to Λ (say, a spurious cancellation that cancelled nothing) is
+    // invisible to the reduction target. They are collected here and
+    // checked for erasability below.
+    let undeclared: Vec<GroupKey> = groups
+        .keys()
+        .filter(|k| !is_declared(k))
+        .cloned()
+        .collect();
+
+    // The round-stamped groups of an undoable request key.
+    let stamped_groups = |base: &ActionName, input: &Value| -> Vec<(GroupKey, Vec<usize>)> {
+        groups
+            .iter()
+            .filter(|(k, _)| {
+                &k.0 == base
+                    && matches!(&k.1, Value::Pair(p)
+                        if &p.0 == input && matches!(p.1, Value::Int(_)))
+            })
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    };
+    // Does a group contain a completed commit (which can never erase)?
+    let has_commit_completion = |indices: &[usize]| -> bool {
+        indices.iter().any(|&i| {
+            matches!(&h[i], crate::event::Event::Complete(a, _) if a.is_commit())
+        })
+    };
+    let erase_group = |indices: &[usize], what: &dyn fmt::Display| -> Option<Verdict> {
+        let sub = h.select(indices);
+        match search_reduction(&sub, History::is_empty, 0, SearchBudget::small()) {
+            SearchResult::Reached(_) => None,
+            SearchResult::Exhausted => Some(Verdict::NotXAble {
+                reason: format!("{what} left events that do not erase"),
+            }),
+            SearchResult::BudgetExceeded => Some(Verdict::Unknown {
+                reason: format!("per-group search budget exceeded erasing {what}"),
+            }),
+        }
+    };
+
+    // --- Decide each group. ---
+    let mut outputs: Vec<Value> = Vec::with_capacity(ops.len());
+    let mut anchors: Vec<usize> = Vec::with_capacity(ops.len());
+    for ((action, input), key) in ops.iter().zip(op_keys.iter()) {
+        let plain = groups.get(key);
+        let stamped = if action.is_undoable_base() {
+            stamped_groups(action.base_name(), input)
+        } else {
+            Vec::new()
+        };
+        let (exec_indices, exec_input): (Vec<usize>, Value) = match (plain, stamped.is_empty()) {
+            (Some(_), false) => {
+                return Verdict::Unknown {
+                    reason: format!(
+                        "request ({action}, {input}) has both plain and round-stamped events"
+                    ),
+                };
+            }
+            (Some(indices), true) => (indices.clone(), input.clone()),
+            (None, true) => {
+                return fail(format!("request ({action}, {input}) was never executed"));
+            }
+            (None, false) => {
+                // Round-stamped transactions: exactly one round commits and
+                // must reduce to a failure-free execution; every other round
+                // must erase (cancelled rounds).
+                let committed: Vec<&(GroupKey, Vec<usize>)> = stamped
+                    .iter()
+                    .filter(|(_, indices)| has_commit_completion(indices))
+                    .collect();
+                if committed.len() != 1 {
+                    return fail(format!(
+                        "request ({action}, {input}) committed in {} rounds (want exactly 1)",
+                        committed.len()
+                    ));
+                }
+                let (ckey, cindices) = committed[0];
+                for (okey, oindices) in &stamped {
+                    if okey == ckey {
+                        continue;
+                    }
+                    let what = format!("cancelled round {} of ({action}, {input})", okey.1);
+                    if let Some(v) = erase_group(oindices, &what) {
+                        return match v {
+                            Verdict::NotXAble { reason } => fail(reason),
+                            other => other,
+                        };
+                    }
+                }
+                (cindices.clone(), ckey.1.clone())
+            }
+        };
+        let sub = h.select(&exec_indices);
+        let min_len = if action.is_undoable_base() { 4 } else { 2 };
+        let goal = |cand: &History| failure_free_output(action, &exec_input, cand).is_some();
+        match search_reduction(&sub, goal, min_len, SearchBudget::small()) {
+            SearchResult::Reached(witness) => {
+                let ov = failure_free_output(action, &exec_input, &witness)
+                    .expect("goal predicate guarantees failure-free shape");
+                outputs.push(ov);
+            }
+            SearchResult::Exhausted => {
+                return fail(format!(
+                    "events of request ({action}, {input}) do not reduce to a failure-free execution"
+                ));
+            }
+            SearchResult::BudgetExceeded => {
+                return Verdict::Unknown {
+                    reason: format!(
+                        "per-group search budget exceeded for request ({action}, {input})"
+                    ),
+                };
+            }
+        }
+        // The request's *effect anchor*: the first completion of the base
+        // action within the surviving execution — the moment its
+        // side-effect became observable.
+        let anchor = exec_indices
+            .iter()
+            .copied()
+            .find(|&i| matches!(&h[i], crate::event::Event::Complete(a, _) if matches!(a, ActionId::Base(_))))
+            .unwrap_or(exec_indices[0]);
+        anchors.push(anchor);
+    }
+
+    for (action, input) in erasable {
+        let key = key_of(action, input);
+        debug_assert!(erasable_keys.contains(&key));
+        let mut all_groups: Vec<Vec<usize>> = Vec::new();
+        if let Some(indices) = groups.get(&key) {
+            all_groups.push(indices.clone());
+        }
+        if action.is_undoable_base() {
+            for (_, indices) in stamped_groups(action.base_name(), input) {
+                all_groups.push(indices);
+            }
+        }
+        for indices in all_groups {
+            let what = format!("abandoned request ({action}, {input})");
+            if let Some(v) = erase_group(&indices, &what) {
+                return match v {
+                    Verdict::NotXAble { reason } => fail(reason),
+                    other => other,
+                };
+            }
+        }
+    }
+
+    for key in &undeclared {
+        let indices = groups.get(key).expect("collected from groups");
+        let what = format!("undeclared request {}/{}", key.0, key.1);
+        if let Some(v) = erase_group(indices, &what) {
+            return match v {
+                Verdict::NotXAble { reason } => fail(reason),
+                other => other,
+            };
+        }
+    }
+
+    // --- Cross-request ordering: effects in submission order. ---
+    // The paper's multi-request criterion (reduction to the ordered
+    // concatenation of failure-free histories) implicitly assumes the
+    // system quiesces between requests: rules 18/20 always keep the
+    // *latest* duplicate, so a harmless trailing duplicate (a slow
+    // replica's deduplicated re-execution or help-commit landing after the
+    // next request started) would make the ordered target unreachable even
+    // though every effect happened exactly once and in order. We therefore
+    // check the per-request criterion plus *effect order*: each group's
+    // first surviving completion — the instant its side-effect became
+    // observable — must follow submission order. On histories without
+    // trailing duplicates this coincides with the strict criterion (blocks
+    // then compact in order); with them, it is the faithful reading of
+    // "appears to be executed exactly-once, in order".
+    for w in anchors.windows(2) {
+        if w[0] >= w[1] {
+            return fail("request effects occur out of submission order".to_owned());
+        }
+    }
+
+    Verdict::XAble { outputs }
+}
+
+/// The R3 obligation (§4) for a sequence of client requests: the server-side
+/// history must be x-able with respect to `R₁…Rₙ` *or* `R₁…Rₙ₋₁` (the last
+/// request may have been abandoned if the client failed before retrying).
+///
+/// Tries the full sequence first, then the prefix with the last request
+/// erasable. [`Verdict::Unknown`] propagates only if neither attempt gives a
+/// definite positive.
+pub fn check_request_sequence(h: &History, requests: &[Request]) -> Verdict {
+    let ops: Vec<(ActionId, Value)> = requests
+        .iter()
+        .map(|r| (r.action().clone(), r.input().clone()))
+        .collect();
+    let full = check(h, &ops, &[]);
+    if full.is_xable() {
+        return full;
+    }
+    if ops.is_empty() {
+        return full;
+    }
+    let (last, prefix) = ops.split_last().expect("non-empty checked");
+    let partial = check(h, prefix, std::slice::from_ref(last));
+    if partial.is_xable() {
+        return partial;
+    }
+    // Prefer a definite negative; otherwise report the more informative
+    // indefinite answer.
+    match (&full, &partial) {
+        (Verdict::NotXAble { .. }, Verdict::NotXAble { .. }) => full,
+        (Verdict::Unknown { .. }, _) => full,
+        (_, Verdict::Unknown { .. }) => partial,
+        _ => full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionName;
+    use crate::event::Event;
+    use crate::failure_free::eventsof;
+
+    fn idem(name: &str) -> ActionId {
+        ActionId::base(ActionName::idempotent(name))
+    }
+
+    fn undo(name: &str) -> ActionId {
+        ActionId::base(ActionName::undoable(name))
+    }
+
+    fn s(a: &ActionId, v: i64) -> Event {
+        Event::start(a.clone(), Value::from(v))
+    }
+
+    fn c(a: &ActionId, v: i64) -> Event {
+        Event::complete(a.clone(), Value::from(v))
+    }
+
+    fn cnil(a: &ActionId) -> Event {
+        Event::complete(a.clone(), Value::Nil)
+    }
+
+    #[test]
+    fn accepts_failure_free_single_request() {
+        let a = idem("a");
+        let h = eventsof(&a, &Value::from(1), &Value::from(5));
+        let v = check(&h, &[(a, Value::from(1))], &[]);
+        assert_eq!(
+            v,
+            Verdict::XAble {
+                outputs: vec![Value::from(5)]
+            }
+        );
+    }
+
+    #[test]
+    fn accepts_retried_idempotent_request() {
+        let a = idem("a");
+        let h: History = [s(&a, 1), s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 5)]
+            .into_iter()
+            .collect();
+        assert!(check(&h, &[(a, Value::from(1))], &[]).is_xable());
+    }
+
+    #[test]
+    fn rejects_disagreeing_outputs() {
+        let a = idem("a");
+        let h: History = [s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 6)].into_iter().collect();
+        assert!(check(&h, &[(a, Value::from(1))], &[]).is_not_xable());
+    }
+
+    #[test]
+    fn rejects_missing_request() {
+        let a = idem("a");
+        let v = check(&History::empty(), &[(a, Value::from(1))], &[]);
+        assert!(v.is_not_xable());
+    }
+
+    #[test]
+    fn rejects_undeclared_events() {
+        let a = idem("a");
+        let b = idem("b");
+        let h = eventsof(&a, &Value::from(1), &Value::from(5))
+            .concat(&eventsof(&b, &Value::from(2), &Value::from(6)));
+        let v = check(&h, &[(a, Value::from(1))], &[]);
+        assert!(v.is_not_xable());
+    }
+
+    #[test]
+    fn rejects_completion_without_start() {
+        let a = idem("a");
+        let h: History = [c(&a, 5)].into_iter().collect();
+        let v = check(&h, &[(a, Value::from(1))], &[]);
+        assert!(v.is_not_xable());
+    }
+
+    #[test]
+    fn ambiguous_completion_attribution_is_unknown() {
+        let a = idem("a");
+        // Two different inputs for the same action plus a completion:
+        // attribution is ambiguous.
+        let h: History = [s(&a, 1), s(&a, 2), c(&a, 5), c(&a, 5)].into_iter().collect();
+        let v = check(
+            &h,
+            &[(a.clone(), Value::from(1)), (a, Value::from(2))],
+            &[],
+        );
+        assert!(matches!(v, Verdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn undoable_request_with_cancelled_round_is_xable() {
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let h: History = [
+            s(&u, 1),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&u, 1),
+            c(&u, 7),
+            s(&commit, 1),
+            cnil(&commit),
+        ]
+        .into_iter()
+        .collect();
+        let v = check(&h, &[(u, Value::from(1))], &[]);
+        assert_eq!(
+            v,
+            Verdict::XAble {
+                outputs: vec![Value::from(7)]
+            }
+        );
+    }
+
+    #[test]
+    fn sequence_in_order_is_xable() {
+        let a = idem("a");
+        let b = undo("b");
+        let h = eventsof(&a, &Value::from(1), &Value::from(5))
+            .concat(&eventsof(&b, &Value::from(2), &Value::from(6)));
+        let ops = [(a, Value::from(1)), (b, Value::from(2))];
+        let v = check(&h, &ops, &[]);
+        assert_eq!(
+            v,
+            Verdict::XAble {
+                outputs: vec![Value::from(5), Value::from(6)]
+            }
+        );
+    }
+
+    #[test]
+    fn sequence_out_of_order_is_rejected() {
+        let a = idem("a");
+        let b = idem("b");
+        let h = eventsof(&b, &Value::from(2), &Value::from(6))
+            .concat(&eventsof(&a, &Value::from(1), &Value::from(5)));
+        let ops = [(a, Value::from(1)), (b, Value::from(2))];
+        assert!(check(&h, &ops, &[]).is_not_xable());
+    }
+
+    #[test]
+    fn overlapping_blocks_with_ordered_effects_are_xable() {
+        // S(a) S(b) C(a) C(b): b's compaction moves C(a) in front of its
+        // pair, reaching the ordered concatenation — and the effect
+        // anchors (C(a) before C(b)) agree.
+        let a = idem("a");
+        let b = idem("b");
+        let h: History = [s(&a, 1), s(&b, 2), c(&a, 5), c(&b, 6)].into_iter().collect();
+        let ops = [(a, Value::from(1)), (b, Value::from(2))];
+        assert!(check(&h, &ops, &[]).is_xable());
+    }
+
+    #[test]
+    fn trailing_duplicate_after_next_request_is_accepted() {
+        // A deduplicated retry of request a lands after b completed; the
+        // effects still happened exactly once and in order.
+        let a = idem("a");
+        let b = idem("b");
+        let h: History = [
+            s(&a, 1),
+            c(&a, 5),
+            s(&b, 2),
+            c(&b, 6),
+            s(&a, 1),
+            c(&a, 5),
+        ]
+        .into_iter()
+        .collect();
+        let ops = [(a, Value::from(1)), (b, Value::from(2))];
+        assert!(check(&h, &ops, &[]).is_xable());
+    }
+
+    #[test]
+    fn erasable_group_may_vanish() {
+        let a = idem("a");
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(
+            vec![s(&u, 2), s(&cancel, 2), cnil(&cancel)],
+        ));
+        let v = check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
+        assert_eq!(
+            v,
+            Verdict::XAble {
+                outputs: vec![Value::from(5)]
+            }
+        );
+    }
+
+    #[test]
+    fn erasable_group_that_committed_is_rejected() {
+        let a = idem("a");
+        let u = undo("u");
+        let h = eventsof(&a, &Value::from(1), &Value::from(5))
+            .concat(&eventsof(&u, &Value::from(2), &Value::from(7)));
+        // u committed, so its events cannot erase.
+        let v = check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
+        assert!(v.is_not_xable());
+    }
+
+    #[test]
+    fn request_sequence_helper_tries_prefix() {
+        let a = idem("a");
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let requests = vec![
+            Request::new(a.clone(), Value::from(1)),
+            Request::new(u.clone(), Value::from(2)),
+        ];
+        // Last request started but was cancelled and never retried: x-able
+        // via the R1…Rₙ₋₁ case.
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(
+            vec![s(&u, 2), s(&cancel, 2), cnil(&cancel)],
+        ));
+        assert!(check_request_sequence(&h, &requests).is_xable());
+        // But a *middle* request cannot be abandoned.
+        let requests_rev = vec![
+            Request::new(u, Value::from(2)),
+            Request::new(a, Value::from(1)),
+        ];
+        let v = check_request_sequence(&h, &requests_rev);
+        assert!(!v.is_xable());
+    }
+
+    #[test]
+    fn empty_request_sequence_accepts_empty_history() {
+        assert!(check_request_sequence(&History::empty(), &[]).is_xable());
+    }
+
+    #[test]
+    fn verdict_display() {
+        let v = Verdict::XAble { outputs: vec![] };
+        assert!(format!("{v}").contains("x-able"));
+        let v = Verdict::NotXAble {
+            reason: "boom".into(),
+        };
+        assert!(format!("{v}").contains("boom"));
+    }
+}

@@ -1,0 +1,57 @@
+//! The x-able predicate (§3.2, eq. 23) and its decision procedures.
+//!
+//! A history `h` is *x-able* relative to an action/input pair — or, more
+//! generally, a sequence of such pairs (§4, R3) — if it can be reduced under
+//! the ⇒ relation of Fig. 4 to a failure-free history of that sequence.
+//!
+//! Two deciders are provided:
+//!
+//! * [`search`] — the reference semantics: an exhaustive breadth-first
+//!   exploration of the reduction closure. Complete (up to an explicit
+//!   budget), exponential in the worst case.
+//! * [`fast`] — a polynomial checker for the class of histories produced by
+//!   retry-based replication protocols. It decomposes the history into
+//!   per-request groups, decides each group with a (small, bounded) search,
+//!   and checks the cross-group ordering. It answers
+//!   [`Verdict::Unknown`] when a history falls outside its class; the
+//!   property tests in the crate cross-validate it against [`search`].
+
+pub mod fast;
+pub mod search;
+
+pub use fast::{check, check_request_sequence, Verdict};
+pub use search::{is_xable_search, search_reduction, SearchBudget, SearchResult};
+
+use crate::action::ActionId;
+use crate::history::History;
+use crate::value::Value;
+
+/// The single-action x-able predicate `x-able(a,iv)(h)` of eq. 23, decided
+/// by exhaustive search with a default budget.
+///
+/// Suitable for the small histories of unit tests and examples; for protocol
+/// traces prefer [`fast::check`].
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{xable, ActionId, ActionName, Event, History, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("ping"));
+/// // A failed attempt followed by a successful retry is x-able.
+/// let h: History = [
+///     Event::start(a.clone(), Value::Nil),
+///     Event::start(a.clone(), Value::Nil),
+///     Event::complete(a.clone(), Value::from("pong")),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert!(xable::is_xable(&h, &a, &Value::Nil));
+/// ```
+pub fn is_xable(h: &History, action: &ActionId, input: &Value) -> bool {
+    let ops = [(action.clone(), input.clone())];
+    matches!(
+        is_xable_search(h, &ops, SearchBudget::default()),
+        SearchResult::Reached(_)
+    )
+}

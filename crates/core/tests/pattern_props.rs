@@ -1,0 +1,119 @@
+//! Property tests for the pattern-matching relation ⊨ (Fig. 1–2).
+
+use proptest::prelude::*;
+
+use xability_core::pattern::interleaved_witnesses;
+use xability_core::{ActionId, ActionName, Event, History, SimplePattern, Value};
+
+fn alphabet() -> Vec<Event> {
+    let a = ActionId::base(ActionName::idempotent("a"));
+    let b = ActionId::base(ActionName::idempotent("b"));
+    vec![
+        Event::start(a.clone(), Value::from(1)),
+        Event::complete(a, Value::from(2)),
+        Event::start(b.clone(), Value::from(3)),
+        Event::complete(b, Value::from(4)),
+    ]
+}
+
+fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
+    let alpha = alphabet();
+    prop::collection::vec(0..alpha.len(), 0..max_len).prop_map(move |idx| {
+        History::from_events(idx.into_iter().map(|i| alpha[i].clone()).collect())
+    })
+}
+
+fn pat(required: bool) -> SimplePattern {
+    let a = ActionId::base(ActionName::idempotent("a"));
+    if required {
+        SimplePattern::required(a, Value::from(1), Value::from(2))
+    } else {
+        SimplePattern::maybe(a, Value::from(1), Value::from(2))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Rule hierarchy: whatever matches the required pattern also matches
+    /// the maybe pattern (rules 5 vs 8).
+    #[test]
+    fn required_match_implies_maybe_match(h in arb_history(4)) {
+        if pat(true).matches(&h) {
+            prop_assert!(pat(false).matches(&h));
+        }
+    }
+
+    /// Simple patterns never match histories longer than two events.
+    #[test]
+    fn simple_patterns_bound_history_length(h in arb_history(6)) {
+        if h.len() > 2 {
+            prop_assert!(!pat(true).matches(&h));
+            prop_assert!(!pat(false).matches(&h));
+        }
+    }
+
+    /// Witness sanity: positions are in range, distinct, the right
+    /// completion is the window's last event, and a non-empty left match
+    /// starts the window.
+    #[test]
+    fn witnesses_are_well_formed(h in arb_history(8)) {
+        let sp1 = pat(false);
+        let sp2 = pat(true);
+        for w in interleaved_witnesses(&h, &sp1, &sp2) {
+            prop_assert_eq!(w.right_complete, h.len() - 1);
+            prop_assert!(w.right_start < w.right_complete);
+            let mut seen = vec![w.right_start, w.right_complete];
+            for &l in &w.left {
+                prop_assert!(l < h.len());
+                prop_assert!(!seen.contains(&l), "duplicate position {l}");
+                seen.push(l);
+            }
+            if let Some(&first) = w.left.first() {
+                prop_assert_eq!(first, 0, "non-empty left match must start the window");
+            }
+            // Interleaved positions partition the window with the matches.
+            let junk = w.interleaved_positions(h.len());
+            let total = junk.len() + w.left.len() + 2;
+            prop_assert_eq!(total, h.len());
+        }
+    }
+
+    /// The empty history matches the maybe pattern and nothing else here
+    /// (rule 6).
+    #[test]
+    fn empty_history_matches_only_maybe(_x in 0..1u8) {
+        let empty = History::empty();
+        prop_assert!(pat(false).matches(&empty));
+        prop_assert!(!pat(true).matches(&empty));
+        prop_assert!(interleaved_witnesses(&empty, &pat(false), &pat(true)).is_empty());
+    }
+
+    /// Matching is stable under appending junk *before* the window only if
+    /// re-matched as a larger window: witnesses of `h` shift by the prefix
+    /// length when junk is prepended.
+    #[test]
+    fn witnesses_shift_under_prefix(h in arb_history(6)) {
+        let sp1 = pat(false);
+        let sp2 = pat(true);
+        let junk = Event::start(
+            ActionId::base(ActionName::idempotent("b")),
+            Value::from(3),
+        );
+        let mut prefixed_events = vec![junk];
+        prefixed_events.extend(h.iter().cloned());
+        let prefixed = History::from_events(prefixed_events);
+        let base = interleaved_witnesses(&h, &sp1, &sp2);
+        let shifted = interleaved_witnesses(&prefixed, &sp1, &sp2);
+        // Every empty-left witness of h appears shifted by one in the
+        // prefixed history (the junk is absorbed into the interleaving).
+        for w in base.iter().filter(|w| w.left.is_empty()) {
+            let found = shifted.iter().any(|s| {
+                s.left.is_empty()
+                    && s.right_start == w.right_start + 1
+                    && s.right_complete == w.right_complete + 1
+            });
+            prop_assert!(found, "witness lost under prefixing");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Markdown table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A titled markdown table with explanatory notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id and title (e.g. "F4 — history reduction").
+    pub title: String,
+    /// What the paper claims / shows for this artifact.
+    pub paper_claim: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation of the measurement.
+    pub notes: String,
+}
+
+impl Table {
+    /// Renders the table as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "**Paper:** {}\n", self.paper_claim);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        let _ = writeln!(out, "\n**Measured:** {}\n", self.notes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let t = Table {
+            title: "F0 — demo".into(),
+            paper_claim: "something holds".into(),
+            header: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+            notes: "it did".into(),
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("### F0"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("**Measured:** it did"));
+    }
+}

@@ -1,0 +1,496 @@
+//! Scenario construction and execution.
+//!
+//! A [`Scenario`] assembles a complete system — client, replica group
+//! (x-able protocol or a baseline), external service, ledger — runs it to
+//! completion (or a time horizon), and evaluates the outcome against the
+//! paper's correctness obligations R1–R4 (§4) plus direct exactly-once
+//! accounting on the side-effect ledger.
+
+use xability_core::spec::{check_r3, IdentitySequencer, Violation};
+use xability_core::{ActionName, Value};
+use xability_protocol::{
+    ActiveReplica, Client, ClientMetrics, LogicalRequest, PbReplica, ProtoMsg, ReplicaMetrics,
+    ServiceActor, XReplica, XReplicaConfig,
+};
+use xability_services::catalog::{Bank, KvStore, NakedCounter, Reservation, TokenIssuer};
+use xability_services::{
+    shared_ledger, BusinessLogic, FailurePlan, ServiceConfig, ServiceCore, SharedLedger,
+};
+use xability_sim::{
+    FdConfig, LatencyModel, Metrics as SimMetrics, ProcessId, SimConfig, SimDuration, SimTime,
+    World,
+};
+
+/// Which replication scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The paper's §5 algorithm.
+    XAble,
+    /// Primary-backup baseline \[BMST93\].
+    PrimaryBackup,
+    /// Active-replication baseline \[Sch93\].
+    Active,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::XAble => write!(f, "x-able"),
+            Scheme::PrimaryBackup => write!(f, "primary-backup"),
+            Scheme::Active => write!(f, "active"),
+        }
+    }
+}
+
+/// Which workload (service + request sequence) to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Undoable bank transfers (escrow, commit/cancel, non-deterministic
+    /// receipts).
+    BankTransfers {
+        /// Number of sequential transfers.
+        count: usize,
+        /// Amount per transfer.
+        amount: i64,
+    },
+    /// Idempotent KV puts.
+    KvPuts {
+        /// Number of sequential puts.
+        count: usize,
+    },
+    /// Idempotent, non-deterministic token issuance.
+    TokenIssues {
+        /// Number of sequential issues.
+        count: usize,
+    },
+    /// Undoable seat reservations.
+    Reservations {
+        /// Number of sequential reservations.
+        count: usize,
+        /// Seats per reservation.
+        seats: i64,
+    },
+    /// A counter that is *declared* idempotent but has cumulative effect;
+    /// run with `dedup_disabled` to expose retry duplication.
+    CounterBumps {
+        /// Number of sequential bumps.
+        count: usize,
+    },
+}
+
+impl Workload {
+    /// The number of requests this workload submits.
+    pub fn count(&self) -> usize {
+        match self {
+            Workload::BankTransfers { count, .. }
+            | Workload::KvPuts { count }
+            | Workload::TokenIssues { count }
+            | Workload::Reservations { count, .. }
+            | Workload::CounterBumps { count } => *count,
+        }
+    }
+
+    fn build_logic(&self) -> Box<dyn BusinessLogic> {
+        match self {
+            Workload::BankTransfers { count, amount } => Box::new(Bank::new([
+                ("src".to_owned(), *count as i64 * amount + 1_000),
+                ("dst".to_owned(), 0),
+            ])),
+            Workload::KvPuts { .. } => Box::new(KvStore::new()),
+            Workload::TokenIssues { .. } => Box::new(TokenIssuer::new()),
+            Workload::Reservations { count, seats } => {
+                Box::new(Reservation::new(*count as i64 * seats + 10))
+            }
+            Workload::CounterBumps { .. } => Box::new(NakedCounter::new()),
+        }
+    }
+
+    fn requests(&self, service: ProcessId) -> Vec<LogicalRequest> {
+        let mk = |i: usize, action: ActionName, payload: Value| {
+            LogicalRequest::new(format!("req-{i}"), action, payload, service)
+        };
+        match self {
+            Workload::BankTransfers { count, amount } => (0..*count)
+                .map(|i| {
+                    mk(
+                        i,
+                        ActionName::undoable("transfer"),
+                        Value::list([
+                            Value::pair(Value::from("from"), Value::from("src")),
+                            Value::pair(Value::from("to"), Value::from("dst")),
+                            Value::pair(Value::from("amount"), Value::from(*amount)),
+                        ]),
+                    )
+                })
+                .collect(),
+            Workload::KvPuts { count } => (0..*count)
+                .map(|i| {
+                    mk(
+                        i,
+                        ActionName::idempotent("put"),
+                        Value::list([
+                            Value::pair(Value::from("k"), Value::from(format!("key-{i}"))),
+                            Value::pair(Value::from("v"), Value::from(i as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+            Workload::TokenIssues { count } => (0..*count)
+                .map(|i| mk(i, ActionName::idempotent("issue"), Value::Nil))
+                .collect(),
+            Workload::Reservations { count, seats } => (0..*count)
+                .map(|i| {
+                    mk(
+                        i,
+                        ActionName::undoable("reserve"),
+                        Value::list([Value::pair(Value::from("seats"), Value::from(*seats))]),
+                    )
+                })
+                .collect(),
+            Workload::CounterBumps { count } => (0..*count)
+                .map(|i| {
+                    mk(
+                        i,
+                        ActionName::idempotent("bump"),
+                        Value::list([Value::pair(Value::from("by"), Value::from(1))]),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// RNG seed (drives everything).
+    pub seed: u64,
+    /// Replication scheme under test.
+    pub scheme: Scheme,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Network model.
+    pub latency: LatencyModel,
+    /// Failure-detector timing.
+    pub fd: FdConfig,
+    /// The workload.
+    pub workload: Workload,
+    /// Fault injection at the external service.
+    pub service_failures: FailurePlan,
+    /// Whether the service deduplicates idempotent actions (disable for
+    /// negative experiments).
+    pub dedup: bool,
+    /// Replica crashes: (replica index, time).
+    pub crashes: Vec<(usize, SimTime)>,
+    /// Crash the client at this time (at-most-once experiments).
+    pub client_crash: Option<SimTime>,
+    /// Give up after this much simulated time.
+    pub horizon: SimTime,
+}
+
+impl Scenario {
+    /// A crash-free, synchronous-network scenario with defaults.
+    pub fn new(scheme: Scheme, workload: Workload) -> Self {
+        Scenario {
+            seed: 0,
+            scheme,
+            replicas: 3,
+            latency: LatencyModel::synchronous(),
+            fd: FdConfig::default(),
+            workload,
+            service_failures: FailurePlan::none(),
+            dedup: true,
+            crashes: Vec::new(),
+            client_crash: None,
+            horizon: SimTime::from_secs(60),
+        }
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the replica count.
+    #[must_use]
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the failure-detector timing.
+    #[must_use]
+    pub fn fd(mut self, fd: FdConfig) -> Self {
+        self.fd = fd;
+        self
+    }
+
+    /// Schedules a replica crash.
+    #[must_use]
+    pub fn crash(mut self, replica: usize, at: SimTime) -> Self {
+        self.crashes.push((replica, at));
+        self
+    }
+
+    /// Sets service fault injection.
+    #[must_use]
+    pub fn service_failures(mut self, failures: FailurePlan) -> Self {
+        self.service_failures = failures;
+        self
+    }
+
+    /// Disables service-side deduplication.
+    #[must_use]
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Crashes the client at `at`.
+    #[must_use]
+    pub fn crash_client(mut self, at: SimTime) -> Self {
+        self.client_crash = Some(at);
+        self
+    }
+
+    /// Builds the world, runs it, and evaluates the outcome.
+    pub fn run(&self) -> RunReport {
+        let ledger = shared_ledger();
+        let mut world: World<ProtoMsg> = World::new(SimConfig {
+            seed: self.seed,
+            latency: self.latency,
+            fd: self.fd,
+        });
+
+        // Process ids: replicas first, then the service, then the client.
+        let replica_ids: Vec<ProcessId> = (0..self.replicas).map(ProcessId).collect();
+        let service_id = ProcessId(self.replicas);
+        let client_id = ProcessId(self.replicas + 1);
+
+        for &id in &replica_ids {
+            let actor: Box<dyn xability_sim::Actor<ProtoMsg>> = match self.scheme {
+                Scheme::XAble => Box::new(XReplica::new(
+                    id,
+                    replica_ids.clone(),
+                    XReplicaConfig::default(),
+                )),
+                Scheme::PrimaryBackup => Box::new(PbReplica::new(id, replica_ids.clone())),
+                Scheme::Active => Box::new(ActiveReplica::new(id, replica_ids.clone())),
+            };
+            let added = world.add_process(format!("replica{}", id.0), actor);
+            assert_eq!(added, id);
+        }
+
+        let core = ServiceCore::new(
+            self.workload.build_logic(),
+            ServiceConfig {
+                failures: self.service_failures,
+                dedup: self.dedup,
+            },
+            ledger.clone(),
+        );
+        let added = world.add_process("service", Box::new(ServiceActor::new(core)));
+        assert_eq!(added, service_id);
+
+        let requests = self.workload.requests(service_id);
+        let added = world.add_process(
+            "client",
+            Box::new(Client::new(replica_ids.clone(), requests.clone())),
+        );
+        assert_eq!(added, client_id);
+
+        for &(idx, at) in &self.crashes {
+            world.schedule_crash(ProcessId(idx), at);
+        }
+        if let Some(at) = self.client_crash {
+            world.schedule_crash(client_id, at);
+        }
+
+        world.run_while(
+            |w| {
+                !w.actor_as::<Client>(client_id)
+                    .map(Client::is_done)
+                    .unwrap_or(true)
+                    && w.is_alive(client_id)
+            },
+            self.horizon,
+        );
+        // Let in-flight server-side work settle (commits, cleaners) so the
+        // ledger reflects a quiescent system.
+        let settle = world.now() + SimDuration::from_millis(500);
+        world.run_until(settle);
+
+        self.evaluate(world, ledger, requests, client_id, &replica_ids)
+    }
+
+    fn evaluate(
+        &self,
+        world: World<ProtoMsg>,
+        ledger: SharedLedger,
+        requests: Vec<LogicalRequest>,
+        client_id: ProcessId,
+        replica_ids: &[ProcessId],
+    ) -> RunReport {
+        let client = world
+            .actor_as::<Client>(client_id)
+            .expect("client exists");
+        let finished = client.is_done();
+        let completed = client.completed_requests().to_vec();
+        let client_metrics = *client.metrics();
+        let latencies: Vec<SimDuration> =
+            client.latencies().iter().map(|(_, d)| *d).collect();
+        let results: Vec<(String, Value)> = client
+            .results()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+
+        // Exactly-once accounting over the ledger, for the *completed*
+        // requests (successfully submitted ⇒ exactly once).
+        let completed_keys: Vec<(ActionName, Value)> = completed
+            .iter()
+            .map(|r| (r.action.clone(), r.key()))
+            .collect();
+        let exactly_once_violations = ledger
+            .borrow()
+            .exactly_once_violations(&completed_keys);
+
+        // R3: the server-side history must be x-able w.r.t. the submitted
+        // sequence (the last submitted request may be unfinished).
+        let submitted: Vec<xability_core::Request> = requests
+            .iter()
+            .take((completed.len() + 1).min(requests.len()))
+            .map(|r| {
+                xability_core::Request::new(
+                    xability_core::ActionId::base(r.action.clone()),
+                    r.key(),
+                )
+            })
+            .collect();
+        let history = ledger.borrow().history();
+        let r3_violation = check_r3(&IdentitySequencer, &submitted, &history);
+
+        // R4: every result delivered to the client is a possible reply.
+        let service_actor = world
+            .actor_as::<ServiceActor>(ProcessId(self.replicas))
+            .expect("service exists");
+        let mut r4_ok = true;
+        for (req_id, result) in &results {
+            if let Some(req) = requests.iter().find(|r| &r.id == req_id) {
+                if !service_actor
+                    .core()
+                    .is_possible_reply(&req.action, &req.payload, result)
+                {
+                    r4_ok = false;
+                }
+            }
+        }
+
+        let mut replica_metrics = ReplicaMetrics::default();
+        if self.scheme == Scheme::XAble {
+            for &id in replica_ids {
+                if let Some(r) = world.actor_as::<XReplica>(id) {
+                    let m = r.metrics();
+                    replica_metrics.executions += m.executions;
+                    replica_metrics.cancels += m.cancels;
+                    replica_metrics.commits += m.commits;
+                    replica_metrics.rounds_owned += m.rounds_owned;
+                    replica_metrics.cleanings += m.cleanings;
+                    replica_metrics.replies_sent += m.replies_sent;
+                    replica_metrics.transient_failures += m.transient_failures;
+                    replica_metrics.terminal_failures += m.terminal_failures;
+                }
+            }
+        }
+
+        let history_len = history.len();
+        RunReport {
+            scheme: self.scheme,
+            seed: self.seed,
+            total_requests: requests.len(),
+            completed_requests: completed.len(),
+            finished,
+            client: client_metrics,
+            latencies,
+            results,
+            exactly_once_violations,
+            r3_violation,
+            r4_ok,
+            replica_metrics,
+            sim: *world.metrics(),
+            history_len,
+            end_time: world.now(),
+            ledger,
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Scheme that ran.
+    pub scheme: Scheme,
+    /// Seed that ran.
+    pub seed: u64,
+    /// Requests planned.
+    pub total_requests: usize,
+    /// Requests the client completed.
+    pub completed_requests: usize,
+    /// Whether the client finished before the horizon.
+    pub finished: bool,
+    /// Client counters.
+    pub client: ClientMetrics,
+    /// Per-request submit→result latency.
+    pub latencies: Vec<SimDuration>,
+    /// Results the client received.
+    pub results: Vec<(String, Value)>,
+    /// Exactly-once violations found in the ledger (empty = exactly-once).
+    pub exactly_once_violations: Vec<String>,
+    /// R3 verdict (`None` = history is x-able).
+    pub r3_violation: Option<Violation>,
+    /// R4 verdict.
+    pub r4_ok: bool,
+    /// Aggregated replica counters (x-able scheme only).
+    pub replica_metrics: ReplicaMetrics,
+    /// Simulator counters.
+    pub sim: SimMetrics,
+    /// Number of formal events observed.
+    pub history_len: usize,
+    /// Simulated completion time.
+    pub end_time: SimTime,
+    /// The shared ledger (for deeper inspection).
+    pub ledger: SharedLedger,
+}
+
+impl RunReport {
+    /// `true` when the run satisfied every checked obligation.
+    pub fn is_correct(&self) -> bool {
+        self.finished
+            && self.exactly_once_violations.is_empty()
+            && self.r3_violation.is_none()
+            && self.r4_ok
+    }
+
+    /// Mean latency in microseconds (0 when no request completed).
+    pub fn mean_latency_micros(&self) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        self.latencies.iter().map(|d| d.as_micros()).sum::<u64>()
+            / self.latencies.len() as u64
+    }
+
+    /// Maximum latency in microseconds.
+    pub fn max_latency_micros(&self) -> u64 {
+        self.latencies.iter().map(|d| d.as_micros()).max().unwrap_or(0)
+    }
+}

@@ -1,0 +1,188 @@
+//! Baseline measurements: primary-backup and active replication violate
+//! exactly-once semantics for actions with external side-effects — the
+//! motivating observation of the paper (§1, §6).
+
+use xability_harness::{Scenario, Scheme, Workload};
+use xability_sim::{LatencyModel, SimTime};
+
+#[test]
+fn active_replication_duplicates_undoable_effects() {
+    // Every replica executes and commits its own transaction: with n = 3
+    // replicas, the transfer commits three times.
+    let report = Scenario::new(
+        Scheme::Active,
+        Workload::BankTransfers {
+            count: 1,
+            amount: 10,
+        },
+    )
+    .seed(1)
+    .run();
+    assert!(report.finished, "active replication must still reply");
+    assert!(
+        !report.exactly_once_violations.is_empty(),
+        "expected duplicated commits, got none"
+    );
+    assert!(
+        report.exactly_once_violations[0].contains("3 times"),
+        "want 3 commits (one per replica): {:?}",
+        report.exactly_once_violations
+    );
+    // The server-side history is not x-able either.
+    assert!(report.r3_violation.is_some());
+}
+
+#[test]
+fn active_replication_is_rescued_by_idempotent_dedup() {
+    // With a genuinely idempotent (request-deduplicating) service, active
+    // replication executes n times but the effect applies once: this is
+    // the composition insight — idempotent actions absorb duplication.
+    let report = Scenario::new(Scheme::Active, Workload::TokenIssues { count: 2 })
+        .seed(2)
+        .run();
+    assert!(report.finished);
+    assert!(
+        report.exactly_once_violations.is_empty(),
+        "{:?}",
+        report.exactly_once_violations
+    );
+}
+
+#[test]
+fn active_replication_duplicates_non_dedup_effects() {
+    // A service that does not deduplicate sees every replica's execution:
+    // the counter ends at replicas × count.
+    let report = Scenario::new(Scheme::Active, Workload::CounterBumps { count: 2 })
+        .seed(3)
+        .without_dedup()
+        .run();
+    assert!(report.finished);
+    assert!(
+        !report.exactly_once_violations.is_empty(),
+        "expected duplicated applications"
+    );
+}
+
+#[test]
+fn primary_backup_is_correct_without_failures() {
+    let report = Scenario::new(
+        Scheme::PrimaryBackup,
+        Workload::BankTransfers {
+            count: 3,
+            amount: 10,
+        },
+    )
+    .seed(4)
+    .run();
+    assert!(report.finished);
+    assert!(
+        report.exactly_once_violations.is_empty(),
+        "crash-free primary-backup should be clean: {:?}",
+        report.exactly_once_violations
+    );
+}
+
+#[test]
+fn primary_backup_duplicates_effects_on_failover() {
+    // Crash the primary in the window between the external commit and the
+    // client reply: the backup takes over and re-executes in a fresh
+    // transaction → the transfer commits twice. The exact window depends
+    // on the schedule, so sweep seeds and crash times; the violation must
+    // show up in a substantial fraction of runs.
+    let mut violating_runs = 0;
+    let mut total = 0;
+    for seed in 0..10 {
+        for crash_ms in [3u64, 5, 7, 9] {
+            total += 1;
+            let report = Scenario::new(
+                Scheme::PrimaryBackup,
+                Workload::BankTransfers {
+                    count: 1,
+                    amount: 10,
+                },
+            )
+            .seed(seed)
+            .crash(0, SimTime::from_millis(crash_ms))
+            .run();
+            if !report.exactly_once_violations.is_empty() {
+                violating_runs += 1;
+            }
+        }
+    }
+    assert!(
+        violating_runs > 0,
+        "no duplicated effect in {total} crash runs — the baseline is too kind"
+    );
+}
+
+#[test]
+fn primary_backup_duplicates_under_false_suspicions() {
+    // Pre-GST latency spikes make backups believe the primary failed;
+    // two replicas execute concurrently.
+    let mut violating_runs = 0;
+    for seed in 0..10 {
+        let report = Scenario::new(
+            Scheme::PrimaryBackup,
+            Workload::BankTransfers {
+                count: 2,
+                amount: 10,
+            },
+        )
+        .seed(seed)
+        .latency(LatencyModel::partially_synchronous(
+            0.35,
+            SimTime::from_millis(600),
+        ))
+        .run();
+        if !report.exactly_once_violations.is_empty() {
+            violating_runs += 1;
+        }
+    }
+    assert!(
+        violating_runs > 0,
+        "false suspicions never duplicated an effect across 10 seeds"
+    );
+}
+
+#[test]
+fn xable_protocol_is_clean_under_the_same_adversary() {
+    // The exact adversary of the two tests above, run against the x-able
+    // protocol: zero violations across every seed.
+    for seed in 0..10 {
+        let crashed = Scenario::new(
+            Scheme::XAble,
+            Workload::BankTransfers {
+                count: 1,
+                amount: 10,
+            },
+        )
+        .seed(seed)
+        .crash(0, SimTime::from_millis(5))
+        .run();
+        assert!(
+            crashed.exactly_once_violations.is_empty() && crashed.r3_violation.is_none(),
+            "seed {seed} (crash): {:?} {:?}",
+            crashed.exactly_once_violations,
+            crashed.r3_violation
+        );
+        let spiky = Scenario::new(
+            Scheme::XAble,
+            Workload::BankTransfers {
+                count: 2,
+                amount: 10,
+            },
+        )
+        .seed(seed)
+        .latency(LatencyModel::partially_synchronous(
+            0.35,
+            SimTime::from_millis(600),
+        ))
+        .run();
+        assert!(
+            spiky.exactly_once_violations.is_empty() && spiky.r3_violation.is_none(),
+            "seed {seed} (spikes): {:?} {:?}",
+            spiky.exactly_once_violations,
+            spiky.r3_violation
+        );
+    }
+}

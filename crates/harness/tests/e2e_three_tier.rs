@@ -1,0 +1,61 @@
+//! Composition (C3): end-to-end three-tier correctness.
+
+use xability_harness::three_tier::ThreeTier;
+use xability_sim::{LatencyModel, SimTime};
+
+#[test]
+fn crash_free_three_tier_is_correct() {
+    let report = ThreeTier::new(3).seed(1).run();
+    assert!(report.finished, "{report:?}");
+    assert!(report.is_correct(), "{report:?}");
+    assert_eq!(report.completed, 3);
+    // Both tiers observed events.
+    assert!(report.app_history_len >= 6);
+    assert!(report.backend_history_len >= 12);
+}
+
+#[test]
+fn app_tier_crash_preserves_composition() {
+    let report = ThreeTier::new(2)
+        .seed(2)
+        .crash(0, 0, SimTime::from_millis(5))
+        .run();
+    assert!(report.finished, "{report:?}");
+    assert!(report.is_correct(), "{report:?}");
+}
+
+#[test]
+fn backend_tier_crash_preserves_composition() {
+    let report = ThreeTier::new(2)
+        .seed(3)
+        .crash(1, 0, SimTime::from_millis(5))
+        .run();
+    assert!(report.finished, "{report:?}");
+    assert!(report.is_correct(), "{report:?}");
+}
+
+#[test]
+fn crashes_in_both_tiers_preserve_composition() {
+    let report = ThreeTier::new(2)
+        .seed(4)
+        .crash(0, 0, SimTime::from_millis(5))
+        .crash(1, 0, SimTime::from_millis(25))
+        .run();
+    assert!(report.finished, "{report:?}");
+    assert!(report.is_correct(), "{report:?}");
+}
+
+#[test]
+fn three_tier_under_false_suspicions() {
+    for seed in 0..3 {
+        let report = ThreeTier::new(2)
+            .seed(seed)
+            .latency(LatencyModel::partially_synchronous(
+                0.2,
+                SimTime::from_millis(500),
+            ))
+            .run();
+        assert!(report.finished, "seed {seed}: {report:?}");
+        assert!(report.is_correct(), "seed {seed}: {report:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Broader workload coverage under adversity: reservations, KV, tokens,
+//! and the misdeclared-idempotence negative case.
+
+use xability_harness::{Scenario, Scheme, Workload};
+use xability_services::FailurePlan;
+use xability_sim::{LatencyModel, SimTime};
+
+#[test]
+fn reservations_under_crash_and_faults() {
+    for seed in 0..4 {
+        let report = Scenario::new(Scheme::XAble, Workload::Reservations { count: 3, seats: 2 })
+            .seed(seed)
+            .crash(0, SimTime::from_millis(7))
+            .service_failures(FailurePlan::probabilistic(0.2))
+            .run();
+        assert!(report.finished, "seed {seed} starved");
+        assert!(
+            report.is_correct(),
+            "seed {seed}: {:?} {:?}",
+            report.exactly_once_violations,
+            report.r3_violation
+        );
+    }
+}
+
+#[test]
+fn kv_puts_under_asynchrony() {
+    for seed in 0..4 {
+        let report = Scenario::new(Scheme::XAble, Workload::KvPuts { count: 4 })
+            .seed(seed)
+            .latency(LatencyModel::partially_synchronous(
+                0.25,
+                SimTime::from_millis(500),
+            ))
+            .run();
+        assert!(report.finished, "seed {seed} starved");
+        assert!(
+            report.is_correct(),
+            "seed {seed}: {:?} {:?}",
+            report.exactly_once_violations,
+            report.r3_violation
+        );
+    }
+}
+
+#[test]
+fn counter_with_dedup_is_exactly_once_even_under_faults() {
+    // The "naked" counter is safe as long as the service deduplicates:
+    // retries observe the stored reply.
+    let report = Scenario::new(Scheme::XAble, Workload::CounterBumps { count: 5 })
+        .seed(3)
+        .service_failures(FailurePlan::probabilistic(0.3))
+        .run();
+    assert!(report.finished);
+    assert!(
+        report.is_correct(),
+        "{:?} {:?}",
+        report.exactly_once_violations,
+        report.r3_violation
+    );
+    // Replies are the running count 1..=5 — state carried across requests
+    // (the R3 "state context" obligation).
+    let mut counts: Vec<i64> = report
+        .results
+        .iter()
+        .filter_map(|(_, v)| v.as_int())
+        .collect();
+    counts.sort_unstable();
+    assert_eq!(counts, vec![1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn counter_without_dedup_under_faults_violates_exactly_once() {
+    // Disable deduplication and inject failures: retries re-apply the
+    // cumulative effect — the violation the theory predicts for actions
+    // that are declared idempotent but are not.
+    let mut violated = 0;
+    for seed in 0..8 {
+        let report = Scenario::new(Scheme::XAble, Workload::CounterBumps { count: 3 })
+            .seed(seed)
+            .without_dedup()
+            .service_failures(FailurePlan::probabilistic(0.35))
+            .run();
+        if !report.exactly_once_violations.is_empty() || report.r3_violation.is_some() {
+            violated += 1;
+        }
+    }
+    assert!(
+        violated > 0,
+        "misdeclared idempotence never violated exactly-once across 8 faulty runs"
+    );
+}
+
+#[test]
+fn latency_degrades_gracefully_with_replica_count() {
+    // Sanity on the F6 shape: latency must not explode with n in nice runs.
+    let mut latencies = Vec::new();
+    for n in [3usize, 5, 7] {
+        let report = Scenario::new(
+            Scheme::XAble,
+            Workload::BankTransfers {
+                count: 3,
+                amount: 10,
+            },
+        )
+        .seed(9)
+        .replicas(n)
+        .run();
+        assert!(report.is_correct());
+        latencies.push(report.mean_latency_micros());
+    }
+    let (min, max) = (
+        *latencies.iter().min().unwrap(),
+        *latencies.iter().max().unwrap(),
+    );
+    assert!(
+        max < min * 4,
+        "latency exploded with replica count: {latencies:?}"
+    );
+}
+
+#[test]
+fn five_replicas_two_crashes_majority_still_serves() {
+    let report = Scenario::new(Scheme::XAble, Workload::TokenIssues { count: 3 })
+        .seed(21)
+        .replicas(5)
+        .crash(1, SimTime::from_millis(3))
+        .crash(3, SimTime::from_millis(40))
+        .run();
+    assert!(report.finished);
+    assert!(
+        report.is_correct(),
+        "{:?} {:?}",
+        report.exactly_once_violations,
+        report.r3_violation
+    );
+}

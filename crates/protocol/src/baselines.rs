@@ -1,0 +1,448 @@
+//! Baseline replication schemes the paper positions itself against (§1,
+//! §5.1, §6): primary-backup \[BMST93\] and active replication \[Sch93\].
+//!
+//! Both are implemented *honestly* over the same simulator, client and
+//! external services as the x-able protocol, so that the experiments can
+//! measure — rather than assume — how they violate exactly-once semantics
+//! for actions with external side-effects:
+//!
+//! * **Primary-backup** ([`PbReplica`]): the primary logs the request to
+//!   the backups, executes it against the external service (committing
+//!   undoable actions immediately), and replies. A backup that believes
+//!   every lower-ranked replica has failed takes over and re-executes
+//!   incomplete logged requests. Under crashes (effect applied, reply
+//!   lost) or false suspicions, two replicas execute the same request in
+//!   different transactions — a duplicated external side-effect.
+//! * **Active replication** ([`ActiveReplica`]): the contacted replica
+//!   broadcasts the request; *every* replica executes it independently and
+//!   replies (the client takes the first reply). With a single sequential
+//!   client, total-order broadcast degenerates to plain broadcast, so no
+//!   consensus is needed. Every undoable action is committed once per
+//!   replica: n-fold duplication by design — the scheme is only correct
+//!   for deterministic actions without external side-effects, exactly as
+//!   the paper argues.
+
+use std::collections::BTreeMap;
+
+use xability_core::Value;
+use xability_services::InvokeOutcome;
+use xability_sim::{Actor, Context, ProcessId, SimDuration, TimerId};
+
+use crate::messages::{LogicalRequest, ProtoMsg};
+
+/// Counters shared by both baselines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineMetrics {
+    /// `execute` invocations sent.
+    pub executions: u64,
+    /// `commit` invocations sent.
+    pub commits: u64,
+    /// Results sent to clients.
+    pub replies_sent: u64,
+    /// Takeovers (primary-backup only).
+    pub takeovers: u64,
+}
+
+#[derive(Debug, Clone)]
+enum ReqPhase {
+    Logged,
+    Executing,
+    Committing,
+    Done,
+}
+
+#[derive(Debug)]
+struct ReqEntry {
+    req: LogicalRequest,
+    client: ProcessId,
+    phase: ReqPhase,
+    attempt: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PendingKind {
+    Execute,
+    Commit(Value),
+}
+
+#[derive(Debug)]
+struct PendingInvoke {
+    req_id: String,
+    kind: PendingKind,
+}
+
+/// Common machinery: execute a request against its service (with retries),
+/// committing undoable actions immediately after success, then reply.
+#[derive(Debug)]
+struct ExecCore {
+    rank: usize,
+    requests: BTreeMap<String, ReqEntry>,
+    pending: BTreeMap<u64, PendingInvoke>,
+    next_invocation: u64,
+    metrics: BaselineMetrics,
+}
+
+impl ExecCore {
+    fn new(rank: usize) -> Self {
+        ExecCore {
+            rank,
+            requests: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_invocation: 0,
+            metrics: BaselineMetrics::default(),
+        }
+    }
+
+    fn log(&mut self, req: LogicalRequest, client: ProcessId) {
+        self.requests.entry(req.id.clone()).or_insert(ReqEntry {
+            req,
+            client,
+            phase: ReqPhase::Logged,
+            attempt: 0,
+        });
+    }
+
+    /// Rounds are disjoint across replicas (and attempts), so re-execution
+    /// after failover lands in a fresh transaction — the duplication the
+    /// baseline measurement is about.
+    fn round_for(rank: usize, attempt: u64) -> u64 {
+        1 + rank as u64 * 1_000 + attempt
+    }
+
+    fn start_execute(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str) {
+        let rank = self.rank;
+        let rank_round = {
+            let Some(entry) = self.requests.get_mut(req_id) else {
+                return;
+            };
+            if !matches!(entry.phase, ReqPhase::Logged) {
+                return;
+            }
+            entry.phase = ReqPhase::Executing;
+            Self::round_for(rank, entry.attempt)
+        };
+        self.send_execute(ctx, req_id, rank_round);
+    }
+
+    fn send_execute(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, round: u64) {
+        let Some(entry) = self.requests.get(req_id) else {
+            return;
+        };
+        let sreq = entry.req.service_request(round);
+        let service = entry.req.service;
+        let invocation = self.next_invocation;
+        self.next_invocation += 1;
+        self.metrics.executions += 1;
+        self.pending.insert(
+            invocation,
+            PendingInvoke {
+                req_id: req_id.to_owned(),
+                kind: PendingKind::Execute,
+            },
+        );
+        ctx.send(service, ProtoMsg::Invoke { invocation, sreq });
+    }
+
+    fn send_commit(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, value: Value) {
+        let rank = self.rank;
+        let (service, sreq) = {
+            let Some(entry) = self.requests.get_mut(req_id) else {
+                return;
+            };
+            entry.phase = ReqPhase::Committing;
+            let round = Self::round_for(rank, entry.attempt);
+            (entry.req.service, entry.req.service_request(round).to_commit())
+        };
+        let invocation = self.next_invocation;
+        self.next_invocation += 1;
+        self.metrics.commits += 1;
+        self.pending.insert(
+            invocation,
+            PendingInvoke {
+                req_id: req_id.to_owned(),
+                kind: PendingKind::Commit(value),
+            },
+        );
+        ctx.send(service, ProtoMsg::Invoke { invocation, sreq });
+    }
+
+    fn finish(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, value: Value) {
+        let Some(entry) = self.requests.get_mut(req_id) else {
+            return;
+        };
+        entry.phase = ReqPhase::Done;
+        let client = entry.client;
+        self.metrics.replies_sent += 1;
+        ctx.send(
+            client,
+            ProtoMsg::ClientResult {
+                req_id: req_id.to_owned(),
+                result: value,
+            },
+        );
+    }
+
+    fn on_invoke_reply(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        invocation: u64,
+        outcome: InvokeOutcome,
+    ) {
+        let Some(pending) = self.pending.remove(&invocation) else {
+            return;
+        };
+        let req_id = pending.req_id;
+        match pending.kind {
+            PendingKind::Execute => match outcome {
+                InvokeOutcome::Success(v) => {
+                    let undoable = self
+                        .requests
+                        .get(&req_id)
+                        .map(|e| e.req.action.is_undoable())
+                        .unwrap_or(false);
+                    if undoable {
+                        self.send_commit(ctx, &req_id, v);
+                    } else {
+                        self.finish(ctx, &req_id, v);
+                    }
+                }
+                InvokeOutcome::Failure { .. } => {
+                    // Retry in a fresh attempt (fresh transaction).
+                    let rank = self.rank;
+                    let round = {
+                        let Some(entry) = self.requests.get_mut(&req_id) else {
+                            return;
+                        };
+                        entry.attempt += 1;
+                        Self::round_for(rank, entry.attempt)
+                    };
+                    self.send_execute(ctx, &req_id, round);
+                }
+            },
+            PendingKind::Commit(v) => match outcome {
+                InvokeOutcome::Success(_) => self.finish(ctx, &req_id, v),
+                InvokeOutcome::Failure { terminal: false, .. } => {
+                    self.send_commit(ctx, &req_id, v);
+                }
+                InvokeOutcome::Failure { terminal: true, .. } => {}
+            },
+        }
+    }
+}
+
+/// A primary-backup replica \[BMST93\] with external side-effects.
+#[derive(Debug)]
+pub struct PbReplica {
+    me: ProcessId,
+    peers: Vec<ProcessId>,
+    core: ExecCore,
+    was_primary: bool,
+    tick: SimDuration,
+}
+
+impl PbReplica {
+    /// Creates a replica; `peers[rank]` must equal `me`, and `peers[0]` is
+    /// the initial primary.
+    pub fn new(me: ProcessId, peers: Vec<ProcessId>) -> Self {
+        let rank = peers
+            .iter()
+            .position(|&p| p == me)
+            .expect("peers must include me");
+        PbReplica {
+            me,
+            peers,
+            core: ExecCore::new(rank),
+            was_primary: rank == 0,
+            tick: SimDuration::from_millis(10),
+        }
+    }
+
+    /// This replica's counters.
+    pub fn metrics(&self) -> &BaselineMetrics {
+        &self.core.metrics
+    }
+
+    /// Do I currently believe I am the primary (every lower rank
+    /// suspected)?
+    fn believes_primary(&self, ctx: &Context<'_, ProtoMsg>) -> bool {
+        self.peers[..self.core.rank]
+            .iter()
+            .all(|&p| ctx.suspects(p))
+    }
+
+    /// The replica this one currently believes to be primary.
+    fn believed_primary(&self, ctx: &Context<'_, ProtoMsg>) -> ProcessId {
+        for &p in &self.peers {
+            if p == self.me || !ctx.suspects(p) {
+                return p;
+            }
+        }
+        self.me
+    }
+
+    fn maybe_take_over(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if !self.believes_primary(ctx) {
+            self.was_primary = false;
+            return;
+        }
+        if !self.was_primary {
+            self.was_primary = true;
+            self.core.metrics.takeovers += 1;
+        }
+        // Execute every logged request that I have not completed myself.
+        let ids: Vec<String> = self
+            .core
+            .requests
+            .iter()
+            .filter(|(_, e)| matches!(e.phase, ReqPhase::Logged))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in ids {
+            self.core.start_execute(ctx, &id);
+        }
+    }
+}
+
+impl Actor<ProtoMsg> for PbReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: ProcessId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::ClientRequest { req } => {
+                if self.believes_primary(ctx) {
+                    // Log to backups, then execute.
+                    for &p in &self.peers.clone() {
+                        if p != self.me {
+                            ctx.send(
+                                p,
+                                ProtoMsg::Forward {
+                                    req: req.clone(),
+                                    client: from,
+                                },
+                            );
+                        }
+                    }
+                    let id = req.id.clone();
+                    self.core.log(req, from);
+                    self.core.start_execute(ctx, &id);
+                } else {
+                    // Route to the believed primary.
+                    let primary = self.believed_primary(ctx);
+                    ctx.send(primary, ProtoMsg::ClientRequest { req });
+                }
+            }
+            ProtoMsg::Forward { req, client } => {
+                self.core.log(req, client);
+            }
+            ProtoMsg::InvokeReply {
+                invocation,
+                outcome,
+            } => {
+                self.core.on_invoke_reply(ctx, invocation, outcome);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, _timer: TimerId) {
+        self.maybe_take_over(ctx);
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_suspicion(&mut self, ctx: &mut Context<'_, ProtoMsg>, _subject: ProcessId, suspected: bool) {
+        if suspected {
+            self.maybe_take_over(ctx);
+        }
+    }
+}
+
+/// An active-replication replica \[Sch93\] with external side-effects.
+#[derive(Debug)]
+pub struct ActiveReplica {
+    me: ProcessId,
+    peers: Vec<ProcessId>,
+    core: ExecCore,
+}
+
+impl ActiveReplica {
+    /// Creates a replica; `peers` must include `me`.
+    pub fn new(me: ProcessId, peers: Vec<ProcessId>) -> Self {
+        let rank = peers
+            .iter()
+            .position(|&p| p == me)
+            .expect("peers must include me");
+        ActiveReplica {
+            me,
+            peers,
+            core: ExecCore::new(rank),
+        }
+    }
+
+    /// This replica's counters.
+    pub fn metrics(&self) -> &BaselineMetrics {
+        &self.core.metrics
+    }
+}
+
+impl Actor<ProtoMsg> for ActiveReplica {
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: ProcessId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::ClientRequest { req } => {
+                // Broadcast; every replica (including me) executes.
+                for &p in &self.peers.clone() {
+                    if p != self.me {
+                        ctx.send(
+                            p,
+                            ProtoMsg::Forward {
+                                req: req.clone(),
+                                client: from,
+                            },
+                        );
+                    }
+                }
+                let id = req.id.clone();
+                self.core.log(req, from);
+                self.core.start_execute(ctx, &id);
+            }
+            ProtoMsg::Forward { req, client } => {
+                let id = req.id.clone();
+                self.core.log(req, client);
+                self.core.start_execute(ctx, &id);
+            }
+            ProtoMsg::InvokeReply {
+                invocation,
+                outcome,
+            } => {
+                self.core.on_invoke_reply(ctx, invocation, outcome);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "peers must include me")]
+    fn pb_requires_membership() {
+        let _ = PbReplica::new(ProcessId(5), vec![ProcessId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "peers must include me")]
+    fn active_requires_membership() {
+        let _ = ActiveReplica::new(ProcessId(5), vec![ProcessId(0)]);
+    }
+
+    #[test]
+    fn rounds_are_disjoint_across_replicas_and_attempts() {
+        assert_ne!(ExecCore::round_for(0, 0), ExecCore::round_for(1, 0));
+        assert_ne!(ExecCore::round_for(0, 0), ExecCore::round_for(0, 1));
+        // Attempt space never collides with the next rank.
+        assert!(ExecCore::round_for(0, 999) < ExecCore::round_for(1, 0));
+    }
+}

@@ -1,0 +1,209 @@
+//! The client-side algorithm (Fig. 5) plus the retry driver that realizes
+//! requirements R1/R2.
+//!
+//! Fig. 5's `submit` sends the request to one replica and waits until it
+//! either receives a result or suspects the replica, in which case it
+//! advances to the next replica and returns `failure`. Because `submit` is
+//! idempotent (R1) and must eventually succeed (R2), the natural client is
+//! a loop that re-invokes `submit` until it returns a result — that loop is
+//! implemented here, and the number of failed `submit` invocations is
+//! recorded for the experiments.
+
+use std::collections::BTreeMap;
+
+use xability_core::Value;
+use xability_sim::{Actor, Context, ProcessId, SimDuration, SimTime, TimerId};
+
+use crate::messages::{LogicalRequest, ProtoMsg};
+
+/// Client-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientMetrics {
+    /// `submit` invocations (initial sends plus resubmissions).
+    pub submissions: u64,
+    /// `submit` invocations that returned failure (suspicion of the
+    /// contacted replica).
+    pub failures: u64,
+}
+
+/// A client submitting a sequence of requests, one after another (§4's
+/// model: `Rᵢ₊₁` is submitted only after `Rᵢ` succeeded).
+#[derive(Debug)]
+pub struct Client {
+    replicas: Vec<ProcessId>,
+    plan: Vec<LogicalRequest>,
+    current: usize,
+    cursor: usize,
+    waiting_on: Option<ProcessId>,
+    results: BTreeMap<String, Value>,
+    latencies: Vec<(String, SimDuration)>,
+    submitted_at: SimTime,
+    metrics: ClientMetrics,
+    tick: SimDuration,
+}
+
+impl Client {
+    /// Creates a client that will submit `plan` against `replicas`.
+    pub fn new(replicas: Vec<ProcessId>, plan: Vec<LogicalRequest>) -> Self {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        Client {
+            replicas,
+            plan,
+            current: 0,
+            cursor: 0,
+            waiting_on: None,
+            results: BTreeMap::new(),
+            latencies: Vec::new(),
+            submitted_at: SimTime::ZERO,
+            metrics: ClientMetrics::default(),
+            tick: SimDuration::from_millis(15),
+        }
+    }
+
+    /// Returns `true` once every planned request has a result.
+    pub fn is_done(&self) -> bool {
+        self.current >= self.plan.len()
+    }
+
+    /// The result of a request, if received.
+    pub fn result_of(&self, req_id: &str) -> Option<&Value> {
+        self.results.get(req_id)
+    }
+
+    /// All results received, in request order.
+    pub fn results(&self) -> &BTreeMap<String, Value> {
+        &self.results
+    }
+
+    /// Per-request submit-to-result latencies, in completion order.
+    pub fn latencies(&self) -> &[(String, SimDuration)] {
+        &self.latencies
+    }
+
+    /// Client counters.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// The requests that completed so far (prefix of the plan).
+    pub fn completed_requests(&self) -> &[LogicalRequest] {
+        &self.plan[..self.current]
+    }
+
+    /// The full plan.
+    pub fn plan(&self) -> &[LogicalRequest] {
+        &self.plan
+    }
+
+    /// Fig. 5's `submit`: send to `replicas[i]`. The await is event-driven:
+    /// a result arrives in `on_message`, a suspicion in
+    /// `on_suspicion`/`on_timer`.
+    fn submit(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let Some(req) = self.plan.get(self.current) else {
+            self.waiting_on = None;
+            return;
+        };
+        // Skip replicas we already suspect (a suspicion *change* event
+        // would never fire for them).
+        for _ in 0..self.replicas.len() {
+            if ctx.suspects(self.replicas[self.cursor]) {
+                self.cursor = (self.cursor + 1) % self.replicas.len();
+                self.metrics.failures += 1;
+            } else {
+                break;
+            }
+        }
+        let target = self.replicas[self.cursor];
+        self.metrics.submissions += 1;
+        self.submitted_at = ctx.now();
+        self.waiting_on = Some(target);
+        ctx.send(target, ProtoMsg::ClientRequest { req: req.clone() });
+    }
+
+    fn resubmit_to_next(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.metrics.failures += 1;
+        self.cursor = (self.cursor + 1) % self.replicas.len();
+        self.submit(ctx);
+    }
+}
+
+impl Actor<ProtoMsg> for Client {
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.submit(ctx);
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, _from: ProcessId, msg: ProtoMsg) {
+        let ProtoMsg::ClientResult { req_id, result } = msg else {
+            return;
+        };
+        let Some(req) = self.plan.get(self.current) else {
+            return; // duplicate result after completion
+        };
+        if req.id != req_id {
+            return; // duplicate result for an earlier request
+        }
+        let elapsed = ctx.now().since(self.submitted_at);
+        self.latencies.push((req_id.clone(), elapsed));
+        self.results.insert(req_id, result);
+        self.current += 1;
+        self.waiting_on = None;
+        self.submit(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, _timer: TimerId) {
+        // The await of Fig. 5: if the contacted replica became suspected
+        // while we were waiting, submit returns failure and the driver
+        // retries against the next replica.
+        if let Some(target) = self.waiting_on {
+            if ctx.suspects(target) {
+                self.resubmit_to_next(ctx);
+            }
+        }
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_suspicion(&mut self, ctx: &mut Context<'_, ProtoMsg>, subject: ProcessId, suspected: bool) {
+        if suspected && self.waiting_on == Some(subject) {
+            self.resubmit_to_next(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xability_core::ActionName;
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn client_needs_replicas() {
+        let _ = Client::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn accessors_before_running() {
+        let client = Client::new(
+            vec![ProcessId(0)],
+            vec![LogicalRequest::new(
+                "r1",
+                ActionName::idempotent("get"),
+                Value::Nil,
+                ProcessId(1),
+            )],
+        );
+        assert!(!client.is_done());
+        assert_eq!(client.result_of("r1"), None);
+        assert!(client.results().is_empty());
+        assert!(client.latencies().is_empty());
+        assert_eq!(client.metrics().submissions, 0);
+        assert_eq!(client.completed_requests().len(), 0);
+        assert_eq!(client.plan().len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_immediately_done() {
+        let client = Client::new(vec![ProcessId(0)], vec![]);
+        assert!(client.is_done());
+    }
+}

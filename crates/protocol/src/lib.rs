@@ -1,0 +1,37 @@
+//! # xability-protocol — the general asynchronous replication algorithm
+//!
+//! The replication protocol of *X-Ability: A Theory of Replication* (§5):
+//! a client stub ([`Client`], Fig. 5) and replica processes ([`XReplica`],
+//! Figs. 6–7) that coordinate through consensus objects
+//! (`xability-consensus`) to execute actions with external side-effects
+//! (`xability-services`) exactly once, despite crashes, unreliable failure
+//! detection and non-determinism.
+//!
+//! The protocol is *asynchronous* in the paper's sense: in suspicion-free
+//! runs it behaves like primary-backup (the contacted replica does all the
+//! work); under false suspicions it slides toward active replication
+//! (several replicas execute rounds concurrently), with consensus
+//! arbitrating so that the environment still observes exactly-once
+//! behaviour. The [`baselines`] module implements genuine primary-backup
+//! and active replication over the same infrastructure so experiments can
+//! measure what the x-able protocol buys.
+//!
+//! See the module docs of [`replica`] for the precise mapping from the
+//! paper's pseudo-code, and DESIGN.md for the three documented deviations
+//! (per-round result agreement, cleaner delivery, round-per-attempt).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod client;
+pub mod messages;
+pub mod replica;
+pub mod service_actor;
+
+pub use baselines::{ActiveReplica, BaselineMetrics, PbReplica};
+pub use client::{Client, ClientMetrics};
+pub use messages::{Decision, LogicalRequest, ProtoMsg};
+pub use replica::{ReplicaMetrics, XReplica, XReplicaConfig};
+pub use service_actor::ServiceActor;

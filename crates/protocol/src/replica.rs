@@ -1,0 +1,753 @@
+//! The x-able replica: Figures 6 and 7 of the paper as an event-driven
+//! state machine.
+//!
+//! The paper's pseudo-code is written with blocking calls (`receive`,
+//! `propose`, action execution). Our simulator is event-driven, so every
+//! blocking point becomes an explicit continuation:
+//!
+//! | Paper (Fig. 6/7) | Here |
+//! |---|---|
+//! | `receive [Request,req]` main loop | [`XReplica::on_message`] on [`ProtoMsg::ClientRequest`] |
+//! | `owner-agreement[round].propose(my-id,req,client)` | proposal with [`Intent::OwnRound`]; the continuation runs in `on_decision` |
+//! | `execute-until-success(req)` | [`Pending::Execute`] + retry logic in `on_invoke_reply` |
+//! | `result-coordination(req, res-val)` (execution mode) | proposals with [`Intent::ExecResult`] / [`Intent::ExecOutcome`] |
+//! | `result-coordination(req, empty-result)` (cleaning mode) | proposals with [`Intent::CleanResult`] / [`Intent::CleanOutcome`] |
+//! | `execute-until-success(cancel(req))` / `(commit(req))` | [`Pending::Cancel`] / [`Pending::Commit`] with retries |
+//! | `cleaner()` loop | the cleaning scan in `on_timer` / `on_suspicion` |
+//!
+//! ## Deviations from the paper's pseudo-code (see DESIGN.md)
+//!
+//! 1. **Per-round result agreement.** `result-agreement` is indexed by
+//!    `(request, round)` like `outcome-agreement`. With the per-request
+//!    reading, a cleaning-mode `empty-result` would permanently prevent any
+//!    round from fixing a result, starving the client (violating R2).
+//!    Cross-round result consistency is guaranteed by the external
+//!    service's request-keyed deduplication — which is also what makes the
+//!    resulting event history reducible under rule 18 (equal outputs).
+//! 2. **Cleaner delivery.** A cleaner that finds an already-agreed result
+//!    delivers it to the client. Otherwise an owner crash between agreement
+//!    and reply would starve the client.
+//! 3. **Round-per-attempt for undoable actions.** An owner that sees a
+//!    transient failure of an undoable action aborts its round (cancel +
+//!    outcome agreement) and retries in a fresh round, rather than retrying
+//!    inside the round. This is forced by *round poisoning* at the service:
+//!    a cancellation must tombstone its round, or a delayed execution
+//!    arriving after a cleaner's cancellation would leave a dangling
+//!    tentative effect that no one ever cancels (an R3 violation the
+//!    paper's pseudo-code does not address).
+//!
+//! The protocol's "asynchronous flavour" (§5.1) survives intact: in
+//! suspicion-free runs a request is processed entirely by the replica that
+//! received it (primary-backup flavour); under false suspicions several
+//! replicas run rounds concurrently (active-replication flavour), with the
+//! consensus objects arbitrating exactly-once semantics.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xability_consensus::{ConsensusEngine, CtxNet, InstanceId};
+use xability_core::Value;
+use xability_services::InvokeOutcome;
+use xability_sim::{Actor, Context, ProcessId, SimDuration, TimerId};
+
+use crate::messages::{
+    outcome_instance, owner_instance, parse_instance, result_instance, Decision, LogicalRequest,
+    ProtoMsg,
+};
+
+/// Counters describing one replica's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaMetrics {
+    /// `execute` invocations sent to external services.
+    pub executions: u64,
+    /// `cancel` invocations sent.
+    pub cancels: u64,
+    /// `commit` invocations sent.
+    pub commits: u64,
+    /// Rounds this replica owned (won owner agreement for).
+    pub rounds_owned: u64,
+    /// Cleaning procedures initiated.
+    pub cleanings: u64,
+    /// Results sent to clients.
+    pub replies_sent: u64,
+    /// Transient invocation failures observed.
+    pub transient_failures: u64,
+    /// Terminal invocation failures observed (poisoned rounds).
+    pub terminal_failures: u64,
+}
+
+/// Per-request bookkeeping.
+#[derive(Debug)]
+struct RequestState {
+    req: LogicalRequest,
+    client: ProcessId,
+    /// Every client incarnation that submitted this request to this
+    /// replica; results are delivered to all of them (resubmitted requests
+    /// come from fresh stubs — R1 makes this safe).
+    extra_clients: BTreeSet<ProcessId>,
+    /// Known owners per round (from owner-agreement decisions).
+    rounds: BTreeMap<u64, ProcessId>,
+    /// The agreed result, once known.
+    result: Option<Value>,
+    /// Rounds this replica initiated cleaning for.
+    cleaning: BTreeSet<u64>,
+    /// Rounds this replica owns and has started executing.
+    owned: BTreeSet<u64>,
+    /// Whether this replica already sent the result to the client.
+    delivered_by_me: bool,
+    /// Whether a client submitted this request directly to this replica
+    /// (if so, this replica owes a reply once it learns the result).
+    received_directly: bool,
+}
+
+/// What a consensus decision was proposed *for* (the continuation).
+#[derive(Debug, Clone)]
+enum Intent {
+    /// `process-request`: proposed myself as owner of a round.
+    OwnRound,
+    /// Execution-mode result coordination (idempotent action).
+    ExecResult { req_id: String, round: u64 },
+    /// Execution-mode outcome coordination (undoable action, proposing
+    /// commit).
+    ExecOutcome { req_id: String, round: u64 },
+    /// Owner-side abort after a failed execution (undoable action).
+    AbortOutcome { req_id: String, round: u64 },
+    /// Cleaning-mode result coordination (idempotent action).
+    CleanResult { req_id: String, round: u64 },
+    /// Cleaning-mode outcome coordination (undoable action, proposing
+    /// abort).
+    CleanOutcome { req_id: String, round: u64 },
+}
+
+/// In-flight external invocations (the blocking points of Fig. 7).
+#[derive(Debug, Clone)]
+enum Pending {
+    Execute {
+        req_id: String,
+        round: u64,
+    },
+    Cancel {
+        req_id: String,
+        round: u64,
+    },
+    Commit {
+        req_id: String,
+        round: u64,
+        value: Value,
+        deliver: bool,
+    },
+}
+
+/// Configuration of an x-able replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XReplicaConfig {
+    /// Periodic driver interval (consensus round timeouts, cleaning scan).
+    pub tick: SimDuration,
+    /// Consensus round timeout (passed to the engine).
+    pub consensus_round_timeout: SimDuration,
+}
+
+impl Default for XReplicaConfig {
+    fn default() -> Self {
+        XReplicaConfig {
+            tick: SimDuration::from_millis(10),
+            consensus_round_timeout: SimDuration::from_millis(80),
+        }
+    }
+}
+
+/// A replica running the paper's general replication algorithm (§5).
+#[derive(Debug)]
+pub struct XReplica {
+    me: ProcessId,
+    engine: ConsensusEngine<Decision>,
+    config: XReplicaConfig,
+    requests: BTreeMap<String, RequestState>,
+    intents: BTreeMap<InstanceId, Intent>,
+    pending: BTreeMap<u64, Pending>,
+    /// Results learned before the request itself (decision reordering).
+    orphan_results: BTreeMap<String, Value>,
+    next_invocation: u64,
+    metrics: ReplicaMetrics,
+}
+
+impl XReplica {
+    /// Creates a replica. `peers` are the replica processes (not clients or
+    /// services), identical at every replica.
+    pub fn new(me: ProcessId, peers: Vec<ProcessId>, config: XReplicaConfig) -> Self {
+        XReplica {
+            me,
+            engine: ConsensusEngine::new(me, peers, config.consensus_round_timeout),
+            config,
+            requests: BTreeMap::new(),
+            intents: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            orphan_results: BTreeMap::new(),
+            next_invocation: 0,
+            metrics: ReplicaMetrics::default(),
+        }
+    }
+
+    /// This replica's activity counters.
+    pub fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    /// The agreed result of a request, if known to this replica.
+    pub fn request_result(&self, req_id: &str) -> Option<&Value> {
+        self.requests.get(req_id)?.result.as_ref()
+    }
+
+    /// The highest round known for a request (0 if unknown).
+    pub fn max_round(&self, req_id: &str) -> u64 {
+        self.requests
+            .get(req_id)
+            .and_then(|st| st.rounds.keys().next_back().copied())
+            .unwrap_or(0)
+    }
+
+    // ---- helpers ----
+
+    fn ensure_request(&mut self, req: LogicalRequest, client: ProcessId) -> &mut RequestState {
+        let id = req.id.clone();
+        let orphan = self.orphan_results.remove(&id);
+        let entry = self.requests.entry(id).or_insert_with(|| RequestState {
+            req,
+            client,
+            extra_clients: BTreeSet::new(),
+            rounds: BTreeMap::new(),
+            result: None,
+            cleaning: BTreeSet::new(),
+            owned: BTreeSet::new(),
+            delivered_by_me: false,
+            received_directly: false,
+        });
+        if entry.result.is_none() {
+            entry.result = orphan;
+        }
+        entry
+    }
+
+    /// Delivers a passively learned result to clients that submitted the
+    /// request directly to this replica (the owner path replies on its own;
+    /// this covers replicas the client contacted that did not win
+    /// ownership).
+    fn deliver_to_local_submitters(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str) {
+        let Some(st) = self.requests.get(req_id) else {
+            return;
+        };
+        if !st.received_directly || st.delivered_by_me {
+            return;
+        }
+        if let Some(v) = st.result.clone() {
+            self.reply(ctx, req_id, v);
+        }
+    }
+
+    fn record_result(&mut self, req_id: &str, value: Value) {
+        match self.requests.get_mut(req_id) {
+            Some(st) => {
+                if st.result.is_none() {
+                    st.result = Some(value);
+                }
+            }
+            None => {
+                self.orphan_results.entry(req_id.to_owned()).or_insert(value);
+            }
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, value: Value) {
+        self.record_result(req_id, value.clone());
+        let Some(st) = self.requests.get_mut(req_id) else {
+            return;
+        };
+        st.delivered_by_me = true;
+        let mut clients = st.extra_clients.clone();
+        clients.insert(st.client);
+        for client in clients {
+            self.metrics.replies_sent += 1;
+            ctx.send(
+                client,
+                ProtoMsg::ClientResult {
+                    req_id: req_id.to_owned(),
+                    result: value.clone(),
+                },
+            );
+        }
+    }
+
+    fn propose_with_intent(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        inst: InstanceId,
+        value: Decision,
+        intent: Intent,
+    ) {
+        self.intents.insert(inst.clone(), intent);
+        let decided = {
+            let mut net = CtxNet::new(ctx, ProtoMsg::Consensus);
+            self.engine.propose(&mut net, inst.clone(), value)
+        };
+        if let Some(d) = decided {
+            self.on_decision(ctx, inst, d);
+        }
+    }
+
+    fn invoke(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        service: ProcessId,
+        sreq: xability_services::ServiceRequest,
+        pending: Pending,
+    ) {
+        let invocation = self.next_invocation;
+        self.next_invocation += 1;
+        self.pending.insert(invocation, pending);
+        ctx.send(service, ProtoMsg::Invoke { invocation, sreq });
+    }
+
+    // ---- process-request (Fig. 6) ----
+
+    /// Proposes this replica as owner of `round` for the request. The
+    /// continuation (executing if we win) runs when owner agreement
+    /// decides.
+    fn process_request(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        req: LogicalRequest,
+        client: ProcessId,
+        round: u64,
+    ) {
+        let inst = owner_instance(&req.id, round);
+        let proposal = Decision::Owner {
+            owner: self.me,
+            req: req.clone(),
+            client,
+        };
+        self.ensure_request(req, client);
+        self.propose_with_intent(ctx, inst, proposal, Intent::OwnRound);
+    }
+
+    fn start_execution(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, round: u64) {
+        let Some(st) = self.requests.get_mut(req_id) else {
+            return;
+        };
+        if st.result.is_some() || !st.owned.insert(round) {
+            return;
+        }
+        let req = st.req.clone();
+        self.metrics.rounds_owned += 1;
+        self.metrics.executions += 1;
+        self.invoke(
+            ctx,
+            req.service,
+            req.service_request(round),
+            Pending::Execute {
+                req_id: req_id.to_owned(),
+                round,
+            },
+        );
+    }
+
+    fn start_next_round(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, next: u64) {
+        let Some(st) = self.requests.get(req_id) else {
+            return;
+        };
+        if st.result.is_some() || st.rounds.contains_key(&next) {
+            return;
+        }
+        let (req, client) = (st.req.clone(), st.client);
+        self.process_request(ctx, req, client, next);
+    }
+
+    // ---- the cleaner (Fig. 6, bottom) ----
+
+    /// One pass of the cleaner: for every request whose highest-round owner
+    /// is suspected, run cleaning-mode result coordination (or deliver the
+    /// already-known result).
+    fn cleaning_scan(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let candidates: Vec<(String, u64, ProcessId)> = self
+            .requests
+            .iter()
+            .filter_map(|(id, st)| {
+                let (&round, &owner) = st.rounds.iter().next_back()?;
+                Some((id.clone(), round, owner))
+            })
+            .collect();
+        for (req_id, round, owner) in candidates {
+            if owner == self.me || !ctx.suspects(owner) {
+                continue;
+            }
+            let st = self.requests.get_mut(&req_id).expect("listed");
+            if let Some(v) = st.result.clone() {
+                // Deviation 2: the owner may have crashed after agreement
+                // but before replying; deliver the agreed result once.
+                if !st.delivered_by_me {
+                    self.reply(ctx, &req_id, v);
+                }
+                continue;
+            }
+            if !st.cleaning.insert(round) {
+                continue;
+            }
+            let undoable = st.req.action.is_undoable();
+            self.metrics.cleanings += 1;
+            if undoable {
+                self.propose_with_intent(
+                    ctx,
+                    outcome_instance(&req_id, round),
+                    Decision::Outcome {
+                        abort: true,
+                        value: None,
+                    },
+                    Intent::CleanOutcome {
+                        req_id: req_id.clone(),
+                        round,
+                    },
+                );
+            } else {
+                self.propose_with_intent(
+                    ctx,
+                    result_instance(&req_id, round),
+                    Decision::ResultAgreed(None),
+                    Intent::CleanResult {
+                        req_id: req_id.clone(),
+                        round,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- decision continuations ----
+
+    fn on_decisions(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        decided: Vec<(InstanceId, Decision)>,
+    ) {
+        for (inst, dec) in decided {
+            self.on_decision(ctx, inst, dec);
+        }
+    }
+
+    fn on_decision(&mut self, ctx: &mut Context<'_, ProtoMsg>, inst: InstanceId, dec: Decision) {
+        let intent = self.intents.remove(&inst);
+
+        // Passive learning: every replica tracks owners and results from
+        // decisions regardless of who proposed.
+        match (&dec, parse_instance(&inst)) {
+            (Decision::Owner { owner, req, client }, Some(("owner", _, round))) => {
+                let me = self.me;
+                let owner = *owner;
+                let client = *client;
+                let req = req.clone();
+                let req_id = req.id.clone();
+                let st = self.ensure_request(req, client);
+                st.rounds.insert(round, owner);
+                if owner == me {
+                    self.start_execution(ctx, &req_id, round);
+                }
+            }
+            (Decision::ResultAgreed(Some(v)), Some(("result", req_id, _))) => {
+                let (req_id, v) = (req_id.to_owned(), v.clone());
+                self.record_result(&req_id, v);
+                self.deliver_to_local_submitters(ctx, &req_id);
+            }
+            (
+                Decision::Outcome {
+                    abort: false,
+                    value: Some(v),
+                },
+                Some(("outcome", req_id, _)),
+            ) => {
+                let (req_id, v) = (req_id.to_owned(), v.clone());
+                self.record_result(&req_id, v);
+                self.deliver_to_local_submitters(ctx, &req_id);
+            }
+            _ => {}
+        }
+
+        // Intent continuations (the blocked pseudo-code resuming).
+        match intent {
+            None | Some(Intent::OwnRound) => {}
+            Some(Intent::ExecResult { req_id, round }) => {
+                let _ = round;
+                match dec {
+                    Decision::ResultAgreed(Some(v)) => self.reply(ctx, &req_id, v),
+                    // A cleaner blocked this round's result; it drives the
+                    // next round. We executed, but must not respond
+                    // (res-val == empty-result in Fig. 6).
+                    Decision::ResultAgreed(None) => {}
+                    _ => {}
+                }
+            }
+            Some(Intent::ExecOutcome { req_id, round })
+            | Some(Intent::AbortOutcome { req_id, round }) => match dec {
+                Decision::Outcome { abort: true, .. } => {
+                    self.start_cancel(ctx, &req_id, round);
+                }
+                Decision::Outcome {
+                    abort: false,
+                    value: Some(v),
+                } => {
+                    self.start_commit(ctx, &req_id, round, v, true);
+                }
+                _ => {}
+            },
+            Some(Intent::CleanResult { req_id, round }) => match dec {
+                Decision::ResultAgreed(Some(v)) => self.reply(ctx, &req_id, v),
+                Decision::ResultAgreed(None) => {
+                    self.start_next_round(ctx, &req_id, round + 1);
+                }
+                _ => {}
+            },
+            Some(Intent::CleanOutcome { req_id, round }) => match dec {
+                Decision::Outcome { abort: true, .. } => {
+                    self.start_cancel(ctx, &req_id, round);
+                }
+                Decision::Outcome {
+                    abort: false,
+                    value: Some(v),
+                } => {
+                    // The owner committed; help the commit and deliver.
+                    self.start_commit(ctx, &req_id, round, v, true);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    // ---- execute-until-success / cancel / commit (Fig. 7) ----
+
+    fn start_cancel(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, round: u64) {
+        let Some(st) = self.requests.get(req_id) else {
+            return;
+        };
+        let req = st.req.clone();
+        self.metrics.cancels += 1;
+        self.invoke(
+            ctx,
+            req.service,
+            req.service_request(round).to_cancel(),
+            Pending::Cancel {
+                req_id: req_id.to_owned(),
+                round,
+            },
+        );
+    }
+
+    fn start_commit(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        req_id: &str,
+        round: u64,
+        value: Value,
+        deliver: bool,
+    ) {
+        let Some(st) = self.requests.get(req_id) else {
+            return;
+        };
+        let req = st.req.clone();
+        self.metrics.commits += 1;
+        self.invoke(
+            ctx,
+            req.service,
+            req.service_request(round).to_commit(),
+            Pending::Commit {
+                req_id: req_id.to_owned(),
+                round,
+                value,
+                deliver,
+            },
+        );
+    }
+
+    fn on_invoke_reply(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        invocation: u64,
+        outcome: InvokeOutcome,
+    ) {
+        let Some(pending) = self.pending.remove(&invocation) else {
+            return;
+        };
+        match pending {
+            Pending::Execute { req_id, round } => match outcome {
+                InvokeOutcome::Success(v) => {
+                    let undoable = self
+                        .requests
+                        .get(&req_id)
+                        .map(|st| st.req.action.is_undoable())
+                        .unwrap_or(false);
+                    if undoable {
+                        self.propose_with_intent(
+                            ctx,
+                            outcome_instance(&req_id, round),
+                            Decision::Outcome {
+                                abort: false,
+                                value: Some(v),
+                            },
+                            Intent::ExecOutcome { req_id, round },
+                        );
+                    } else {
+                        self.propose_with_intent(
+                            ctx,
+                            result_instance(&req_id, round),
+                            Decision::ResultAgreed(Some(v)),
+                            Intent::ExecResult { req_id, round },
+                        );
+                    }
+                }
+                InvokeOutcome::Failure { terminal, .. } => {
+                    if terminal {
+                        self.metrics.terminal_failures += 1;
+                    } else {
+                        self.metrics.transient_failures += 1;
+                    }
+                    let undoable = self
+                        .requests
+                        .get(&req_id)
+                        .map(|st| st.req.action.is_undoable())
+                        .unwrap_or(false);
+                    if undoable {
+                        // Deviation 3: abort this round and retry in a fresh
+                        // one (round poisoning makes within-round retry
+                        // unsound).
+                        self.propose_with_intent(
+                            ctx,
+                            outcome_instance(&req_id, round),
+                            Decision::Outcome {
+                                abort: true,
+                                value: None,
+                            },
+                            Intent::AbortOutcome { req_id, round },
+                        );
+                    } else {
+                        // Idempotent action: plain retry (Fig. 7).
+                        let Some(st) = self.requests.get(&req_id) else {
+                            return;
+                        };
+                        let req = st.req.clone();
+                        self.metrics.executions += 1;
+                        self.invoke(
+                            ctx,
+                            req.service,
+                            req.service_request(round),
+                            Pending::Execute { req_id, round },
+                        );
+                    }
+                }
+            },
+            Pending::Cancel { req_id, round } => match outcome {
+                InvokeOutcome::Success(_) => {
+                    self.start_next_round(ctx, &req_id, round + 1);
+                }
+                InvokeOutcome::Failure { terminal: false, .. } => {
+                    self.metrics.transient_failures += 1;
+                    self.start_cancel(ctx, &req_id, round);
+                }
+                InvokeOutcome::Failure { terminal: true, .. } => {
+                    // Cancel conflicts with an existing commit: impossible
+                    // when outcome agreement decided abort (agreement), so
+                    // this indicates a logic error; drop the flow.
+                    self.metrics.terminal_failures += 1;
+                }
+            },
+            Pending::Commit {
+                req_id,
+                round,
+                value,
+                deliver,
+            } => match outcome {
+                InvokeOutcome::Success(_) => {
+                    if deliver {
+                        self.reply(ctx, &req_id, value);
+                    } else {
+                        self.record_result(&req_id, value);
+                    }
+                }
+                InvokeOutcome::Failure { terminal: false, .. } => {
+                    self.metrics.transient_failures += 1;
+                    self.start_commit(ctx, &req_id, round, value, deliver);
+                }
+                InvokeOutcome::Failure { terminal: true, .. } => {
+                    self.metrics.terminal_failures += 1;
+                }
+            },
+        }
+    }
+}
+
+impl Actor<ProtoMsg> for XReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        ctx.set_timer(self.config.tick);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: ProcessId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::ClientRequest { req } => {
+                // Fig. 6 main loop: req.round := 1; process-request.
+                if let Some(st) = self.requests.get_mut(&req.id) {
+                    // Remember this (possibly new) client incarnation.
+                    st.received_directly = true;
+                    if st.client != from {
+                        st.extra_clients.insert(from);
+                    }
+                    if let Some(v) = st.result.clone() {
+                        // Resubmission of a completed request: submit is
+                        // idempotent (R1) — answer with the agreed result.
+                        self.metrics.replies_sent += 1;
+                        ctx.send(
+                            from,
+                            ProtoMsg::ClientResult {
+                                req_id: req.id.clone(),
+                                result: v,
+                            },
+                        );
+                        return;
+                    }
+                    // Known and in progress: the owner/cleaner machinery is
+                    // already responsible for it.
+                    return;
+                }
+                let req_id = req.id.clone();
+                self.process_request(ctx, req, from, 1);
+                if let Some(st) = self.requests.get_mut(&req_id) {
+                    st.received_directly = true;
+                }
+            }
+            ProtoMsg::Consensus(cm) => {
+                let decided = {
+                    let mut net = CtxNet::new(ctx, ProtoMsg::Consensus);
+                    self.engine.on_message(&mut net, from, cm)
+                };
+                self.on_decisions(ctx, decided);
+            }
+            ProtoMsg::InvokeReply {
+                invocation,
+                outcome,
+            } => {
+                self.on_invoke_reply(ctx, invocation, outcome);
+            }
+            // Not part of this protocol (baseline traffic / client-bound).
+            ProtoMsg::ClientResult { .. } | ProtoMsg::Invoke { .. } | ProtoMsg::Forward { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, _timer: TimerId) {
+        let decided = {
+            let mut net = CtxNet::new(ctx, ProtoMsg::Consensus);
+            self.engine.on_tick(&mut net)
+        };
+        self.on_decisions(ctx, decided);
+        self.cleaning_scan(ctx);
+        ctx.set_timer(self.config.tick);
+    }
+
+    fn on_suspicion(&mut self, ctx: &mut Context<'_, ProtoMsg>, _subject: ProcessId, suspected: bool) {
+        if suspected {
+            self.cleaning_scan(ctx);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Adapter exposing a [`ServiceCore`] as a simulated process.
+
+use xability_services::ServiceCore;
+use xability_sim::{Actor, Context, ProcessId};
+
+use crate::messages::ProtoMsg;
+
+/// A third-party external service as a simulated process: answers
+/// [`ProtoMsg::Invoke`] with [`ProtoMsg::InvokeReply`].
+///
+/// Services are assumed correct (they are the environment, not the
+/// replicated system); transient invocation failures are injected by the
+/// core's [`xability_services::FailurePlan`].
+#[derive(Debug)]
+pub struct ServiceActor {
+    core: ServiceCore,
+}
+
+impl ServiceActor {
+    /// Wraps a service core.
+    pub fn new(core: ServiceCore) -> Self {
+        ServiceActor { core }
+    }
+
+    /// Access to the core (for post-run inspection).
+    pub fn core(&self) -> &ServiceCore {
+        &self.core
+    }
+}
+
+impl Actor<ProtoMsg> for ServiceActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: ProcessId, msg: ProtoMsg) {
+        let ProtoMsg::Invoke { invocation, sreq } = msg else {
+            return;
+        };
+        let now = ctx.now();
+        let outcome = self.core.handle(&sreq, now, ctx.rng());
+        ctx.send(from, ProtoMsg::InvokeReply { invocation, outcome });
+    }
+}

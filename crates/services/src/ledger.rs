@@ -1,0 +1,320 @@
+//! The side-effect ledger: the materialized "hypothetical event observer"
+//! of §2.2.
+//!
+//! The x-ability theory reasons about the history of start/completion events
+//! of action executions and about externally visible side-effects. The
+//! ledger records both, in global observation order, so that after a
+//! simulation run the harness can (a) hand the formal [`History`] to the
+//! x-ability checkers and (b) verify exactly-once side-effect semantics
+//! directly against effect records.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use xability_core::{ActionName, Event, History, Value};
+use xability_sim::SimTime;
+
+/// What kind of externally visible effect a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EffectKind {
+    /// An idempotent action's effect was applied (permanent immediately).
+    Applied,
+    /// An undoable action's effect was applied tentatively.
+    Tentative,
+    /// A tentative effect was reverted by a cancellation.
+    Reverted,
+    /// A tentative effect was made permanent by a commit.
+    Committed,
+}
+
+impl fmt::Display for EffectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EffectKind::Applied => "applied",
+            EffectKind::Tentative => "tentative",
+            EffectKind::Reverted => "reverted",
+            EffectKind::Committed => "committed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A formal event observation with provenance metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// The formal event (what the theory sees).
+    pub event: Event,
+    /// When it was observed.
+    pub at: SimTime,
+    /// Which service observed it.
+    pub service: String,
+}
+
+/// An externally visible side-effect record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectRecord {
+    /// The action whose execution had the effect.
+    pub action: ActionName,
+    /// The logical request key the effect belongs to.
+    pub key: Value,
+    /// The protocol round the effect belongs to (0 for idempotent actions).
+    pub round: u64,
+    /// The kind of effect.
+    pub kind: EffectKind,
+    /// When the effect happened.
+    pub at: SimTime,
+}
+
+/// The global ledger of events, effects, and detected service-level protocol
+/// violations.
+///
+/// One ledger is shared (via [`SharedLedger`]) by every external service in
+/// a simulation; append order equals simulated-time order because the
+/// simulator is single-threaded and time is monotone.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    events: Vec<RecordedEvent>,
+    effects: Vec<EffectRecord>,
+    violations: Vec<String>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records a formal event observation.
+    pub fn record_event(&mut self, event: Event, at: SimTime, service: &str) {
+        self.events.push(RecordedEvent {
+            event,
+            at,
+            service: service.to_owned(),
+        });
+    }
+
+    /// Records an externally visible effect.
+    pub fn record_effect(
+        &mut self,
+        action: ActionName,
+        key: Value,
+        round: u64,
+        kind: EffectKind,
+        at: SimTime,
+    ) {
+        self.effects.push(EffectRecord {
+            action,
+            key,
+            round,
+            kind,
+            at,
+        });
+    }
+
+    /// Records a service-level protocol violation (e.g. commit after
+    /// cancel). A correct replication protocol never triggers these; the
+    /// baselines do.
+    pub fn record_violation(&mut self, detail: impl Into<String>) {
+        self.violations.push(detail.into());
+    }
+
+    /// The formal history of all recorded events, in observation order.
+    pub fn history(&self) -> History {
+        self.events.iter().map(|r| r.event.clone()).collect()
+    }
+
+    /// All recorded events with metadata.
+    pub fn events(&self) -> &[RecordedEvent] {
+        &self.events
+    }
+
+    /// All effect records.
+    pub fn effects(&self) -> &[EffectRecord] {
+        &self.effects
+    }
+
+    /// Detected protocol violations.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// How many times the effect of the idempotent action `(action, key)`
+    /// was (re-)applied. Exactly-once semantics requires 1 for every
+    /// successfully submitted request.
+    pub fn applied_count(&self, action: &ActionName, key: &Value) -> usize {
+        self.effects
+            .iter()
+            .filter(|e| {
+                e.kind == EffectKind::Applied && &e.action == action && &e.key == key
+            })
+            .count()
+    }
+
+    /// How many rounds of the undoable action `(action, key)` were
+    /// committed. Exactly-once semantics requires 1 for every successfully
+    /// submitted request.
+    pub fn committed_count(&self, action: &ActionName, key: &Value) -> usize {
+        self.effects
+            .iter()
+            .filter(|e| {
+                e.kind == EffectKind::Committed && &e.action == action && &e.key == key
+            })
+            .count()
+    }
+
+    /// How many tentative effects of `(action, key)` were left neither
+    /// reverted nor committed (dangling holds — a liveness bug).
+    pub fn dangling_tentative_count(&self, action: &ActionName, key: &Value) -> usize {
+        let mut dangling = 0usize;
+        for round in self
+            .effects
+            .iter()
+            .filter(|e| &e.action == action && &e.key == key)
+            .map(|e| e.round)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            let of_round = |kind: EffectKind| {
+                self.effects
+                    .iter()
+                    .filter(|e| {
+                        &e.action == action && &e.key == key && e.round == round && e.kind == kind
+                    })
+                    .count()
+            };
+            let tentative = of_round(EffectKind::Tentative);
+            let resolved = of_round(EffectKind::Reverted) + of_round(EffectKind::Committed);
+            dangling += tentative.saturating_sub(resolved);
+        }
+        dangling
+    }
+
+    /// Checks exactly-once semantics for a set of successfully submitted
+    /// logical requests, returning a human-readable description of every
+    /// violation found.
+    ///
+    /// Each entry of `requests` is `(action, key)`; idempotence/undoability
+    /// is taken from the [`ActionName`].
+    pub fn exactly_once_violations(&self, requests: &[(ActionName, Value)]) -> Vec<String> {
+        let mut out = Vec::new();
+        for (action, key) in requests {
+            if action.is_idempotent() {
+                let n = self.applied_count(action, key);
+                if n != 1 {
+                    out.push(format!(
+                        "idempotent request ({action}, {key}) applied its effect {n} times (want 1)"
+                    ));
+                }
+            } else {
+                let n = self.committed_count(action, key);
+                if n != 1 {
+                    out.push(format!(
+                        "undoable request ({action}, {key}) committed {n} times (want 1)"
+                    ));
+                }
+                let dangling = self.dangling_tentative_count(action, key);
+                if dangling != 0 {
+                    out.push(format!(
+                        "undoable request ({action}, {key}) left {dangling} dangling tentative effect(s)"
+                    ));
+                }
+            }
+        }
+        out.extend(self.violations.iter().cloned());
+        out
+    }
+}
+
+/// A ledger shared by every service of a (single-threaded) simulation.
+pub type SharedLedger = Rc<RefCell<Ledger>>;
+
+/// Creates a fresh shared ledger.
+pub fn shared_ledger() -> SharedLedger {
+    Rc::new(RefCell::new(Ledger::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xability_core::ActionId;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn events_accumulate_in_order() {
+        let mut ledger = Ledger::new();
+        let a = ActionId::base(ActionName::idempotent("a"));
+        ledger.record_event(Event::start(a.clone(), Value::from(1)), t(1), "svc");
+        ledger.record_event(Event::complete(a.clone(), Value::from(2)), t(2), "svc");
+        let h = ledger.history();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].is_start());
+        assert!(h[1].is_complete());
+        assert_eq!(ledger.events()[0].service, "svc");
+        assert_eq!(ledger.events()[1].at, t(2));
+    }
+
+    #[test]
+    fn applied_and_committed_counts() {
+        let mut ledger = Ledger::new();
+        let idem = ActionName::idempotent("put");
+        let undo = ActionName::undoable("xfer");
+        ledger.record_effect(idem.clone(), Value::from(1), 0, EffectKind::Applied, t(1));
+        ledger.record_effect(idem.clone(), Value::from(1), 0, EffectKind::Applied, t(2));
+        ledger.record_effect(undo.clone(), Value::from(2), 1, EffectKind::Tentative, t(3));
+        ledger.record_effect(undo.clone(), Value::from(2), 1, EffectKind::Committed, t(4));
+        assert_eq!(ledger.applied_count(&idem, &Value::from(1)), 2);
+        assert_eq!(ledger.applied_count(&idem, &Value::from(9)), 0);
+        assert_eq!(ledger.committed_count(&undo, &Value::from(2)), 1);
+        assert_eq!(ledger.dangling_tentative_count(&undo, &Value::from(2)), 0);
+    }
+
+    #[test]
+    fn dangling_tentative_detection() {
+        let mut ledger = Ledger::new();
+        let undo = ActionName::undoable("xfer");
+        ledger.record_effect(undo.clone(), Value::from(1), 1, EffectKind::Tentative, t(1));
+        ledger.record_effect(undo.clone(), Value::from(1), 1, EffectKind::Reverted, t(2));
+        ledger.record_effect(undo.clone(), Value::from(1), 2, EffectKind::Tentative, t(3));
+        assert_eq!(ledger.dangling_tentative_count(&undo, &Value::from(1)), 1);
+    }
+
+    #[test]
+    fn exactly_once_report() {
+        let mut ledger = Ledger::new();
+        let idem = ActionName::idempotent("put");
+        let undo = ActionName::undoable("xfer");
+        // put applied twice: violation. xfer committed once: fine.
+        ledger.record_effect(idem.clone(), Value::from(1), 0, EffectKind::Applied, t(1));
+        ledger.record_effect(idem.clone(), Value::from(1), 0, EffectKind::Applied, t(2));
+        ledger.record_effect(undo.clone(), Value::from(2), 1, EffectKind::Tentative, t(3));
+        ledger.record_effect(undo.clone(), Value::from(2), 1, EffectKind::Committed, t(4));
+        ledger.record_violation("commit after cancel on xfer/7");
+        let violations = ledger.exactly_once_violations(&[
+            (idem, Value::from(1)),
+            (undo, Value::from(2)),
+        ]);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("2 times"));
+        assert!(violations[1].contains("commit after cancel"));
+    }
+
+    #[test]
+    fn missing_effects_are_violations() {
+        let ledger = Ledger::new();
+        let idem = ActionName::idempotent("put");
+        let violations = ledger.exactly_once_violations(&[(idem, Value::from(1))]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("0 times"));
+    }
+
+    #[test]
+    fn shared_ledger_is_shareable() {
+        let ledger = shared_ledger();
+        let clone = Rc::clone(&ledger);
+        clone.borrow_mut().record_violation("x");
+        assert_eq!(ledger.borrow().violations().len(), 1);
+    }
+}

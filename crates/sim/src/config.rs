@@ -1,0 +1,188 @@
+//! Simulation configuration: network latency under partial synchrony,
+//! failure-detector timing, and crash schedules.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Network latency model with partial synchrony.
+///
+/// Before the *global stabilization time* (GST), a message may — with
+/// probability `spike_prob` — suffer an arbitrary delay in
+/// `[spike_min, spike_max]`. After GST every delay falls in
+/// `[base_min, base_max]`. Choosing `spike_max` larger than the failure
+/// detector timeout makes pre-GST false suspicions arise *naturally* from
+/// asynchrony rather than from artificial fault injection, which is exactly
+/// the eventually-perfect (◇P) behaviour the paper assumes (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Minimum latency of a well-behaved message.
+    pub base_min: SimDuration,
+    /// Maximum latency of a well-behaved message.
+    pub base_max: SimDuration,
+    /// Probability that a pre-GST message is delayed by a spike.
+    pub spike_prob: f64,
+    /// Minimum spike delay.
+    pub spike_min: SimDuration,
+    /// Maximum spike delay.
+    pub spike_max: SimDuration,
+    /// Global stabilization time: after this instant, no spikes occur.
+    pub gst: SimTime,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_min: SimDuration::from_micros(500),
+            base_max: SimDuration::from_millis(3),
+            spike_prob: 0.0,
+            spike_min: SimDuration::from_millis(80),
+            spike_max: SimDuration::from_millis(250),
+            gst: SimTime::ZERO,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A fully synchronous network: no spikes ever.
+    pub fn synchronous() -> Self {
+        LatencyModel::default()
+    }
+
+    /// A partially synchronous network with the given pre-GST spike
+    /// probability and stabilization time.
+    pub fn partially_synchronous(spike_prob: f64, gst: SimTime) -> Self {
+        LatencyModel {
+            spike_prob,
+            gst,
+            ..LatencyModel::default()
+        }
+    }
+
+    /// Samples the latency of a message sent at `now`.
+    pub fn sample(&self, now: SimTime, rng: &mut StdRng) -> SimDuration {
+        if now < self.gst && self.spike_prob > 0.0 && rng.random_bool(self.spike_prob) {
+            sample_range(self.spike_min, self.spike_max, rng)
+        } else {
+            sample_range(self.base_min, self.base_max, rng)
+        }
+    }
+}
+
+fn sample_range(min: SimDuration, max: SimDuration, rng: &mut StdRng) -> SimDuration {
+    let (lo, hi) = (min.as_micros(), max.as_micros());
+    if lo >= hi {
+        return min;
+    }
+    SimDuration::from_micros(rng.random_range(lo..=hi))
+}
+
+/// Failure-detector timing parameters (heartbeat-based ◇P, §5.2 / \[CT96\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FdConfig {
+    /// How often each process broadcasts a heartbeat.
+    pub heartbeat_every: SimDuration,
+    /// Silence threshold after which a process is suspected.
+    pub timeout: SimDuration,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        FdConfig {
+            heartbeat_every: SimDuration::from_millis(10),
+            timeout: SimDuration::from_millis(40),
+        }
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds and equal programs give bit-identical runs.
+    pub seed: u64,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// Failure-detector timing.
+    pub fd: FdConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: LatencyModel::default(),
+            fd: FdConfig::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with the given seed and defaults otherwise.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synchronous_model_never_spikes() {
+        let model = LatencyModel::synchronous();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = model.sample(SimTime::ZERO, &mut rng);
+            assert!(d >= model.base_min && d <= model.base_max);
+        }
+    }
+
+    #[test]
+    fn spikes_stop_after_gst() {
+        let gst = SimTime::from_millis(100);
+        let model = LatencyModel::partially_synchronous(1.0, gst);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Before GST every message spikes (prob 1.0).
+        let before = model.sample(SimTime::ZERO, &mut rng);
+        assert!(before >= model.spike_min);
+        // After GST no message spikes.
+        for _ in 0..100 {
+            let after = model.sample(gst, &mut rng);
+            assert!(after <= model.base_max);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = LatencyModel::partially_synchronous(0.5, SimTime::from_millis(50));
+        let sample_all = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100)
+                .map(|i| model.sample(SimTime::from_micros(i * 700), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample_all(7), sample_all(7));
+        assert_ne!(sample_all(7), sample_all(8));
+    }
+
+    #[test]
+    fn degenerate_range_returns_min() {
+        let mut model = LatencyModel::synchronous();
+        model.base_min = SimDuration::from_micros(10);
+        model.base_max = SimDuration::from_micros(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(model.sample(SimTime::ZERO, &mut rng).as_micros(), 10);
+    }
+
+    #[test]
+    fn default_fd_timing_is_consistent() {
+        let fd = FdConfig::default();
+        assert!(fd.timeout > fd.heartbeat_every);
+    }
+}

@@ -1,0 +1,61 @@
+//! # xability-sim — deterministic asynchronous-system simulation
+//!
+//! The system model of *X-Ability: A Theory of Replication* (§2, §5.2) is an
+//! asynchronous message-passing system with crash-stop processes, reliable
+//! channels, and an eventually-perfect failure detector. This crate
+//! implements that model as a **deterministic discrete-event simulator**:
+//!
+//! * [`World`] — the kernel: event queue, clock, network, crash injection.
+//! * [`Actor`] / [`Context`] — event-driven processes (message, timer and
+//!   suspicion callbacks).
+//! * [`LatencyModel`] — partial synchrony: latency spikes before a global
+//!   stabilization time (GST), bounded latency after it. False failure
+//!   suspicions arise *naturally* from pre-GST spikes.
+//! * Built-in heartbeat failure detection satisfying strong completeness
+//!   always and eventual strong accuracy after GST (◇P, \[CT96\]).
+//!
+//! Determinism is the point: x-ability is a property of *histories*, so the
+//! test suite needs to construct adversarial schedules (crash storms, false
+//! suspicion storms) and replay them exactly. All randomness flows from
+//! [`SimConfig::seed`].
+//!
+//! ## Example
+//!
+//! ```
+//! use xability_sim::{Actor, Context, ProcessId, SimConfig, SimTime, World};
+//!
+//! struct Counter(u32);
+//! impl Actor<u32> for Counter {
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: ProcessId, n: u32) {
+//!         self.0 += n;
+//!     }
+//! }
+//! struct Sender(ProcessId);
+//! impl Actor<u32> for Sender {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+//!         ctx.send(self.0, 21);
+//!         ctx.send(self.0, 21);
+//!     }
+//!     fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+//! }
+//!
+//! let mut world = World::new(SimConfig::with_seed(1));
+//! let counter = world.add_process("counter", Box::new(Counter(0)));
+//! world.add_process("sender", Box::new(Sender(counter)));
+//! world.run_until(SimTime::from_secs(1));
+//! assert_eq!(world.actor_as::<Counter>(counter).unwrap().0, 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod actor;
+pub mod config;
+pub mod time;
+pub mod world;
+
+pub use actor::{Actor, Context, ProcessId, TimerId};
+pub use config::{FdConfig, LatencyModel, SimConfig};
+pub use time::{SimDuration, SimTime};
+pub use world::{Metrics, World};

@@ -1,0 +1,712 @@
+//! The simulation kernel: a deterministic discrete-event executor.
+//!
+//! The [`World`] owns every simulated process, the event queue, the clock,
+//! the network, and the failure-detection machinery. Determinism: all
+//! randomness flows from the configured seed, and events with equal
+//! timestamps are processed in scheduling order, so two runs of the same
+//! program with the same [`crate::SimConfig`] are bit-identical.
+//!
+//! ## Built-in failure detection
+//!
+//! Every process broadcasts heartbeats every `fd.heartbeat_every`; a process
+//! that has not heard from `q` for `fd.timeout` suspects `q`. With a
+//! partially synchronous [`crate::LatencyModel`], pre-GST latency spikes
+//! cause *false* suspicions; after GST the detector is accurate. Together
+//! with the fact that a crashed process stops sending heartbeats, this
+//! implements the eventually-perfect failure detector ◇P that the paper
+//! assumes among replicas, and the strong-completeness-only detector it
+//! assumes at the client (§5.2).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, Context, ProcessId, TimerId};
+use crate::config::SimConfig;
+use crate::time::SimTime;
+
+/// Counters describing what happened during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Protocol messages handed to the network.
+    pub messages_sent: u64,
+    /// Protocol messages delivered to live processes.
+    pub messages_delivered: u64,
+    /// Protocol messages dropped because the destination had crashed.
+    pub messages_dropped: u64,
+    /// Timers that fired (excluding cancelled ones).
+    pub timers_fired: u64,
+    /// Heartbeats delivered (failure-detector traffic, counted separately).
+    pub heartbeats_delivered: u64,
+    /// Individual suspicion flips (either direction) across all processes.
+    pub suspicion_changes: u64,
+    /// Total kernel events processed.
+    pub events_processed: u64,
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Start(ProcessId),
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        process: ProcessId,
+        timer: TimerId,
+    },
+    Crash(ProcessId),
+    HeartbeatTick(ProcessId),
+    HeartbeatArrival {
+        from: ProcessId,
+        to: ProcessId,
+    },
+    FdCheck(ProcessId),
+}
+
+#[derive(Debug)]
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+struct FdState {
+    last_heard: BTreeMap<ProcessId, SimTime>,
+    suspected: BTreeSet<ProcessId>,
+}
+
+struct Slot<M> {
+    name: String,
+    actor: Option<Box<dyn Actor<M>>>,
+    alive: bool,
+    fd: FdState,
+}
+
+impl<M> std::fmt::Debug for Slot<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("name", &self.name)
+            .field("alive", &self.alive)
+            .field("suspected", &self.fd.suspected)
+            .finish()
+    }
+}
+
+/// The deterministic discrete-event world.
+///
+/// # Examples
+///
+/// ```
+/// use xability_sim::{Actor, Context, ProcessId, SimConfig, SimTime, World};
+///
+/// struct Echo;
+/// impl Actor<String> for Echo {
+///     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: ProcessId, msg: String) {
+///         if msg == "ping" {
+///             ctx.send(from, "pong".to_owned());
+///         }
+///     }
+/// }
+///
+/// struct Caller {
+///     peer: ProcessId,
+///     pub reply: Option<String>,
+/// }
+/// impl Actor<String> for Caller {
+///     fn on_start(&mut self, ctx: &mut Context<'_, String>) {
+///         ctx.send(self.peer, "ping".to_owned());
+///     }
+///     fn on_message(&mut self, _ctx: &mut Context<'_, String>, _from: ProcessId, msg: String) {
+///         self.reply = Some(msg);
+///     }
+/// }
+///
+/// let mut world = World::new(SimConfig::with_seed(42));
+/// let echo = world.add_process("echo", Box::new(Echo));
+/// let caller = world.add_process("caller", Box::new(Caller { peer: echo, reply: None }));
+/// world.run_until(SimTime::from_secs(1));
+/// let caller_state: &Caller = world.actor_as(caller).unwrap();
+/// assert_eq!(caller_state.reply.as_deref(), Some("pong"));
+/// ```
+pub struct World<M> {
+    config: SimConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    slots: Vec<Slot<M>>,
+    rng: StdRng,
+    metrics: Metrics,
+    next_timer: u64,
+    cancelled_timers: BTreeSet<TimerId>,
+}
+
+impl<M> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("processes", &self.slots)
+            .field("queued_events", &self.queue.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl<M: std::fmt::Debug + 'static> World<M> {
+    /// Creates an empty world.
+    pub fn new(config: SimConfig) -> Self {
+        World {
+            config,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            metrics: Metrics::default(),
+            next_timer: 0,
+            cancelled_timers: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a process to the world and schedules its start, heartbeat and
+    /// failure-detection activity.
+    pub fn add_process(&mut self, name: impl Into<String>, actor: Box<dyn Actor<M>>) -> ProcessId {
+        let id = ProcessId(self.slots.len());
+        let mut fd = FdState::default();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.fd.last_heard.insert(id, self.now);
+            fd.last_heard.insert(ProcessId(i), self.now);
+        }
+        self.slots.push(Slot {
+            name: name.into(),
+            actor: Some(actor),
+            alive: true,
+            fd,
+        });
+        self.push_event(self.now, EventKind::Start(id));
+        self.push_event(
+            self.now + self.config.fd.heartbeat_every,
+            EventKind::HeartbeatTick(id),
+        );
+        self.push_event(
+            self.now + self.config.fd.heartbeat_every,
+            EventKind::FdCheck(id),
+        );
+        id
+    }
+
+    /// Schedules `process` to crash at `at` (crash-stop: it never recovers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_crash(&mut self, process: ProcessId, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        self.push_event(at, EventKind::Crash(process));
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of processes ever added.
+    pub fn process_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the process has not crashed.
+    pub fn is_alive(&self, process: ProcessId) -> bool {
+        self.slots[process.0].alive
+    }
+
+    /// The name given to a process at [`World::add_process`] time.
+    pub fn process_name(&self, process: ProcessId) -> &str {
+        &self.slots[process.0].name
+    }
+
+    /// The set of processes currently suspected by `process`'s failure
+    /// detector.
+    pub fn suspected_by(&self, process: ProcessId) -> &BTreeSet<ProcessId> {
+        &self.slots[process.0].fd.suspected
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Downcasts a process's actor to its concrete type for inspection.
+    ///
+    /// Returns `None` if the type does not match.
+    pub fn actor_as<T: Actor<M>>(&self, process: ProcessId) -> Option<&T> {
+        let actor = self.slots[process.0].actor.as_deref()?;
+        (actor as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`World::actor_as`] (useful to inject state
+    /// between runs in tests).
+    pub fn actor_as_mut<T: Actor<M>>(&mut self, process: ProcessId) -> Option<&mut T> {
+        let actor = self.slots[process.0].actor.as_deref_mut()?;
+        (actor as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Processes a single event, if any remains. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.metrics.events_processed += 1;
+        self.handle(event.kind);
+        true
+    }
+
+    /// Runs every event scheduled at or before `deadline`, then advances the
+    /// clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until `pred` returns `false` (checked between events) or the
+    /// deadline passes. Returns `true` if the predicate turned false before
+    /// the deadline (i.e. the awaited condition was reached).
+    pub fn run_while<F: FnMut(&Self) -> bool>(&mut self, mut pred: F, deadline: SimTime) -> bool {
+        loop {
+            if !pred(self) {
+                return true;
+            }
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return !pred(self);
+                }
+            }
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn handle(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::Start(p) => {
+                self.dispatch(p, |actor, ctx| actor.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if self.slots[to.0].alive {
+                    self.metrics.messages_delivered += 1;
+                    self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                } else {
+                    self.metrics.messages_dropped += 1;
+                }
+            }
+            EventKind::Timer { process, timer } => {
+                if self.cancelled_timers.remove(&timer) {
+                    return;
+                }
+                if self.slots[process.0].alive {
+                    self.metrics.timers_fired += 1;
+                    self.dispatch(process, |actor, ctx| actor.on_timer(ctx, timer));
+                }
+            }
+            EventKind::Crash(p) => {
+                self.slots[p.0].alive = false;
+            }
+            EventKind::HeartbeatTick(p) => {
+                if !self.slots[p.0].alive {
+                    return;
+                }
+                for q in 0..self.slots.len() {
+                    if q == p.0 {
+                        continue;
+                    }
+                    let delay = self.config.latency.sample(self.now, &mut self.rng);
+                    let at = self.now + delay;
+                    self.push_event(
+                        at,
+                        EventKind::HeartbeatArrival {
+                            from: p,
+                            to: ProcessId(q),
+                        },
+                    );
+                }
+                let next = self.now + self.config.fd.heartbeat_every;
+                self.push_event(next, EventKind::HeartbeatTick(p));
+            }
+            EventKind::HeartbeatArrival { from, to } => {
+                if !self.slots[to.0].alive {
+                    return;
+                }
+                self.metrics.heartbeats_delivered += 1;
+                let entry = self.slots[to.0].fd.last_heard.entry(from).or_insert(self.now);
+                if *entry < self.now {
+                    *entry = self.now;
+                }
+            }
+            EventKind::FdCheck(p) => {
+                if !self.slots[p.0].alive {
+                    return;
+                }
+                let timeout = self.config.fd.timeout;
+                let now = self.now;
+                let mut changes: Vec<(ProcessId, bool)> = Vec::new();
+                {
+                    let fd = &mut self.slots[p.0].fd;
+                    for q in 0..fd.last_heard.len() + 1 {
+                        let q = ProcessId(q);
+                        if q == p {
+                            continue;
+                        }
+                        let Some(&last) = fd.last_heard.get(&q) else {
+                            continue;
+                        };
+                        let suspect_now = now.since(last) > timeout;
+                        let suspect_before = fd.suspected.contains(&q);
+                        if suspect_now != suspect_before {
+                            if suspect_now {
+                                fd.suspected.insert(q);
+                            } else {
+                                fd.suspected.remove(&q);
+                            }
+                            changes.push((q, suspect_now));
+                        }
+                    }
+                }
+                for (subject, suspected) in changes {
+                    self.metrics.suspicion_changes += 1;
+                    self.dispatch(p, |actor, ctx| actor.on_suspicion(ctx, subject, suspected));
+                }
+                let next = self.now + self.config.fd.heartbeat_every;
+                self.push_event(next, EventKind::FdCheck(p));
+            }
+        }
+    }
+
+    /// Runs `f` on the actor of `p` with a fresh context, then applies the
+    /// buffered effects. Skips crashed processes.
+    fn dispatch<F>(&mut self, p: ProcessId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    {
+        if !self.slots[p.0].alive {
+            return;
+        }
+        let Some(mut actor) = self.slots[p.0].actor.take() else {
+            return;
+        };
+        let mut ctx = Context {
+            now: self.now,
+            me: p,
+            rng: &mut self.rng,
+            suspected: &self.slots[p.0].fd.suspected,
+            next_timer: &mut self.next_timer,
+            outbox: Vec::new(),
+            new_timers: Vec::new(),
+            cancelled_timers: Vec::new(),
+        };
+        f(actor.as_mut(), &mut ctx);
+        let Context {
+            outbox,
+            new_timers,
+            cancelled_timers,
+            ..
+        } = ctx;
+        self.slots[p.0].actor = Some(actor);
+
+        for (to, msg) in outbox {
+            assert!(
+                to.0 < self.slots.len(),
+                "send to unknown process {to} from {p}"
+            );
+            self.metrics.messages_sent += 1;
+            let delay = self.config.latency.sample(self.now, &mut self.rng);
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Deliver { from: p, to, msg });
+        }
+        for (delay, timer) in new_timers {
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Timer { process: p, timer });
+        }
+        for timer in cancelled_timers {
+            self.cancelled_timers.insert(timer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    /// Replies to every ping; counts pings received.
+    struct Responder {
+        pings: u32,
+    }
+
+    impl Actor<Msg> for Responder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+            if msg == Msg::Ping {
+                self.pings += 1;
+                ctx.send(from, Msg::Pong);
+            }
+        }
+    }
+
+    /// Sends pings on a timer; records pongs and suspicion callbacks.
+    struct Pinger {
+        peer: ProcessId,
+        pongs: u32,
+        suspicions: Vec<(ProcessId, bool)>,
+        period: SimDuration,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping);
+            ctx.set_timer(self.period);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
+            if msg == Msg::Pong {
+                self.pongs += 1;
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId) {
+            ctx.send(self.peer, Msg::Ping);
+            ctx.set_timer(self.period);
+        }
+
+        fn on_suspicion(&mut self, _ctx: &mut Context<'_, Msg>, subject: ProcessId, s: bool) {
+            self.suspicions.push((subject, s));
+        }
+    }
+
+    fn build() -> (World<Msg>, ProcessId, ProcessId) {
+        let mut world = World::new(SimConfig::with_seed(7));
+        let responder = world.add_process("responder", Box::new(Responder { pings: 0 }));
+        let pinger = world.add_process(
+            "pinger",
+            Box::new(Pinger {
+                peer: responder,
+                pongs: 0,
+                suspicions: Vec::new(),
+                period: SimDuration::from_millis(20),
+            }),
+        );
+        (world, responder, pinger)
+    }
+
+    #[test]
+    fn messages_flow_and_time_advances() {
+        let (mut world, responder, pinger) = build();
+        world.run_until(SimTime::from_millis(200));
+        assert_eq!(world.now(), SimTime::from_millis(200));
+        let r: &Responder = world.actor_as(responder).unwrap();
+        let p: &Pinger = world.actor_as(pinger).unwrap();
+        assert!(r.pings >= 9, "pings: {}", r.pings);
+        assert_eq!(r.pings, p.pongs + (r.pings - p.pongs)); // sanity
+        assert!(p.pongs >= 8);
+        assert!(world.metrics().messages_delivered >= 17);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let mut world = World::new(SimConfig::with_seed(seed));
+            let responder = world.add_process("r", Box::new(Responder { pings: 0 }));
+            let _pinger = world.add_process(
+                "p",
+                Box::new(Pinger {
+                    peer: responder,
+                    pongs: 0,
+                    suspicions: Vec::new(),
+                    period: SimDuration::from_millis(3),
+                }),
+            );
+            world.run_until(SimTime::from_millis(500));
+            (
+                *world.metrics(),
+                world.actor_as::<Responder>(responder).unwrap().pings,
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0.events_processed, 0);
+    }
+
+    #[test]
+    fn crashed_process_stops_responding_and_drops_messages() {
+        let (mut world, responder, pinger) = build();
+        world.schedule_crash(responder, SimTime::from_millis(50));
+        world.run_until(SimTime::from_millis(400));
+        assert!(!world.is_alive(responder));
+        assert!(world.is_alive(pinger));
+        let p: &Pinger = world.actor_as(pinger).unwrap();
+        // Pings keep being sent but go nowhere.
+        assert!(world.metrics().messages_dropped > 0);
+        // Pongs stop shortly after the crash.
+        assert!(p.pongs <= 4, "pongs: {}", p.pongs);
+    }
+
+    #[test]
+    fn fd_strong_completeness_crashed_process_is_suspected() {
+        let (mut world, responder, pinger) = build();
+        world.schedule_crash(responder, SimTime::from_millis(30));
+        world.run_until(SimTime::from_millis(300));
+        assert!(world.suspected_by(pinger).contains(&responder));
+        let p: &Pinger = world.actor_as(pinger).unwrap();
+        assert!(p.suspicions.contains(&(responder, true)));
+    }
+
+    #[test]
+    fn fd_accuracy_no_suspicions_in_synchronous_runs() {
+        let (mut world, responder, pinger) = build();
+        world.run_until(SimTime::from_millis(500));
+        assert!(world.suspected_by(pinger).is_empty());
+        assert!(world.suspected_by(responder).is_empty());
+        assert_eq!(world.metrics().suspicion_changes, 0);
+    }
+
+    #[test]
+    fn fd_eventual_accuracy_under_partial_synchrony() {
+        let mut config = SimConfig::with_seed(3);
+        config.latency = crate::config::LatencyModel::partially_synchronous(
+            0.4,
+            SimTime::from_millis(400),
+        );
+        let mut world: World<Msg> = World::new(config);
+        let a = world.add_process("a", Box::new(Responder { pings: 0 }));
+        let b = world.add_process(
+            "b",
+            Box::new(Pinger {
+                peer: a,
+                pongs: 0,
+                suspicions: Vec::new(),
+                period: SimDuration::from_millis(10),
+            }),
+        );
+        world.run_until(SimTime::from_millis(350));
+        let flips_before_gst = world.metrics().suspicion_changes;
+        assert!(
+            flips_before_gst > 0,
+            "expected pre-GST false suspicions from latency spikes"
+        );
+        // After GST plus one timeout, suspicions clear and stay clear.
+        world.run_until(SimTime::from_secs(1));
+        assert!(world.suspected_by(b).is_empty());
+        assert!(world.suspected_by(a).is_empty());
+    }
+
+    #[test]
+    fn timers_can_be_cancelled() {
+        struct Canceller {
+            fired: bool,
+        }
+        impl Actor<Msg> for Canceller {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                let t = ctx.set_timer(SimDuration::from_millis(5));
+                ctx.cancel_timer(t);
+                ctx.set_timer(SimDuration::from_millis(10));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _timer: TimerId) {
+                self.fired = true;
+            }
+        }
+        let mut world = World::new(SimConfig::with_seed(1));
+        let p = world.add_process("c", Box::new(Canceller { fired: false }));
+        world.run_until(SimTime::from_millis(7));
+        assert!(!world.actor_as::<Canceller>(p).unwrap().fired);
+        world.run_until(SimTime::from_millis(20));
+        assert!(world.actor_as::<Canceller>(p).unwrap().fired);
+        assert_eq!(world.metrics().timers_fired, 1);
+    }
+
+    #[test]
+    fn run_while_stops_at_condition() {
+        let (mut world, responder, _pinger) = build();
+        let reached = world.run_while(
+            |w| w.actor_as::<Responder>(responder).unwrap().pings < 3,
+            SimTime::from_secs(5),
+        );
+        assert!(reached);
+        assert!(world.now() < SimTime::from_secs(5));
+        assert_eq!(world.actor_as::<Responder>(responder).unwrap().pings, 3);
+    }
+
+    #[test]
+    fn run_while_reports_deadline_expiry() {
+        let (mut world, responder, _pinger) = build();
+        let reached = world.run_while(
+            |w| w.actor_as::<Responder>(responder).unwrap().pings < 1_000_000,
+            SimTime::from_millis(50),
+        );
+        assert!(!reached);
+        assert_eq!(world.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn process_metadata() {
+        let (world, responder, pinger) = build();
+        assert_eq!(world.process_count(), 2);
+        assert_eq!(world.process_name(responder), "responder");
+        assert_eq!(world.process_name(pinger), "pinger");
+        assert!(world.is_alive(responder));
+    }
+
+    #[test]
+    fn world_debug_is_nonempty() {
+        let (world, ..) = build();
+        assert!(!format!("{world:?}").is_empty());
+    }
+}

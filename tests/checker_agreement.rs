@@ -1,0 +1,94 @@
+//! Property tests: the polynomial fast checker agrees with the exhaustive
+//! search checker (the reference semantics) wherever it gives a definite
+//! answer.
+
+use proptest::prelude::*;
+
+use xability::core::xable::{fast, is_xable_search, SearchBudget, SearchResult};
+use xability::core::{ActionId, ActionName, Event, History, Value};
+
+/// Event alphabet: one idempotent action and one undoable action (with its
+/// cancel/commit), one input, two possible outputs — small enough for the
+/// exhaustive checker, expressive enough to hit every reduction rule.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let idem = ActionId::base(ActionName::idempotent("i"));
+    let undo = ActionId::base(ActionName::undoable("u"));
+    let cancel = undo.cancel().expect("undoable");
+    let commit = undo.commit().expect("undoable");
+    prop_oneof![
+        Just(Event::start(idem.clone(), Value::from(1))),
+        Just(Event::complete(idem.clone(), Value::from(7))),
+        Just(Event::complete(idem, Value::from(8))),
+        Just(Event::start(undo.clone(), Value::from(1))),
+        Just(Event::complete(undo, Value::from(7))),
+        Just(Event::start(cancel.clone(), Value::from(1))),
+        Just(Event::complete(cancel, Value::Nil)),
+        Just(Event::start(commit.clone(), Value::from(1))),
+        Just(Event::complete(commit, Value::Nil)),
+    ]
+}
+
+fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
+    prop::collection::vec(arb_event(), 0..max_len).prop_map(History::from_events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fast checker verdicts agree with the exhaustive search on single
+    /// idempotent requests.
+    #[test]
+    fn fast_agrees_with_search_idempotent(h in arb_history(8)) {
+        let a = ActionId::base(ActionName::idempotent("i"));
+        let ops = [(a, Value::from(1))];
+        let search = is_xable_search(&h, &ops, SearchBudget::default());
+        let fastv = fast::check(&h, &ops, &[]);
+        match (&search, &fastv) {
+            (SearchResult::Reached(_), fast::Verdict::NotXAble { reason }) => {
+                prop_assert!(false, "fast says NotXAble ({reason}) but search reduced: {h}");
+            }
+            (SearchResult::Exhausted, fast::Verdict::XAble { .. }) => {
+                prop_assert!(false, "fast says XAble but search exhausted: {h}");
+            }
+            _ => {}
+        }
+    }
+
+    /// Same agreement for single undoable requests.
+    #[test]
+    fn fast_agrees_with_search_undoable(h in arb_history(8)) {
+        let u = ActionId::base(ActionName::undoable("u"));
+        let ops = [(u, Value::from(1))];
+        let search = is_xable_search(&h, &ops, SearchBudget::default());
+        let fastv = fast::check(&h, &ops, &[]);
+        match (&search, &fastv) {
+            (SearchResult::Reached(_), fast::Verdict::NotXAble { reason }) => {
+                prop_assert!(false, "fast says NotXAble ({reason}) but search reduced: {h}");
+            }
+            (SearchResult::Exhausted, fast::Verdict::XAble { .. }) => {
+                prop_assert!(false, "fast says XAble but search exhausted: {h}");
+            }
+            _ => {}
+        }
+    }
+
+    /// The erasable path agrees with reducibility-to-empty.
+    #[test]
+    fn fast_erasable_agrees_with_search(h in arb_history(6)) {
+        use xability::core::xable::search_reduction;
+        let u = ActionId::base(ActionName::undoable("u"));
+        let i = ActionId::base(ActionName::idempotent("i"));
+        let erasable = [(u, Value::from(1)), (i, Value::from(1))];
+        let fastv = fast::check(&h, &[], &erasable);
+        let search = search_reduction(&h, History::is_empty, 0, SearchBudget::default());
+        match (&search, &fastv) {
+            (SearchResult::Reached(_), fast::Verdict::NotXAble { reason }) => {
+                prop_assert!(false, "fast says NotXAble ({reason}) but history erases: {h}");
+            }
+            (SearchResult::Exhausted, fast::Verdict::XAble { .. }) => {
+                prop_assert!(false, "fast says erasable but search exhausted: {h}");
+            }
+            _ => {}
+        }
+    }
+}

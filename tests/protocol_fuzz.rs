@@ -1,0 +1,82 @@
+//! Schedule fuzzing: the x-able protocol must stay exactly-once and produce
+//! x-able histories under randomized seeds, crash schedules, fault rates
+//! and network asynchrony.
+
+use proptest::prelude::*;
+
+use xability::harness::{Scenario, Scheme, Workload};
+use xability::services::FailurePlan;
+use xability::sim::{LatencyModel, SimTime};
+
+proptest! {
+    // Each case runs a full simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single replica crash at any time, any seed: correct.
+    #[test]
+    fn crash_anywhere_is_exactly_once(
+        seed in 0u64..1_000,
+        crash_replica in 0usize..3,
+        crash_ms in 0u64..60,
+    ) {
+        let report = Scenario::new(
+            Scheme::XAble,
+            Workload::BankTransfers { count: 2, amount: 10 },
+        )
+        .seed(seed)
+        .crash(crash_replica, SimTime::from_millis(crash_ms))
+        .run();
+        prop_assert!(report.finished, "client starved (seed {seed})");
+        prop_assert!(
+            report.exactly_once_violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.exactly_once_violations
+        );
+        prop_assert!(
+            report.r3_violation.is_none(),
+            "seed {seed}: {:?}",
+            report.r3_violation
+        );
+        prop_assert!(report.r4_ok);
+    }
+
+    /// Service fault rates up to 40% with a crash on top: correct.
+    #[test]
+    fn faults_plus_crash_is_exactly_once(
+        seed in 0u64..1_000,
+        fail_centi in 0u32..40,
+    ) {
+        let report = Scenario::new(
+            Scheme::XAble,
+            Workload::BankTransfers { count: 2, amount: 10 },
+        )
+        .seed(seed)
+        .crash(0, SimTime::from_millis(8))
+        .service_failures(FailurePlan::probabilistic(f64::from(fail_centi) / 100.0))
+        .run();
+        prop_assert!(report.finished, "client starved (seed {seed})");
+        prop_assert!(report.exactly_once_violations.is_empty());
+        prop_assert!(report.r3_violation.is_none(), "{:?}", report.r3_violation);
+    }
+
+    /// Partial synchrony with arbitrary spike pressure: correct.
+    #[test]
+    fn asynchrony_is_exactly_once(
+        seed in 0u64..1_000,
+        spike_centi in 0u32..45,
+    ) {
+        let report = Scenario::new(
+            Scheme::XAble,
+            Workload::TokenIssues { count: 2 },
+        )
+        .seed(seed)
+        .latency(LatencyModel::partially_synchronous(
+            f64::from(spike_centi) / 100.0,
+            SimTime::from_millis(600),
+        ))
+        .run();
+        prop_assert!(report.finished, "client starved (seed {seed})");
+        prop_assert!(report.exactly_once_violations.is_empty());
+        prop_assert!(report.r3_violation.is_none(), "{:?}", report.r3_violation);
+    }
+}

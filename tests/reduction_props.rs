@@ -1,0 +1,119 @@
+//! Property tests for the reduction relation ⇒ (Fig. 4): structural laws
+//! every step must satisfy.
+
+use proptest::prelude::*;
+
+use xability::core::reduce::{reduction_steps, ReductionRule};
+use xability::core::signature::signatures;
+use xability::core::xable::{is_xable_search, SearchBudget, SearchResult};
+use xability::core::{ActionId, ActionName, Event, History, Value};
+
+fn alphabet() -> Vec<Event> {
+    let idem = ActionId::base(ActionName::idempotent("i"));
+    let undo = ActionId::base(ActionName::undoable("u"));
+    let cancel = undo.cancel().expect("undoable");
+    let commit = undo.commit().expect("undoable");
+    vec![
+        Event::start(idem.clone(), Value::from(1)),
+        Event::complete(idem.clone(), Value::from(7)),
+        Event::complete(idem, Value::from(8)),
+        Event::start(undo.clone(), Value::from(1)),
+        Event::complete(undo, Value::from(7)),
+        Event::start(cancel.clone(), Value::from(1)),
+        Event::complete(cancel, Value::Nil),
+        Event::start(commit.clone(), Value::from(1)),
+        Event::complete(commit, Value::Nil),
+    ]
+}
+
+fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
+    let alpha = alphabet();
+    prop::collection::vec(0..alpha.len(), 0..max_len)
+        .prop_map(move |idx| History::from_events(idx.into_iter().map(|i| alpha[i].clone()).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reduction never lengthens a history, and rule 19 strictly shortens.
+    #[test]
+    fn steps_never_lengthen(h in arb_history(9)) {
+        for step in reduction_steps(&h) {
+            prop_assert!(step.result.len() <= h.len());
+            if step.rule == ReductionRule::CancelErasure {
+                prop_assert!(step.result.len() < h.len());
+            }
+            prop_assert_ne!(&step.result, &h, "identity step leaked");
+        }
+    }
+
+    /// Steps preserve the event multiset except for erased events and the
+    /// re-emitted surviving pair (compaction reorders, never invents).
+    #[test]
+    fn steps_never_invent_events(h in arb_history(9)) {
+        use std::collections::BTreeMap;
+        fn count(hist: &History) -> BTreeMap<&Event, isize> {
+            let mut m: BTreeMap<&Event, isize> = BTreeMap::new();
+            for e in hist.iter() {
+                *m.entry(e).or_default() += 1;
+            }
+            m
+        }
+        let before = count(&h);
+        for step in reduction_steps(&h) {
+            for (event, n) in count(&step.result) {
+                prop_assert!(
+                    before.get(event).copied().unwrap_or(0) >= n,
+                    "step invented event {event} in {h} -> {}",
+                    step.result
+                );
+            }
+        }
+    }
+
+    /// X-ability is preserved along reduction: if a successor reduces to a
+    /// failure-free history, so does the original (rule 17, transitivity).
+    #[test]
+    fn xability_flows_backwards(h in arb_history(7)) {
+        let i = ActionId::base(ActionName::idempotent("i"));
+        let ops = [(i, Value::from(1))];
+        for succ in reduction_steps(&h).into_iter().map(|s| s.result) {
+            if matches!(is_xable_search(&succ, &ops, SearchBudget::default()), SearchResult::Reached(_)) {
+                prop_assert!(
+                    matches!(is_xable_search(&h, &ops, SearchBudget::default()), SearchResult::Reached(_)),
+                    "successor x-able but original not: {h}"
+                );
+            }
+        }
+    }
+
+    /// Signatures only shrink along reduction steps: any signature of a
+    /// successor is a signature of the original.
+    #[test]
+    fn signatures_shrink(h in arb_history(6)) {
+        let sig_h = signatures(&h, SearchBudget::default());
+        for succ in reduction_steps(&h).into_iter().map(|s| s.result) {
+            for sig in signatures(&succ, SearchBudget::default()) {
+                prop_assert!(
+                    sig_h.contains(&sig),
+                    "successor gained signature ({}, {}, {}): {h}",
+                    sig.action, sig.input, sig.output
+                );
+            }
+        }
+    }
+
+    /// The empty history is irreducible and has no signatures.
+    #[test]
+    fn failure_free_histories_are_fixpoints_of_goal(ov in 0i64..3) {
+        use xability::core::failure_free::eventsof;
+        let i = ActionId::base(ActionName::idempotent("i"));
+        let h = eventsof(&i, &Value::from(1), &Value::from(ov));
+        // Already failure-free: immediately x-able.
+        let ops = [(i, Value::from(1))];
+        prop_assert!(matches!(
+            is_xable_search(&h, &ops, SearchBudget::default()),
+            SearchResult::Reached(_)
+        ));
+    }
+}
