@@ -333,13 +333,13 @@ mod tests {
         assert_eq!(empty.second(), History::empty());
 
         let single: History = [e1.clone()].into_iter().collect();
-        assert_eq!(single.first().events(), &[e1.clone()]);
+        assert_eq!(single.first().events(), std::slice::from_ref(&e1));
         // second(e) = e for singleton histories.
-        assert_eq!(single.second().events(), &[e1.clone()]);
+        assert_eq!(single.second().events(), std::slice::from_ref(&e1));
 
         let double: History = [e1.clone(), e2.clone()].into_iter().collect();
-        assert_eq!(double.first().events(), &[e1.clone()]);
-        assert_eq!(double.second().events(), &[e2.clone()]);
+        assert_eq!(double.first().events(), std::slice::from_ref(&e1));
+        assert_eq!(double.second().events(), std::slice::from_ref(&e2));
 
         // Histories longer than two events: second is Λ per the paper.
         let triple: History = [e1.clone(), e2.clone(), e1].into_iter().collect();

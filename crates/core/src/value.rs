@@ -239,7 +239,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_structural() {
-        let mut vs = vec![
+        let mut vs = [
             Value::from("b"),
             Value::Nil,
             Value::from(2),

@@ -459,35 +459,6 @@ pub fn f3_eventsof_demo() -> (History, History) {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn f1_rows_all_match() {
-        let t = f1_patterns();
-        assert_eq!(t.rows.len(), 5);
-        for row in &t.rows {
-            assert_eq!(row[2], "true");
-        }
-    }
-
-    #[test]
-    fn f4_checkers_agree() {
-        let t = f4_reduction();
-        for row in &t.rows {
-            assert_eq!(row[5], "true", "{row:?}");
-        }
-        assert!(checkers_agree_on_retried_histories(8));
-    }
-
-    #[test]
-    fn f3_demo_shapes() {
-        let (idem_h, undo_h) = f3_eventsof_demo();
-        assert_eq!(idem_h.len(), 2);
-        assert_eq!(undo_h.len(), 4);
-    }
-}
 
 /// A1 — ablation: failure-detector timeout. The central tuning knob of the
 /// protocol trades failover speed against false-suspicion overhead.
@@ -552,5 +523,35 @@ pub fn a1_fd_timeout_ablation(seeds: u64) -> Table {
                 timeouts are calm but slow to fail over — correctness is unaffected either \
                 way, which is precisely the claim"
             .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_rows_all_match() {
+        let t = f1_patterns();
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            assert_eq!(row[2], "true");
+        }
+    }
+
+    #[test]
+    fn f4_checkers_agree() {
+        let t = f4_reduction();
+        for row in &t.rows {
+            assert_eq!(row[5], "true", "{row:?}");
+        }
+        assert!(checkers_agree_on_retried_histories(8));
+    }
+
+    #[test]
+    fn f3_demo_shapes() {
+        let (idem_h, undo_h) = f3_eventsof_demo();
+        assert_eq!(idem_h.len(), 2);
+        assert_eq!(undo_h.len(), 4);
     }
 }

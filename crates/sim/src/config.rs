@@ -98,7 +98,7 @@ impl Default for FdConfig {
 }
 
 /// Complete simulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// RNG seed; equal seeds and equal programs give bit-identical runs.
     pub seed: u64,
@@ -106,16 +106,6 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Failure-detector timing.
     pub fd: FdConfig,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            seed: 0,
-            latency: LatencyModel::default(),
-            fd: FdConfig::default(),
-        }
-    }
 }
 
 impl SimConfig {

@@ -619,32 +619,39 @@ mod tests {
 
     #[test]
     fn fd_eventual_accuracy_under_partial_synchrony() {
-        let mut config = SimConfig::with_seed(3);
-        config.latency = crate::config::LatencyModel::partially_synchronous(
-            0.4,
-            SimTime::from_millis(400),
-        );
-        let mut world: World<Msg> = World::new(config);
-        let a = world.add_process("a", Box::new(Responder { pings: 0 }));
-        let b = world.add_process(
-            "b",
-            Box::new(Pinger {
-                peer: a,
-                pongs: 0,
-                suspicions: Vec::new(),
-                period: SimDuration::from_millis(10),
-            }),
-        );
-        world.run_until(SimTime::from_millis(350));
-        let flips_before_gst = world.metrics().suspicion_changes;
+        // Pre-GST latency spikes make false suspicions *likely* for any
+        // one seed, never certain, so scan a handful of seeds: eventual
+        // accuracy must hold for every one of them, and at least one must
+        // actually exhibit pre-GST flips (or the test would be vacuous).
+        let mut flips_before_gst = 0;
+        for seed in 0..8 {
+            let mut config = SimConfig::with_seed(seed);
+            config.latency = crate::config::LatencyModel::partially_synchronous(
+                0.4,
+                SimTime::from_millis(400),
+            );
+            let mut world: World<Msg> = World::new(config);
+            let a = world.add_process("a", Box::new(Responder { pings: 0 }));
+            let b = world.add_process(
+                "b",
+                Box::new(Pinger {
+                    peer: a,
+                    pongs: 0,
+                    suspicions: Vec::new(),
+                    period: SimDuration::from_millis(10),
+                }),
+            );
+            world.run_until(SimTime::from_millis(350));
+            flips_before_gst += world.metrics().suspicion_changes;
+            // After GST plus one timeout, suspicions clear and stay clear.
+            world.run_until(SimTime::from_secs(1));
+            assert!(world.suspected_by(b).is_empty(), "seed {seed}");
+            assert!(world.suspected_by(a).is_empty(), "seed {seed}");
+        }
         assert!(
             flips_before_gst > 0,
             "expected pre-GST false suspicions from latency spikes"
         );
-        // After GST plus one timeout, suspicions clear and stay clear.
-        world.run_until(SimTime::from_secs(1));
-        assert!(world.suspected_by(b).is_empty());
-        assert!(world.suspected_by(a).is_empty());
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! criterion API surface the `xability-bench` targets use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`] — backed by a simple mean-of-N wall-clock timer instead
+//! of criterion's statistical machinery.
+//!
+//! Behaviour notes, matching upstream where it matters:
+//!
+//! * `cargo bench` runs each registered benchmark and prints one line with
+//!   the mean iteration time;
+//! * `cargo test` (which runs `harness = false` bench binaries with
+//!   `--test`) executes every benchmark body exactly once, so benches are
+//!   smoke-tested — their internal `assert!`s run — without burning time;
+//! * there are no plots, no saved baselines, no outlier analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, but still widely imported).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How a benchmark run executes its bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Normal `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test` smoke mode (`--test` flag): run each body once.
+    Test,
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode { Mode::Test } else { Mode::Measure },
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.render(None);
+        run_one(self.mode, self.default_sample_size, &label, |b| f(b));
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.render(Some(&self.name));
+        run_one(self.criterion.mode, self.sample_size, &label, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input` (upstream signature).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.render(Some(&self.name));
+        run_one(self.criterion.mode, self.sample_size, &label, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: an optional function name plus an optional
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter (`"concat"/512`).
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut parts = Vec::new();
+        if let Some(g) = group {
+            parts.push(g.to_string());
+        }
+        if let Some(f) = &self.function {
+            parts.push(f.clone());
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p.clone());
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function: Some(function),
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures handed to it by benchmark bodies.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, sample_size: usize, label: &str, mut f: F) {
+    let iters = match mode {
+        Mode::Test => 1,
+        Mode::Measure => sample_size as u64,
+    };
+    if mode == Mode::Measure {
+        // One untimed warmup batch so cold caches don't pollute the mean.
+        let mut warmup = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warmup);
+    }
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    match mode {
+        Mode::Test => println!("bench {label}: ok (smoke)"),
+        Mode::Measure => {
+            let mean = bencher.elapsed.as_secs_f64() / iters.max(1) as f64;
+            println!("bench {label}: mean {:>12.3} µs over {iters} iters", mean * 1e6);
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,47 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases [`proptest!`](crate::proptest) runs per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property (upstream default: 256).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded from the test name and case index,
+/// so every run (and every platform) generates the identical case sequence.
+#[derive(Debug)]
+pub struct TestRng {
+    /// The underlying generator; strategies sample through it.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its message and
+//! config types to declare them wire-ready, but nothing in-tree serializes
+//! yet (there is no `serde_json` and no network transport — the simulator
+//! passes messages by value). Since the build environment cannot reach
+//! crates.io, this crate keeps those derives compiling with zero behaviour:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket impls,
+//! * the derive macros (from `serde_derive`) expand to nothing.
+//!
+//! When a real transport lands, replace this vendored crate with the real
+//! `serde` in `[workspace.dependencies]` — call sites will not change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types declared serializable. Blanket-implemented: every type
+/// qualifies until a real serializer exists to say otherwise.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types declared deserializable. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's real trait hierarchy.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

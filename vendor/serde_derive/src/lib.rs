@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The vendored `serde` stand-in gives both traits blanket impls, so the
+//! derives have nothing to generate — they exist only so `#[derive(...)]`
+//! lists naming them keep compiling. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: `Serialize` is blanket-implemented by the stand-in.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: `Deserialize` is blanket-implemented by the stand-in.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
