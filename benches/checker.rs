@@ -1,0 +1,148 @@
+//! Checker tiers on heavy-traffic traces: the online incremental checker
+//! versus repeated batch re-checks.
+//!
+//! The headline numbers — amortized per-event cost of the online checker
+//! against the mean cost of one batch re-check on a 10k-event trace — are
+//! measured directly (not through criterion) and written to
+//! `BENCH_checker.json` at the workspace root, so the speedup is recorded
+//! as a machine-readable artifact.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use xability_bench::n_retried_requests;
+use xability_core::xable::{Checker, FastChecker, IncrementalChecker};
+use xability_core::{ActionId, History, Request, Value};
+
+fn requests_of(ops: &[(ActionId, Value)]) -> Vec<Request> {
+    ops.iter()
+        .map(|(a, iv)| Request::new(a.clone(), iv.clone()))
+        .collect()
+}
+
+/// One full online pass: declare the requests, push every event, read the
+/// verdict after each push (the "verify while the run executes" posture).
+fn incremental_pass(h: &History, ops: &[(ActionId, Value)]) -> bool {
+    let mut inc = IncrementalChecker::new();
+    for (a, iv) in ops {
+        inc.declare(a.clone(), iv.clone());
+    }
+    let mut last = false;
+    for ev in h.iter() {
+        inc.push(ev.clone());
+        last = inc.verdict().is_xable();
+    }
+    last
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_incremental_per_event_verdict");
+    group.sample_size(10);
+    for n in [100usize, 1_000] {
+        let (h, ops) = n_retried_requests(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(h.len()),
+            &(h, ops),
+            |b, (h, ops)| {
+                b.iter(|| black_box(incremental_pass(black_box(h), ops)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_recheck(c: &mut Criterion) {
+    // Re-checking from scratch is what the incremental checker replaces;
+    // even sampled at 16 checkpoints (instead of every event) it dwarfs
+    // the full online pass above.
+    let mut group = c.benchmark_group("checker_batch_16_checkpoints");
+    group.sample_size(10);
+    let checker = FastChecker::default();
+    for n in [100usize, 1_000] {
+        let (h, ops) = n_retried_requests(n);
+        let requests = requests_of(&ops);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(h.len()),
+            &(h, requests),
+            |b, (h, requests)| {
+                b.iter(|| {
+                    let mut xable = false;
+                    for k in 1..=16usize {
+                        let end = h.len() * k / 16;
+                        let prefix = h.slice(0, end);
+                        xable = checker.check_requests(&prefix, requests).is_xable();
+                    }
+                    black_box(xable)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_batch_recheck);
+
+/// Measures the headline comparison on a 10k-event trace and writes
+/// `BENCH_checker.json`. Skipped in `cargo test` smoke mode so the
+/// committed artifact only ever holds real `cargo bench` numbers.
+fn emit_bench_json() {
+    const EVENTS: usize = 10_002; // 3334 requests × 3 events
+    const CHECKPOINTS: usize = 32;
+    let (h, ops) = n_retried_requests(EVENTS / 3);
+    let requests = requests_of(&ops);
+
+    // Online: one pass, verdict after every event.
+    let start = Instant::now();
+    let online_ok = incremental_pass(&h, &ops);
+    let inc_total = start.elapsed();
+    let inc_per_event_ns = inc_total.as_nanos() as f64 / h.len() as f64;
+
+    // Batch: mean cost of one from-scratch re-check, sampled at evenly
+    // spaced prefixes (a full per-event sweep would take hours — that is
+    // the point).
+    let checker = FastChecker::default();
+    let mut batch_total_ns = 0u128;
+    let mut batch_ok = false;
+    for k in 1..=CHECKPOINTS {
+        let prefix = h.slice(0, h.len() * k / CHECKPOINTS);
+        let start = Instant::now();
+        batch_ok = checker.check_requests(&prefix, &requests).is_xable();
+        batch_total_ns += start.elapsed().as_nanos();
+    }
+    let batch_mean_check_ns = batch_total_ns as f64 / CHECKPOINTS as f64;
+    assert!(online_ok && batch_ok, "the generated trace must be x-able");
+
+    let speedup = batch_mean_check_ns / inc_per_event_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"checker\",\n  \"trace_events\": {},\n  \"requests\": {},\n  \
+         \"incremental\": {{ \"total_ns\": {}, \"per_event_verdict_ns\": {:.1} }},\n  \
+         \"batch\": {{ \"checkpoints\": {}, \"mean_check_ns\": {:.1} }},\n  \
+         \"speedup_per_event_vs_batch_recheck\": {:.1}\n}}\n",
+        h.len(),
+        ops.len(),
+        inc_total.as_nanos(),
+        inc_per_event_ns,
+        CHECKPOINTS,
+        batch_mean_check_ns,
+        speedup
+    );
+    std::fs::write("BENCH_checker.json", &json).expect("write BENCH_checker.json");
+    println!("bench checker: wrote BENCH_checker.json (speedup {speedup:.1}x)");
+    // A wall-clock ratio is machine-dependent, so a miss is a loud warning
+    // rather than a panic; the JSON artifact carries the measured value.
+    if speedup < 10.0 {
+        eprintln!(
+            "WARNING: incremental checking is expected to be >=10x faster per event \
+             than batch re-checks; measured only {speedup:.1}x"
+        );
+    }
+}
+
+fn main() {
+    benches();
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        emit_bench_json();
+    }
+}

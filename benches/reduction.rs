@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use xability_bench::{k_failed_attempts, n_requests_with_cancelled_rounds};
 use xability_core::reduce::reduction_steps;
-use xability_core::xable::{fast, is_xable_search, SearchBudget};
+use xability_core::xable::{Checker, FastChecker, SearchChecker, TieredChecker};
 use xability_core::{ActionId, ActionName, Value};
 
 fn bench_single_step(c: &mut Criterion) {
@@ -23,31 +23,49 @@ fn bench_single_step(c: &mut Criterion) {
 fn bench_search_checker(c: &mut Criterion) {
     let a = ActionId::base(ActionName::idempotent("a"));
     let ops = [(a, Value::from(1))];
+    let checker = SearchChecker::default();
     let mut group = c.benchmark_group("f4_exhaustive_search");
     group.sample_size(10);
     for k in [2usize, 4, 8] {
         let h = k_failed_attempts(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &h, |b, h| {
-            b.iter(|| {
-                black_box(
-                    is_xable_search(black_box(h), &ops, SearchBudget::default()).is_reached(),
-                )
-            });
+            b.iter(|| black_box(checker.check(black_box(h), &ops, &[]).is_xable()));
         });
     }
     group.finish();
 }
 
 fn bench_fast_checker(c: &mut Criterion) {
+    let checker = FastChecker::default();
     let mut group = c.benchmark_group("f4_fast_checker");
     for n in [1usize, 4, 16, 64] {
         let (h, ops) = n_requests_with_cancelled_rounds(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &(h, ops), |b, (h, ops)| {
-            b.iter(|| black_box(fast::check(black_box(h), ops, &[]).is_xable()));
+            b.iter(|| black_box(checker.check(black_box(h), ops, &[]).is_xable()));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_single_step, bench_search_checker, bench_fast_checker);
+fn bench_tiered_checker(c: &mut Criterion) {
+    // On protocol-shaped histories the tiered checker's cost is the fast
+    // tier's: escalation never fires. This group pins that overhead down.
+    let checker = TieredChecker::default();
+    let mut group = c.benchmark_group("f4_tiered_checker");
+    for n in [1usize, 4, 16, 64] {
+        let (h, ops) = n_requests_with_cancelled_rounds(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(h, ops), |b, (h, ops)| {
+            b.iter(|| black_box(checker.check(black_box(h), ops, &[]).is_xable()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_step,
+    bench_search_checker,
+    bench_fast_checker,
+    bench_tiered_checker
+);
 criterion_main!(benches);

@@ -40,6 +40,23 @@ pub fn k_failed_attempts(k: usize) -> History {
     History::from_events(events)
 }
 
+/// A protocol-shaped history of `n` sequential idempotent requests, each
+/// retried once (failed attempt, then success) — the bulk shape of
+/// heavy-traffic traces. 3 events per request.
+pub fn n_retried_requests(n: usize) -> (History, Vec<(ActionId, Value)>) {
+    let a = ActionId::base(ActionName::idempotent("put"));
+    let mut events = Vec::with_capacity(n * 3);
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = Value::from(format!("r{i}"));
+        events.push(Event::start(a.clone(), key.clone()));
+        events.push(Event::start(a.clone(), key.clone()));
+        events.push(Event::complete(a.clone(), Value::from(i as i64)));
+        ops.push((a.clone(), key));
+    }
+    (History::from_events(events), ops)
+}
+
 /// A protocol-shaped history of `n` sequential requests, each with one
 /// cancelled round and one committed round — what crash/cleaning runs
 /// produce.
@@ -71,7 +88,7 @@ pub fn n_requests_with_cancelled_rounds(n: usize) -> (History, Vec<(ActionId, Va
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xability_core::xable::fast;
+    use xability_core::xable::{Checker, FastChecker};
 
     #[test]
     fn generators_produce_xable_histories() {
@@ -81,6 +98,9 @@ mod tests {
         assert_eq!(h.len(), 5);
         let (h, ops) = n_requests_with_cancelled_rounds(3);
         assert_eq!(h.len(), 21);
-        assert!(fast::check(&h, &ops, &[]).is_xable());
+        assert!(FastChecker::default().check(&h, &ops, &[]).is_xable());
+        let (h, ops) = n_retried_requests(4);
+        assert_eq!(h.len(), 12);
+        assert!(FastChecker::default().check(&h, &ops, &[]).is_xable());
     }
 }

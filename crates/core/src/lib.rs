@@ -23,14 +23,15 @@
 //! | [`pattern`] | §2.4, Fig. 1–2 | history patterns and the matching relation ⊨ |
 //! | [`reduce`] | §3.1, Fig. 4 | the reduction relation ⇒ (rules 17–20) |
 //! | [`failure_free`] | §3.2 | `eventsof` and the `FailureFree` sets |
-//! | [`xable`] | §3.2, eq. 23 | the x-able predicate: exhaustive + fast checkers |
+//! | [`xable`] | §3.2, eq. 23 | the x-able predicate: the [`xable::Checker`] tiers (search, fast, tiered) plus the online [`xable::IncrementalChecker`] |
 //! | [`signature`] | §3.3 | history signatures (rules 24–25) |
 //! | [`spec`] | §3.4, §4 | `PossibleReply`, sequencers, requirements R1–R4 |
 //!
 //! ## Quick start
 //!
 //! ```
-//! use xability_core::{xable, ActionId, ActionName, Event, History, Value};
+//! use xability_core::xable::{Checker, TieredChecker};
+//! use xability_core::{ActionId, ActionName, Event, History, Value};
 //!
 //! // An idempotent action retried once by a fault-tolerant service:
 //! let ping = ActionId::base(ActionName::idempotent("ping"));
@@ -43,9 +44,17 @@
 //! .collect();
 //!
 //! // The history is x-able: it reduces to a single failure-free execution,
-//! // so the retry is invisible to the environment.
-//! assert!(xable::is_xable(&history, &ping, &Value::Nil));
+//! // so the retry is invisible to the environment. The tiered checker asks
+//! // the polynomial fast tier first and escalates undecided small
+//! // histories to the exhaustive search.
+//! let verdict = TieredChecker::default().check(&history, &[(ping, Value::Nil)], &[]);
+//! assert!(verdict.is_xable());
+//! assert_eq!(verdict.outputs(), Some(&[Value::from("pong")][..]));
 //! ```
+//!
+//! To verify a history *while it is being produced*, feed events to the
+//! online [`xable::IncrementalChecker`] (`push` is amortized O(1); a
+//! verdict is available at every prefix).
 //!
 //! The companion crates build on this theory: `xability-sim` (deterministic
 //! asynchronous system simulation), `xability-consensus` (the consensus

@@ -24,7 +24,7 @@ use std::fmt;
 use crate::action::Request;
 use crate::history::History;
 use crate::value::Value;
-use crate::xable::fast::{check_request_sequence, Verdict};
+use crate::xable::{Checker, TieredChecker, Verdict};
 
 /// The four obligations of an x-able service (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,8 +120,23 @@ impl PossibleReply for AnyReply {
     }
 }
 
+/// Converts an R3 verdict into the harness's violation vocabulary:
+/// `Xable` is no violation, `NotXable` is a definite one, and `Unknown` is
+/// reported as a violation too (an undecided obligation is not discharged).
+pub fn r3_violation(verdict: &Verdict) -> Option<Violation> {
+    match verdict {
+        Verdict::Xable { .. } => None,
+        Verdict::NotXable { reason } => Some(Violation::new(Requirement::R3, reason.clone())),
+        Verdict::Unknown { reason } => Some(Violation::new(
+            Requirement::R3,
+            format!("undecided: {reason}"),
+        )),
+    }
+}
+
 /// Evaluates the history-level part of requirement R3 for a sequencer `S`
-/// and a submitted request sequence.
+/// and a submitted request sequence, using the default [`TieredChecker`]
+/// (fast tier, escalating small undecided histories to exhaustive search).
 ///
 /// Expands each request through the sequencer and checks that the
 /// server-side history is x-able with respect to the full expanded sequence,
@@ -143,18 +158,35 @@ pub fn check_r3<S: Sequencer>(
     requests: &[Request],
     server_history: &History,
 ) -> Option<Violation> {
+    check_r3_with(&TieredChecker::default(), sequencer, requests, server_history)
+}
+
+/// [`check_r3`] with an explicit decision procedure — any [`Checker`],
+/// including a custom-budgeted [`TieredChecker`].
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::spec::{check_r3_with, IdentitySequencer};
+/// use xability_core::xable::FastChecker;
+/// use xability_core::{failure_free::eventsof, ActionId, ActionName, Request, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let reqs = vec![Request::new(a.clone(), Value::from(1))];
+/// let h = eventsof(&a, &Value::from(1), &Value::from(5));
+/// assert!(check_r3_with(&FastChecker::default(), &IdentitySequencer, &reqs, &h).is_none());
+/// ```
+pub fn check_r3_with<C: Checker + ?Sized, S: Sequencer>(
+    checker: &C,
+    sequencer: &S,
+    requests: &[Request],
+    server_history: &History,
+) -> Option<Violation> {
     let mut expanded: Vec<Request> = Vec::new();
     for (i, r) in requests.iter().enumerate() {
         expanded.extend(sequencer.actions_for(i, r));
     }
-    match check_request_sequence(server_history, &expanded) {
-        Verdict::XAble { .. } => None,
-        Verdict::NotXAble { reason } => Some(Violation::new(Requirement::R3, reason)),
-        Verdict::Unknown { reason } => Some(Violation::new(
-            Requirement::R3,
-            format!("undecided by the fast checker: {reason}"),
-        )),
-    }
+    r3_violation(&checker.check_requests(server_history, &expanded))
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
-//! A polynomial x-ability checker for protocol-shaped histories.
+//! The polynomial x-ability engine for protocol-shaped histories.
 //!
 //! The exhaustive checker ([`super::search`]) explores the whole reduction
 //! closure and is exponential in the worst case. Replication protocols,
 //! however, produce histories with a lot of structure: every event belongs
 //! to the processing of one request, and requests are submitted one after
 //! another (§4 considers a single client that submits `Rᵢ₊₁` only after `Rᵢ`
-//! succeeds). This checker exploits that structure:
+//! succeeds). This engine exploits that structure:
 //!
 //! 1. **Grouping.** Events are partitioned by `(base action, input)` —
 //!    cancellations and commits join the group of their base action. All the
@@ -29,94 +29,286 @@
 //!    duplicate), so the checker deliberately applies this per-request,
 //!    effect-ordered reading; see DESIGN.md §4.3.
 //!
+//! The engine is shared by two frontends: [`super::FastChecker`] partitions
+//! a complete history and decides it in one shot, and
+//! [`super::IncrementalChecker`] maintains the partition *online* — one
+//! `attribute` step per pushed event — and memoizes the per-group search
+//! outcomes in the (crate-private) `GroupCell`s so a verdict at any prefix
+//! re-searches only the groups that changed. Both call the same `decide`
+//! assembly, so they agree by construction.
+//!
 //! Soundness is argued in the doc comments above each step and validated by
 //! property tests that compare this checker against the exhaustive one on
-//! randomly generated histories (`tests/checker_agreement.rs`).
+//! randomly generated histories (`tests/checker_agreement.rs`,
+//! `tests/incremental_props.rs`).
+//!
+//! The free functions [`check`] and [`check_request_sequence`] are the
+//! crate's historical entry points, kept as thin deprecated shims over
+//! [`super::FastChecker`].
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::action::{ActionId, ActionName, Request};
+use crate::event::Event;
 use crate::failure_free::failure_free_output;
 use crate::history::History;
 use crate::value::Value;
+use crate::xable::checker::{combine_r3_attempts, Checker, FastChecker, Witness};
 use crate::xable::search::{search_reduction, SearchBudget, SearchResult};
 
-/// The answer of the fast checker.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Verdict {
-    /// The history is x-able; `outputs[i]` is the agreed output of the
-    /// `i`-th request.
-    XAble {
-        /// Output value of each surviving request, in request order.
-        outputs: Vec<Value>,
-    },
-    /// The history is definitely not x-able.
-    NotXAble {
-        /// Human-readable explanation of the first violation found.
-        reason: String,
-    },
-    /// The history falls outside the checker's class (or a per-group search
-    /// ran out of budget); use the exhaustive checker.
-    Unknown {
-        /// Why the checker could not decide.
-        reason: String,
-    },
-}
-
-impl Verdict {
-    /// Returns `true` if the verdict is [`Verdict::XAble`].
-    pub fn is_xable(&self) -> bool {
-        matches!(self, Verdict::XAble { .. })
-    }
-
-    /// Returns `true` if the verdict is [`Verdict::NotXAble`].
-    pub fn is_not_xable(&self) -> bool {
-        matches!(self, Verdict::NotXAble { .. })
-    }
-}
-
-impl fmt::Display for Verdict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Verdict::XAble { outputs } => write!(f, "x-able ({} outputs)", outputs.len()),
-            Verdict::NotXAble { reason } => write!(f, "not x-able: {reason}"),
-            Verdict::Unknown { reason } => write!(f, "unknown: {reason}"),
-        }
-    }
-}
+/// The unified verdict type, re-exported here because this module's
+/// historical `Verdict` was the crate's de-facto verdict vocabulary. The
+/// canonical path is [`crate::xable::Verdict`].
+pub use crate::xable::checker::Verdict;
 
 /// Group key: base action name plus input value.
-type GroupKey = (ActionName, Value);
+pub(crate) type GroupKey = (ActionName, Value);
 
 fn key_of(action: &ActionId, input: &Value) -> GroupKey {
     (action.base_name().clone(), input.clone())
 }
 
-/// Decides x-ability of `h` with respect to the ordered request sequence
-/// `ops`, additionally allowing the requests in `erasable` to have left
-/// events that reduce to nothing (the R3 "last request may have been
-/// abandoned" case).
+/// Outcome of the per-group "reduces to a failure-free execution" search,
+/// memoized per [`GroupCell`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ExecOutcome {
+    /// The group reduces to `eventsof(a, iv, output)`; `anchor` is the
+    /// index (into the full history) of the group's first surviving base
+    /// completion — the moment its side-effect became observable.
+    Reduced {
+        /// Agreed output of the surviving execution.
+        output: Value,
+        /// History index of the group's effect anchor.
+        anchor: usize,
+    },
+    /// The whole reachable closure was explored; the group does not reduce.
+    Stuck,
+    /// The per-group search budget ran out.
+    Budget,
+}
+
+/// Outcome of the per-group "reduces to `Λ`" search, memoized per
+/// [`GroupCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EraseOutcome {
+    /// The group's events reduce to nothing.
+    Erases,
+    /// The group's events definitely do not erase.
+    Stuck,
+    /// The per-group search budget ran out.
+    Budget,
+}
+
+/// One `(base action, input)` group: its event indices in the underlying
+/// history plus memoized per-group search outcomes.
 ///
-/// # Examples
+/// The memos use interior mutability because [`decide`] takes the group map
+/// by shared reference: a batch check fills them once, the incremental
+/// checker keeps them warm across pushes (invalidating a cell whenever its
+/// group gains an event).
+#[derive(Debug, Default)]
+pub(crate) struct GroupCell {
+    /// Indices into the full history, ascending.
+    pub(crate) indices: Vec<usize>,
+    /// Whether the group contains a completed commit (which never erases).
+    pub(crate) has_commit_completion: bool,
+    exec: RefCell<Option<ExecOutcome>>,
+    erase: RefCell<Option<EraseOutcome>>,
+}
+
+impl GroupCell {
+    /// Appends an event index, invalidating the memoized outcomes.
+    pub(crate) fn push_index(&mut self, index: usize, is_commit_completion: bool) {
+        self.indices.push(index);
+        self.has_commit_completion |= is_commit_completion;
+        *self.exec.borrow_mut() = None;
+        *self.erase.borrow_mut() = None;
+    }
+
+    /// Whether the group's events reduce to `Λ`, memoized.
+    fn erases(&self, h: &History, budget: SearchBudget) -> EraseOutcome {
+        if let Some(outcome) = *self.erase.borrow() {
+            return outcome;
+        }
+        let sub = h.select(&self.indices);
+        let outcome = match search_reduction(&sub, History::is_empty, 0, budget) {
+            SearchResult::Reached(_) => EraseOutcome::Erases,
+            SearchResult::Exhausted => EraseOutcome::Stuck,
+            SearchResult::BudgetExceeded => EraseOutcome::Budget,
+        };
+        *self.erase.borrow_mut() = Some(outcome);
+        outcome
+    }
+
+    /// Whether the group's events reduce to a failure-free execution of its
+    /// key's action/input, memoized. The target is fully determined by the
+    /// group key: the action is `Base(key.0)` and the input is `key.1`
+    /// (for round-stamped groups the stamped pair *is* the input, §5.4).
+    fn exec(&self, h: &History, key: &GroupKey, budget: SearchBudget) -> ExecOutcome {
+        if let Some(outcome) = self.exec.borrow().clone() {
+            return outcome;
+        }
+        let action = ActionId::base(key.0.clone());
+        let input = &key.1;
+        let sub = h.select(&self.indices);
+        let min_len = if key.0.is_undoable() { 4 } else { 2 };
+        let goal = |cand: &History| failure_free_output(&action, input, cand).is_some();
+        let outcome = match search_reduction(&sub, goal, min_len, budget) {
+            SearchResult::Reached(witness) => {
+                let output = failure_free_output(&action, input, &witness)
+                    .expect("goal predicate guarantees failure-free shape");
+                // The request's *effect anchor*: the first completion of
+                // the base action within the surviving execution.
+                let anchor = self
+                    .indices
+                    .iter()
+                    .copied()
+                    .find(|&i| {
+                        matches!(&h[i], Event::Complete(a, _) if matches!(a, ActionId::Base(_)))
+                    })
+                    .unwrap_or(self.indices[0]);
+                ExecOutcome::Reduced { output, anchor }
+            }
+            SearchResult::Exhausted => ExecOutcome::Stuck,
+            SearchResult::BudgetExceeded => ExecOutcome::Budget,
+        };
+        *self.exec.borrow_mut() = Some(outcome.clone());
+        outcome
+    }
+}
+
+/// Streaming attribution state: which starts of each action are still open,
+/// and the input of each action's most recent start.
 ///
-/// ```
-/// use xability_core::xable::fast::{check, Verdict};
-/// use xability_core::{ActionId, ActionName, Event, History, Value};
+/// A completion event does not carry the input value. We attribute each
+/// completion to the *nearest open start* of its action (the most recent
+/// start whose execution has not completed yet). For histories recorded by
+/// an atomic observer — such as the service ledger, where a completion
+/// immediately follows its start — this attribution is exact. When several
+/// distinct inputs are open at a completion the choice is heuristic; the
+/// caller remembers the ambiguity and later downgrades a `NotXable` verdict
+/// to `Unknown` (a different attribution might have succeeded), while an
+/// `Xable` verdict remains sound (it exhibits a concrete witness).
+#[derive(Debug, Default)]
+pub(crate) struct AttributionState {
+    open: BTreeMap<ActionId, OpenStarts>,
+    last_start_input: BTreeMap<ActionId, Value>,
+}
+
+/// The open starts of one action, with the number of *distinct* open
+/// inputs tracked incrementally so a completion's ambiguity test is O(log)
+/// instead of a scan over the whole stack (the streaming checker pays
+/// this on every completion).
+#[derive(Debug, Default)]
+struct OpenStarts {
+    stack: Vec<Value>,
+    multiplicity: BTreeMap<Value, usize>,
+}
+
+impl OpenStarts {
+    fn push(&mut self, input: Value) {
+        *self.multiplicity.entry(input.clone()).or_insert(0) += 1;
+        self.stack.push(input);
+    }
+
+    fn pop(&mut self) -> Option<Value> {
+        let input = self.stack.pop()?;
+        if let Some(count) = self.multiplicity.get_mut(&input) {
+            *count -= 1;
+            if *count == 0 {
+                self.multiplicity.remove(&input);
+            }
+        }
+        Some(input)
+    }
+
+    /// How many distinct inputs are currently open.
+    fn distinct(&self) -> usize {
+        self.multiplicity.len()
+    }
+}
+
+/// Attributes one event to its group, updating the streaming state.
 ///
-/// let a = ActionId::base(ActionName::idempotent("get"));
-/// let h: History = [
-///     Event::start(a.clone(), Value::from(1)),
-///     Event::start(a.clone(), Value::from(1)),
-///     Event::complete(a.clone(), Value::from(5)),
-/// ]
-/// .into_iter()
-/// .collect();
-/// let verdict = check(&h, &[(a, Value::from(1))], &[]);
-/// assert!(verdict.is_xable());
-/// ```
-pub fn check(
+/// Returns the event's group key, or `Err(reason)` for a completion whose
+/// action has never started (a violation of the event axioms of §2.2 —
+/// definitely not x-able, independent of any ambiguity).
+pub(crate) fn attribute(
+    state: &mut AttributionState,
+    ambiguous: &mut bool,
+    event: &Event,
+    index: usize,
+) -> Result<GroupKey, String> {
+    match event {
+        Event::Start(a, iv) => {
+            state.open.entry(a.clone()).or_default().push(iv.clone());
+            state.last_start_input.insert(a.clone(), iv.clone());
+            Ok(key_of(a, iv))
+        }
+        Event::Complete(a, _) => {
+            let open = state.open.entry(a.clone()).or_default();
+            if open.distinct() > 1 {
+                *ambiguous = true;
+            }
+            match open.pop() {
+                Some(iv) => Ok(key_of(a, &iv)),
+                None => match state.last_start_input.get(a) {
+                    // Duplicate completion after all starts closed:
+                    // attribute to the most recent start.
+                    Some(iv) => {
+                        *ambiguous = true;
+                        Ok(key_of(a, iv))
+                    }
+                    None => Err(format!(
+                        "completion of {a} at index {index} has no start event (violates the event axioms of §2.2)"
+                    )),
+                },
+            }
+        }
+    }
+}
+
+/// A complete history partitioned into per-`(action, input)` groups.
+#[derive(Debug, Default)]
+pub(crate) struct Partition {
+    /// The groups, keyed by `(base action name, input)`.
+    pub(crate) groups: BTreeMap<GroupKey, GroupCell>,
+    /// Whether any completion attribution was ambiguous.
+    pub(crate) ambiguous: bool,
+}
+
+/// Partitions `h` into groups in one pass, or reports the first completion
+/// without a start (a definite `NotXable` reason).
+pub(crate) fn partition(h: &History) -> Result<Partition, String> {
+    let mut part = Partition::default();
+    let mut state = AttributionState::default();
+    for (i, ev) in h.iter().enumerate() {
+        let key = attribute(&mut state, &mut part.ambiguous, ev, i)?;
+        let is_commit_completion =
+            matches!(ev, Event::Complete(a, _) if a.is_commit());
+        part.groups
+            .entry(key)
+            .or_default()
+            .push_index(i, is_commit_completion);
+    }
+    Ok(part)
+}
+
+/// The assembly: decides x-ability of `h` — already partitioned into
+/// `groups` — with respect to the ordered request sequence `ops`,
+/// additionally allowing the requests in `erasable` to have left events
+/// that reduce to nothing.
+///
+/// Per-group searches go through the [`GroupCell`] memos, so a caller that
+/// keeps the cells warm (the incremental checker, or the two attempts of an
+/// R3 question) pays for each group search at most once.
+pub(crate) fn decide(
     h: &History,
+    groups: &BTreeMap<GroupKey, GroupCell>,
+    ambiguous: bool,
+    budget: SearchBudget,
     ops: &[(ActionId, Value)],
     erasable: &[(ActionId, Value)],
 ) -> Verdict {
@@ -142,57 +334,6 @@ pub fn check(
         .map(|(a, iv)| key_of(a, iv))
         .collect();
 
-    // --- Attribute completions to inputs. ---
-    // A completion event does not carry the input value. We attribute each
-    // completion to the *nearest open start* of its action (the most recent
-    // start whose execution has not completed yet). For histories recorded
-    // by an atomic observer — such as the service ledger, where a
-    // completion immediately follows its start — this attribution is exact.
-    // When several distinct inputs are open at a completion the choice is
-    // heuristic; we then remember the ambiguity and later downgrade a
-    // NotXAble verdict to Unknown (a different attribution might have
-    // succeeded), while an XAble verdict remains sound (it exhibits a
-    // concrete witness).
-    let mut ambiguous = false;
-    let mut open: BTreeMap<ActionId, Vec<Value>> = BTreeMap::new();
-    let mut last_start_input: BTreeMap<ActionId, Value> = BTreeMap::new();
-    let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
-    for (i, ev) in h.iter().enumerate() {
-        let key = match ev {
-            crate::event::Event::Start(a, iv) => {
-                open.entry(a.clone()).or_default().push(iv.clone());
-                last_start_input.insert(a.clone(), iv.clone());
-                key_of(a, iv)
-            }
-            crate::event::Event::Complete(a, _) => {
-                let stack = open.entry(a.clone()).or_default();
-                let distinct: BTreeSet<&Value> = stack.iter().collect();
-                if distinct.len() > 1 {
-                    ambiguous = true;
-                }
-                match stack.pop() {
-                    Some(iv) => key_of(a, &iv),
-                    None => match last_start_input.get(a) {
-                        // Duplicate completion after all starts closed:
-                        // attribute to the most recent start.
-                        Some(iv) => {
-                            ambiguous = true;
-                            key_of(a, iv)
-                        }
-                        None => {
-                            return Verdict::NotXAble {
-                                reason: format!(
-                                    "completion of {a} at index {i} has no start event (violates the event axioms of §2.2)"
-                                ),
-                            };
-                        }
-                    },
-                }
-            }
-        };
-        groups.entry(key).or_default().push(i);
-    }
-
     // When attribution was ambiguous, a negative verdict is unreliable (a
     // different attribution might have succeeded); downgrade it.
     let fail = |reason: String| {
@@ -201,7 +342,7 @@ pub fn check(
                 reason: format!("(after ambiguous completion attribution) {reason}"),
             }
         } else {
-            Verdict::NotXAble { reason }
+            Verdict::NotXable { reason }
         }
     };
 
@@ -226,14 +367,10 @@ pub fn check(
     // reduces to Λ (say, a spurious cancellation that cancelled nothing) is
     // invisible to the reduction target. They are collected here and
     // checked for erasability below.
-    let undeclared: Vec<GroupKey> = groups
-        .keys()
-        .filter(|k| !is_declared(k))
-        .cloned()
-        .collect();
+    let undeclared: Vec<&GroupKey> = groups.keys().filter(|k| !is_declared(k)).collect();
 
     // The round-stamped groups of an undoable request key.
-    let stamped_groups = |base: &ActionName, input: &Value| -> Vec<(GroupKey, Vec<usize>)> {
+    let stamped_groups = |base: &ActionName, input: &Value| -> Vec<(&GroupKey, &GroupCell)> {
         groups
             .iter()
             .filter(|(k, _)| {
@@ -241,23 +378,13 @@ pub fn check(
                     && matches!(&k.1, Value::Pair(p)
                         if &p.0 == input && matches!(p.1, Value::Int(_)))
             })
-            .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
     };
-    // Does a group contain a completed commit (which can never erase)?
-    let has_commit_completion = |indices: &[usize]| -> bool {
-        indices.iter().any(|&i| {
-            matches!(&h[i], crate::event::Event::Complete(a, _) if a.is_commit())
-        })
-    };
-    let erase_group = |indices: &[usize], what: &dyn fmt::Display| -> Option<Verdict> {
-        let sub = h.select(indices);
-        match search_reduction(&sub, History::is_empty, 0, SearchBudget::small()) {
-            SearchResult::Reached(_) => None,
-            SearchResult::Exhausted => Some(Verdict::NotXAble {
-                reason: format!("{what} left events that do not erase"),
-            }),
-            SearchResult::BudgetExceeded => Some(Verdict::Unknown {
+    let erase_group = |cell: &GroupCell, what: &dyn fmt::Display| -> Option<Verdict> {
+        match cell.erases(h, budget) {
+            EraseOutcome::Erases => None,
+            EraseOutcome::Stuck => Some(fail(format!("{what} left events that do not erase"))),
+            EraseOutcome::Budget => Some(Verdict::Unknown {
                 reason: format!("per-group search budget exceeded erasing {what}"),
             }),
         }
@@ -273,7 +400,7 @@ pub fn check(
         } else {
             Vec::new()
         };
-        let (exec_indices, exec_input): (Vec<usize>, Value) = match (plain, stamped.is_empty()) {
+        let (exec_key, exec_cell): (&GroupKey, &GroupCell) = match (plain, stamped.is_empty()) {
             (Some(_), false) => {
                 return Verdict::Unknown {
                     reason: format!(
@@ -281,7 +408,7 @@ pub fn check(
                     ),
                 };
             }
-            (Some(indices), true) => (indices.clone(), input.clone()),
+            (Some(cell), true) => (key, cell),
             (None, true) => {
                 return fail(format!("request ({action}, {input}) was never executed"));
             }
@@ -289,9 +416,9 @@ pub fn check(
                 // Round-stamped transactions: exactly one round commits and
                 // must reduce to a failure-free execution; every other round
                 // must erase (cancelled rounds).
-                let committed: Vec<&(GroupKey, Vec<usize>)> = stamped
+                let committed: Vec<&(&GroupKey, &GroupCell)> = stamped
                     .iter()
-                    .filter(|(_, indices)| has_commit_completion(indices))
+                    .filter(|(_, cell)| cell.has_commit_completion)
                     .collect();
                 if committed.len() != 1 {
                     return fail(format!(
@@ -299,37 +426,30 @@ pub fn check(
                         committed.len()
                     ));
                 }
-                let (ckey, cindices) = committed[0];
-                for (okey, oindices) in &stamped {
-                    if okey == ckey {
+                let &&(ckey, ccell) = committed.first().expect("length checked");
+                for (okey, ocell) in &stamped {
+                    if *okey == ckey {
                         continue;
                     }
                     let what = format!("cancelled round {} of ({action}, {input})", okey.1);
-                    if let Some(v) = erase_group(oindices, &what) {
-                        return match v {
-                            Verdict::NotXAble { reason } => fail(reason),
-                            other => other,
-                        };
+                    if let Some(v) = erase_group(ocell, &what) {
+                        return v;
                     }
                 }
-                (cindices.clone(), ckey.1.clone())
+                (ckey, ccell)
             }
         };
-        let sub = h.select(&exec_indices);
-        let min_len = if action.is_undoable_base() { 4 } else { 2 };
-        let goal = |cand: &History| failure_free_output(action, &exec_input, cand).is_some();
-        match search_reduction(&sub, goal, min_len, SearchBudget::small()) {
-            SearchResult::Reached(witness) => {
-                let ov = failure_free_output(action, &exec_input, &witness)
-                    .expect("goal predicate guarantees failure-free shape");
-                outputs.push(ov);
+        match exec_cell.exec(h, exec_key, budget) {
+            ExecOutcome::Reduced { output, anchor } => {
+                outputs.push(output);
+                anchors.push(anchor);
             }
-            SearchResult::Exhausted => {
+            ExecOutcome::Stuck => {
                 return fail(format!(
                     "events of request ({action}, {input}) do not reduce to a failure-free execution"
                 ));
             }
-            SearchResult::BudgetExceeded => {
+            ExecOutcome::Budget => {
                 return Verdict::Unknown {
                     reason: format!(
                         "per-group search budget exceeded for request ({action}, {input})"
@@ -337,48 +457,33 @@ pub fn check(
                 };
             }
         }
-        // The request's *effect anchor*: the first completion of the base
-        // action within the surviving execution — the moment its
-        // side-effect became observable.
-        let anchor = exec_indices
-            .iter()
-            .copied()
-            .find(|&i| matches!(&h[i], crate::event::Event::Complete(a, _) if matches!(a, ActionId::Base(_))))
-            .unwrap_or(exec_indices[0]);
-        anchors.push(anchor);
     }
 
     for (action, input) in erasable {
         let key = key_of(action, input);
         debug_assert!(erasable_keys.contains(&key));
-        let mut all_groups: Vec<Vec<usize>> = Vec::new();
-        if let Some(indices) = groups.get(&key) {
-            all_groups.push(indices.clone());
+        let mut all_cells: Vec<&GroupCell> = Vec::new();
+        if let Some(cell) = groups.get(&key) {
+            all_cells.push(cell);
         }
         if action.is_undoable_base() {
-            for (_, indices) in stamped_groups(action.base_name(), input) {
-                all_groups.push(indices);
+            for (_, cell) in stamped_groups(action.base_name(), input) {
+                all_cells.push(cell);
             }
         }
-        for indices in all_groups {
+        for cell in all_cells {
             let what = format!("abandoned request ({action}, {input})");
-            if let Some(v) = erase_group(&indices, &what) {
-                return match v {
-                    Verdict::NotXAble { reason } => fail(reason),
-                    other => other,
-                };
+            if let Some(v) = erase_group(cell, &what) {
+                return v;
             }
         }
     }
 
     for key in &undeclared {
-        let indices = groups.get(key).expect("collected from groups");
+        let cell = groups.get(*key).expect("collected from groups");
         let what = format!("undeclared request {}/{}", key.0, key.1);
-        if let Some(v) = erase_group(indices, &what) {
-            return match v {
-                Verdict::NotXAble { reason } => fail(reason),
-                other => other,
-            };
+        if let Some(v) = erase_group(cell, &what) {
+            return v;
         }
     }
 
@@ -402,40 +507,68 @@ pub fn check(
         }
     }
 
-    Verdict::XAble { outputs }
+    Verdict::Xable {
+        witness: Witness::from_outputs(outputs),
+    }
+}
+
+/// Decides x-ability of `h` with respect to the ordered request sequence
+/// `ops`, additionally allowing the requests in `erasable` to have left
+/// events that reduce to nothing (the R3 "last request may have been
+/// abandoned" case).
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::xable::fast::check;
+/// use xability_core::{ActionId, ActionName, Event, History, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let h: History = [
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::complete(a.clone(), Value::from(5)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let verdict = check(&h, &[(a, Value::from(1))], &[]);
+/// assert!(verdict.is_xable());
+/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `xable::FastChecker` (or `TieredChecker`) via the `Checker` trait"
+)]
+pub fn check(
+    h: &History,
+    ops: &[(ActionId, Value)],
+    erasable: &[(ActionId, Value)],
+) -> Verdict {
+    FastChecker::default().check(h, ops, erasable)
 }
 
 /// The R3 obligation (§4) for a sequence of client requests: the server-side
 /// history must be x-able with respect to `R₁…Rₙ` *or* `R₁…Rₙ₋₁` (the last
 /// request may have been abandoned if the client failed before retrying).
-///
-/// Tries the full sequence first, then the prefix with the last request
-/// erasable. [`Verdict::Unknown`] propagates only if neither attempt gives a
-/// definite positive.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Checker::check_requests` on `xable::FastChecker` or `TieredChecker`"
+)]
 pub fn check_request_sequence(h: &History, requests: &[Request]) -> Verdict {
-    let ops: Vec<(ActionId, Value)> = requests
-        .iter()
-        .map(|r| (r.action().clone(), r.input().clone()))
-        .collect();
-    let full = check(h, &ops, &[]);
-    if full.is_xable() {
-        return full;
-    }
-    if ops.is_empty() {
-        return full;
-    }
-    let (last, prefix) = ops.split_last().expect("non-empty checked");
-    let partial = check(h, prefix, std::slice::from_ref(last));
-    if partial.is_xable() {
-        return partial;
-    }
-    // Prefer a definite negative; otherwise report the more informative
-    // indefinite answer.
-    match (&full, &partial) {
-        (Verdict::NotXAble { .. }, Verdict::NotXAble { .. }) => full,
-        (Verdict::Unknown { .. }, _) => full,
-        (_, Verdict::Unknown { .. }) => partial,
-        _ => full,
+    FastChecker::default().check_requests(h, requests)
+}
+
+/// Batch entry point used by the `FastChecker` frontend and the shims: one
+/// partition, then the R3 combination over the shared memo cells.
+pub(crate) fn check_requests_batch(
+    h: &History,
+    budget: SearchBudget,
+    ops: &[(ActionId, Value)],
+) -> Verdict {
+    match partition(h) {
+        Ok(part) => combine_r3_attempts(ops, |ops, erasable| {
+            decide(h, &part.groups, part.ambiguous, budget, ops, erasable)
+        }),
+        Err(reason) => Verdict::NotXable { reason },
     }
 }
 
@@ -445,6 +578,10 @@ mod tests {
     use crate::action::ActionName;
     use crate::event::Event;
     use crate::failure_free::eventsof;
+
+    fn fast() -> FastChecker {
+        FastChecker::default()
+    }
 
     fn idem(name: &str) -> ActionId {
         ActionId::base(ActionName::idempotent(name))
@@ -470,13 +607,8 @@ mod tests {
     fn accepts_failure_free_single_request() {
         let a = idem("a");
         let h = eventsof(&a, &Value::from(1), &Value::from(5));
-        let v = check(&h, &[(a, Value::from(1))], &[]);
-        assert_eq!(
-            v,
-            Verdict::XAble {
-                outputs: vec![Value::from(5)]
-            }
-        );
+        let v = fast().check(&h, &[(a, Value::from(1))], &[]);
+        assert_eq!(v, Verdict::xable(vec![Value::from(5)]));
     }
 
     #[test]
@@ -485,20 +617,20 @@ mod tests {
         let h: History = [s(&a, 1), s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 5)]
             .into_iter()
             .collect();
-        assert!(check(&h, &[(a, Value::from(1))], &[]).is_xable());
+        assert!(fast().check(&h, &[(a, Value::from(1))], &[]).is_xable());
     }
 
     #[test]
     fn rejects_disagreeing_outputs() {
         let a = idem("a");
         let h: History = [s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 6)].into_iter().collect();
-        assert!(check(&h, &[(a, Value::from(1))], &[]).is_not_xable());
+        assert!(fast().check(&h, &[(a, Value::from(1))], &[]).is_not_xable());
     }
 
     #[test]
     fn rejects_missing_request() {
         let a = idem("a");
-        let v = check(&History::empty(), &[(a, Value::from(1))], &[]);
+        let v = fast().check(&History::empty(), &[(a, Value::from(1))], &[]);
         assert!(v.is_not_xable());
     }
 
@@ -508,7 +640,7 @@ mod tests {
         let b = idem("b");
         let h = eventsof(&a, &Value::from(1), &Value::from(5))
             .concat(&eventsof(&b, &Value::from(2), &Value::from(6)));
-        let v = check(&h, &[(a, Value::from(1))], &[]);
+        let v = fast().check(&h, &[(a, Value::from(1))], &[]);
         assert!(v.is_not_xable());
     }
 
@@ -516,7 +648,7 @@ mod tests {
     fn rejects_completion_without_start() {
         let a = idem("a");
         let h: History = [c(&a, 5)].into_iter().collect();
-        let v = check(&h, &[(a, Value::from(1))], &[]);
+        let v = fast().check(&h, &[(a, Value::from(1))], &[]);
         assert!(v.is_not_xable());
     }
 
@@ -526,7 +658,7 @@ mod tests {
         // Two different inputs for the same action plus a completion:
         // attribution is ambiguous.
         let h: History = [s(&a, 1), s(&a, 2), c(&a, 5), c(&a, 5)].into_iter().collect();
-        let v = check(
+        let v = fast().check(
             &h,
             &[(a.clone(), Value::from(1)), (a, Value::from(2))],
             &[],
@@ -550,13 +682,8 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let v = check(&h, &[(u, Value::from(1))], &[]);
-        assert_eq!(
-            v,
-            Verdict::XAble {
-                outputs: vec![Value::from(7)]
-            }
-        );
+        let v = fast().check(&h, &[(u, Value::from(1))], &[]);
+        assert_eq!(v, Verdict::xable(vec![Value::from(7)]));
     }
 
     #[test]
@@ -566,13 +693,8 @@ mod tests {
         let h = eventsof(&a, &Value::from(1), &Value::from(5))
             .concat(&eventsof(&b, &Value::from(2), &Value::from(6)));
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
-        let v = check(&h, &ops, &[]);
-        assert_eq!(
-            v,
-            Verdict::XAble {
-                outputs: vec![Value::from(5), Value::from(6)]
-            }
-        );
+        let v = fast().check(&h, &ops, &[]);
+        assert_eq!(v, Verdict::xable(vec![Value::from(5), Value::from(6)]));
     }
 
     #[test]
@@ -582,7 +704,7 @@ mod tests {
         let h = eventsof(&b, &Value::from(2), &Value::from(6))
             .concat(&eventsof(&a, &Value::from(1), &Value::from(5)));
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
-        assert!(check(&h, &ops, &[]).is_not_xable());
+        assert!(fast().check(&h, &ops, &[]).is_not_xable());
     }
 
     #[test]
@@ -594,7 +716,7 @@ mod tests {
         let b = idem("b");
         let h: History = [s(&a, 1), s(&b, 2), c(&a, 5), c(&b, 6)].into_iter().collect();
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
-        assert!(check(&h, &ops, &[]).is_xable());
+        assert!(fast().check(&h, &ops, &[]).is_xable());
     }
 
     #[test]
@@ -614,7 +736,7 @@ mod tests {
         .into_iter()
         .collect();
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
-        assert!(check(&h, &ops, &[]).is_xable());
+        assert!(fast().check(&h, &ops, &[]).is_xable());
     }
 
     #[test]
@@ -625,13 +747,8 @@ mod tests {
         let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(
             vec![s(&u, 2), s(&cancel, 2), cnil(&cancel)],
         ));
-        let v = check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
-        assert_eq!(
-            v,
-            Verdict::XAble {
-                outputs: vec![Value::from(5)]
-            }
-        );
+        let v = fast().check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
+        assert_eq!(v, Verdict::xable(vec![Value::from(5)]));
     }
 
     #[test]
@@ -641,7 +758,7 @@ mod tests {
         let h = eventsof(&a, &Value::from(1), &Value::from(5))
             .concat(&eventsof(&u, &Value::from(2), &Value::from(7)));
         // u committed, so its events cannot erase.
-        let v = check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
+        let v = fast().check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
         assert!(v.is_not_xable());
     }
 
@@ -659,28 +776,28 @@ mod tests {
         let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(
             vec![s(&u, 2), s(&cancel, 2), cnil(&cancel)],
         ));
-        assert!(check_request_sequence(&h, &requests).is_xable());
+        assert!(fast().check_requests(&h, &requests).is_xable());
         // But a *middle* request cannot be abandoned.
         let requests_rev = vec![
             Request::new(u, Value::from(2)),
             Request::new(a, Value::from(1)),
         ];
-        let v = check_request_sequence(&h, &requests_rev);
+        let v = fast().check_requests(&h, &requests_rev);
         assert!(!v.is_xable());
     }
 
     #[test]
     fn empty_request_sequence_accepts_empty_history() {
-        assert!(check_request_sequence(&History::empty(), &[]).is_xable());
+        assert!(fast().check_requests(&History::empty(), &[]).is_xable());
     }
 
     #[test]
-    fn verdict_display() {
-        let v = Verdict::XAble { outputs: vec![] };
-        assert!(format!("{v}").contains("x-able"));
-        let v = Verdict::NotXAble {
-            reason: "boom".into(),
-        };
-        assert!(format!("{v}").contains("boom"));
+    fn deprecated_shims_still_answer() {
+        #![allow(deprecated)]
+        let a = idem("a");
+        let h = eventsof(&a, &Value::from(1), &Value::from(5));
+        assert!(check(&h, &[(a.clone(), Value::from(1))], &[]).is_xable());
+        let requests = vec![Request::new(a, Value::from(1))];
+        assert!(check_request_sequence(&h, &requests).is_xable());
     }
 }

@@ -1,0 +1,371 @@
+//! Online x-ability checking: decide R3 *while* the history is being
+//! produced.
+//!
+//! The batch checkers re-partition and re-search a complete history on
+//! every call — fine after a run, wasteful during one. The
+//! [`IncrementalChecker`] maintains the fast checker's state machine
+//! online:
+//!
+//! * [`push`](IncrementalChecker::push) consumes one event in amortized
+//!   O(1): a single streaming attribution step
+//!   ([`attribute`](super::fast)) appends the event's index to its
+//!   `(base action, input)` group and invalidates only that group's
+//!   memoized search outcomes.
+//! * [`declare`](IncrementalChecker::declare) appends an expected request
+//!   to the R3 sequence (requests arrive over time too: the client submits
+//!   `Rᵢ₊₁` only after `Rᵢ` succeeded).
+//! * [`verdict`](IncrementalChecker::verdict) answers the R3 question for
+//!   the *current prefix* at any moment. Per-group searches are memoized
+//!   in the group cells, so a verdict after `k` new events re-searches at
+//!   most the groups those `k` events touched; everything else is a memo
+//!   hit. The assembly itself is O(#groups).
+//!
+//! Because push-side attribution and verdict-side assembly are the *same
+//! code* the batch [`super::FastChecker`] runs (`attribute` / `decide` in
+//! [`super::fast`]), the incremental verdict at any prefix equals
+//! `FastChecker::check_requests` on that prefix **by construction**; the
+//! property tests in `tests/incremental_props.rs` verify the equality
+//! prefix by prefix on random histories.
+//!
+//! The per-group state carried online and the reason cross-group reduction
+//! never occurs (rules 18–20 relate events of one group only) are spelled
+//! out in DESIGN.md §4.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use xability_core::xable::IncrementalChecker;
+//! use xability_core::{ActionId, ActionName, Event, Value};
+//!
+//! let get = ActionId::base(ActionName::idempotent("get"));
+//! let mut checker = IncrementalChecker::new();
+//! checker.declare(get.clone(), Value::from(1));
+//!
+//! checker.push(Event::start(get.clone(), Value::from(1)));
+//! assert!(!checker.verdict().is_xable()); // started, not yet completed
+//!
+//! checker.push(Event::complete(get, Value::from(42)));
+//! assert!(checker.verdict().is_xable()); // the prefix is now x-able
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::action::{ActionId, Request};
+use crate::event::Event;
+use crate::history::History;
+use crate::value::Value;
+use crate::xable::checker::{combine_r3_attempts, Verdict};
+use crate::xable::fast::{attribute, decide, AttributionState, GroupCell, GroupKey};
+use crate::xable::search::SearchBudget;
+
+/// An online R3 checker: push events as they are observed, declare
+/// requests as they are submitted, ask for a verdict at any prefix.
+///
+/// Equivalent to running [`super::FastChecker`]'s `check_requests` on the
+/// full current prefix, but with the partition maintained incrementally
+/// and per-group search outcomes cached across pushes.
+#[derive(Debug)]
+pub struct IncrementalChecker {
+    budget: SearchBudget,
+    requests: Vec<(ActionId, Value)>,
+    history: History,
+    attribution: AttributionState,
+    ambiguous: bool,
+    /// First completion observed without any start of its action — a
+    /// permanent violation of the event axioms (§2.2).
+    orphan: Option<String>,
+    groups: BTreeMap<GroupKey, GroupCell>,
+}
+
+impl Default for IncrementalChecker {
+    fn default() -> Self {
+        IncrementalChecker::new()
+    }
+}
+
+impl IncrementalChecker {
+    /// An empty checker with the fast tier's default per-group budget.
+    pub fn new() -> Self {
+        IncrementalChecker::with_budget(SearchBudget::small())
+    }
+
+    /// An empty checker with an explicit per-group search budget.
+    pub fn with_budget(budget: SearchBudget) -> Self {
+        IncrementalChecker {
+            budget,
+            requests: Vec::new(),
+            history: History::empty(),
+            attribution: AttributionState::default(),
+            ambiguous: false,
+            orphan: None,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Appends an expected request to the declared R3 sequence.
+    pub fn declare(&mut self, action: ActionId, input: Value) {
+        self.requests.push((action, input));
+    }
+
+    /// Appends an expected [`Request`] to the declared R3 sequence.
+    pub fn declare_request(&mut self, request: &Request) {
+        self.declare(request.action().clone(), request.input().clone());
+    }
+
+    /// Consumes one observed event, in amortized O(1): one attribution
+    /// step, one group-cell append, one memo invalidation.
+    pub fn push(&mut self, event: Event) {
+        let index = self.history.len();
+        match attribute(&mut self.attribution, &mut self.ambiguous, &event, index) {
+            Ok(key) => {
+                let is_commit_completion =
+                    matches!(&event, Event::Complete(a, _) if a.is_commit());
+                self.groups
+                    .entry(key)
+                    .or_default()
+                    .push_index(index, is_commit_completion);
+            }
+            Err(reason) => {
+                if self.orphan.is_none() {
+                    self.orphan = Some(reason);
+                }
+            }
+        }
+        self.history.push(event);
+    }
+
+    /// Consumes a sequence of observed events.
+    pub fn push_all<I: IntoIterator<Item = Event>>(&mut self, events: I) {
+        for event in events {
+            self.push(event);
+        }
+    }
+
+    /// The number of events consumed so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Returns `true` if no event has been consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The prefix consumed so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The declared request sequence.
+    pub fn requests(&self) -> &[(ActionId, Value)] {
+        &self.requests
+    }
+
+    /// The R3 verdict for the current prefix and declared request
+    /// sequence: x-able with respect to `R₁…Rₙ` or `R₁…Rₙ₋₁`.
+    ///
+    /// Equals `FastChecker::check_requests` on
+    /// ([`history()`](Self::history), [`requests()`](Self::requests)).
+    pub fn verdict(&self) -> Verdict {
+        if let Some(reason) = &self.orphan {
+            return Verdict::NotXable {
+                reason: reason.clone(),
+            };
+        }
+        combine_r3_attempts(&self.requests, |ops, erasable| {
+            decide(
+                &self.history,
+                &self.groups,
+                self.ambiguous,
+                self.budget,
+                ops,
+                erasable,
+            )
+        })
+    }
+
+    /// The verdict for an explicit `(ops, erasable)` question over the
+    /// current prefix, bypassing the declared sequence and the R3
+    /// last-request fallback. Equals `FastChecker::check` on the prefix.
+    pub fn verdict_for(
+        &self,
+        ops: &[(ActionId, Value)],
+        erasable: &[(ActionId, Value)],
+    ) -> Verdict {
+        if let Some(reason) = &self.orphan {
+            return Verdict::NotXable {
+                reason: reason.clone(),
+            };
+        }
+        decide(
+            &self.history,
+            &self.groups,
+            self.ambiguous,
+            self.budget,
+            ops,
+            erasable,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionName;
+    use crate::xable::checker::{Checker, FastChecker};
+
+    fn idem(name: &str) -> ActionId {
+        ActionId::base(ActionName::idempotent(name))
+    }
+
+    fn undo(name: &str) -> ActionId {
+        ActionId::base(ActionName::undoable(name))
+    }
+
+    fn s(a: &ActionId, v: i64) -> Event {
+        Event::start(a.clone(), Value::from(v))
+    }
+
+    fn c(a: &ActionId, v: i64) -> Event {
+        Event::complete(a.clone(), Value::from(v))
+    }
+
+    fn cnil(a: &ActionId) -> Event {
+        Event::complete(a.clone(), Value::Nil)
+    }
+
+    /// Batch verdict over the checker's own prefix, for agreement checks.
+    fn batch(inc: &IncrementalChecker) -> Verdict {
+        let requests: Vec<Request> = inc
+            .requests()
+            .iter()
+            .map(|(a, iv)| Request::new(a.clone(), iv.clone()))
+            .collect();
+        FastChecker::default().check_requests(inc.history(), &requests)
+    }
+
+    #[test]
+    fn empty_checker_with_no_requests_is_xable() {
+        let inc = IncrementalChecker::new();
+        assert!(inc.is_empty());
+        assert!(inc.verdict().is_xable());
+    }
+
+    #[test]
+    fn verdict_evolves_across_a_retried_request() {
+        let a = idem("a");
+        let ops = [(a.clone(), Value::from(1))];
+        let mut inc = IncrementalChecker::new();
+        inc.declare(a.clone(), Value::from(1));
+        // Strictly (no abandonment fallback), an unexecuted request is not
+        // x-able; under R3 the last request may always be abandoned.
+        assert!(!inc.verdict_for(&ops, &[]).is_xable());
+        assert!(inc.verdict().is_xable(), "R3 allows an unsubmitted last request");
+
+        inc.push(s(&a, 1));
+        assert!(!inc.verdict_for(&ops, &[]).is_xable(), "started, not completed");
+
+        inc.push(s(&a, 1));
+        inc.push(c(&a, 5));
+        let v = inc.verdict();
+        assert!(v.is_xable(), "{v}");
+        assert_eq!(v.outputs(), Some(&[Value::from(5)][..]));
+
+        // A duplicate completion with a *different* output breaks it for
+        // good: the group can neither reduce nor erase.
+        inc.push(s(&a, 1));
+        inc.push(c(&a, 6));
+        assert!(!inc.verdict().is_xable());
+    }
+
+    #[test]
+    fn declared_sequence_supports_last_request_abandonment() {
+        let a = idem("a");
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let mut inc = IncrementalChecker::new();
+        inc.declare_request(&Request::new(a.clone(), Value::from(1)));
+        inc.push(s(&a, 1));
+        inc.push(c(&a, 5));
+        assert!(inc.verdict().is_xable());
+
+        // Second request starts, gets cancelled, never retried: the R3
+        // fallback (last request abandoned) keeps the prefix x-able.
+        inc.declare_request(&Request::new(u.clone(), Value::from(2)));
+        inc.push(Event::start(u.clone(), Value::from(2)));
+        inc.push(Event::start(cancel.clone(), Value::from(2)));
+        inc.push(cnil(&cancel));
+        let v = inc.verdict();
+        assert!(v.is_xable(), "{v}");
+        assert_eq!(v, batch(&inc));
+    }
+
+    #[test]
+    fn orphan_completion_is_permanently_not_xable() {
+        let a = idem("a");
+        let mut inc = IncrementalChecker::new();
+        inc.declare(a.clone(), Value::from(1));
+        inc.push(c(&a, 5)); // completion with no start
+        assert!(inc.verdict().is_not_xable());
+        assert_eq!(inc.verdict(), batch(&inc));
+        // Later legitimate events do not cure the axiom violation.
+        inc.push(s(&a, 1));
+        inc.push(c(&a, 5));
+        assert!(inc.verdict().is_not_xable());
+        assert_eq!(inc.verdict(), batch(&inc));
+    }
+
+    #[test]
+    fn agrees_with_batch_at_every_prefix_of_a_protocol_trace() {
+        // An undoable request with a cancelled round, then an idempotent
+        // request, with a trailing deduplicated retry of the first.
+        let u = undo("xfer");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let b = idem("get");
+        let events = vec![
+            s(&u, 1),
+            Event::start(cancel.clone(), Value::from(1)),
+            cnil(&cancel),
+            s(&u, 1),
+            c(&u, 7),
+            Event::start(commit.clone(), Value::from(1)),
+            cnil(&commit),
+            s(&b, 2),
+            c(&b, 9),
+            s(&b, 2),
+            c(&b, 9), // trailing duplicate
+        ];
+        let mut inc = IncrementalChecker::new();
+        inc.declare(u, Value::from(1));
+        inc.declare(b, Value::from(2));
+        for ev in events {
+            inc.push(ev);
+            assert_eq!(inc.verdict(), batch(&inc), "prefix {}", inc.len());
+        }
+        assert!(inc.verdict().is_xable());
+    }
+
+    #[test]
+    fn verdict_for_matches_fast_check() {
+        let a = idem("a");
+        let mut inc = IncrementalChecker::new();
+        inc.push_all([s(&a, 1), c(&a, 5)]);
+        let ops = [(a, Value::from(1))];
+        assert_eq!(
+            inc.verdict_for(&ops, &[]),
+            FastChecker::default().check(inc.history(), &ops, &[])
+        );
+    }
+
+    #[test]
+    fn memoization_is_invalidated_by_new_group_events() {
+        let a = idem("a");
+        let mut inc = IncrementalChecker::new();
+        inc.declare(a.clone(), Value::from(1));
+        inc.push_all([s(&a, 1), c(&a, 5)]);
+        assert!(inc.verdict().is_xable()); // memoizes the group as reduced
+        inc.push_all([s(&a, 1), c(&a, 6)]); // disagreeing retry
+        assert!(inc.verdict().is_not_xable(), "stale memo would say x-able");
+    }
+}

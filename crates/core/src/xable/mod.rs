@@ -4,22 +4,36 @@
 //! generally, a sequence of such pairs (§4, R3) — if it can be reduced under
 //! the ⇒ relation of Fig. 4 to a failure-free history of that sequence.
 //!
-//! Two deciders are provided:
+//! All deciders share one API: the [`Checker`] trait and the unified
+//! [`Verdict`] type (defined in [`checker`]). Three batch deciders are
+//! provided, plus an online one:
 //!
-//! * [`search`] — the reference semantics: an exhaustive breadth-first
-//!   exploration of the reduction closure. Complete (up to an explicit
-//!   budget), exponential in the worst case.
-//! * [`fast`] — a polynomial checker for the class of histories produced by
-//!   retry-based replication protocols. It decomposes the history into
-//!   per-request groups, decides each group with a (small, bounded) search,
-//!   and checks the cross-group ordering. It answers
+//! * [`SearchChecker`] — the reference semantics: an exhaustive
+//!   breadth-first exploration of the reduction closure. Complete (up to an
+//!   explicit [`SearchBudget`]), exponential in the worst case.
+//! * [`FastChecker`] — a polynomial checker for the class of histories
+//!   produced by retry-based replication protocols. It decomposes the
+//!   history into per-request groups, decides each group with a (small,
+//!   bounded) search, and checks the cross-group ordering. It answers
 //!   [`Verdict::Unknown`] when a history falls outside its class; the
-//!   property tests in the crate cross-validate it against [`search`].
+//!   property tests in the crate cross-validate it against the search.
+//! * [`TieredChecker`] — the fast→search escalation policy callers used to
+//!   hand-roll, with per-tier budgets.
+//! * [`IncrementalChecker`] — the online decider: `push(event)` in
+//!   amortized O(1), a verdict at any prefix, agreeing with
+//!   [`FastChecker`] by construction (it runs the same engine with its
+//!   per-group state maintained across pushes).
+//!
+//! The submodules [`search`] and [`fast`] hold the respective engines; the
+//! free functions they historically exported remain as deprecated shims.
 
+pub mod checker;
 pub mod fast;
+pub mod incremental;
 pub mod search;
 
-pub use fast::{check, check_request_sequence, Verdict};
+pub use checker::{Checker, FastChecker, SearchChecker, TieredChecker, Verdict, Witness};
+pub use incremental::IncrementalChecker;
 pub use search::{is_xable_search, search_reduction, SearchBudget, SearchResult};
 
 use crate::action::ActionId;
@@ -28,9 +42,6 @@ use crate::value::Value;
 
 /// The single-action x-able predicate `x-able(a,iv)(h)` of eq. 23, decided
 /// by exhaustive search with a default budget.
-///
-/// Suitable for the small histories of unit tests and examples; for protocol
-/// traces prefer [`fast::check`].
 ///
 /// # Examples
 ///
@@ -46,8 +57,15 @@ use crate::value::Value;
 /// ]
 /// .into_iter()
 /// .collect();
+/// # #[allow(deprecated)]
+/// # {
 /// assert!(xable::is_xable(&h, &a, &Value::Nil));
+/// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `xable::TieredChecker::default().check(h, &[(action, input)], &[])`"
+)]
 pub fn is_xable(h: &History, action: &ActionId, input: &Value) -> bool {
     let ops = [(action.clone(), input.clone())];
     matches!(

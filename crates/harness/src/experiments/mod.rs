@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use xability_core::reduce;
-use xability_core::xable::{is_xable_search, SearchBudget};
+use xability_core::xable::{Checker, FastChecker, SearchChecker};
 use xability_core::{
     failure_free::eventsof, ActionId, ActionName, Event, History, Pattern, SimplePattern, Value,
 };
@@ -100,10 +100,10 @@ pub fn f4_reduction() -> Table {
     for k in [1usize, 2, 4, 8, 16] {
         let h = retried_history(k);
         let start = Instant::now();
-        let reached = is_xable_search(&h, &ops, SearchBudget::default()).is_reached();
+        let reached = SearchChecker::default().check(&h, &ops, &[]).is_xable();
         let search_us = start.elapsed().as_micros();
         let start = Instant::now();
-        let fast = xability_core::xable::fast::check(&h, &ops, &[]).is_xable();
+        let fast = FastChecker::default().check(&h, &ops, &[]).is_xable();
         let fast_us = start.elapsed().as_micros();
         let steps = reduce::reduction_steps(&h).len();
         rows.push(vec![
@@ -442,8 +442,8 @@ pub fn checkers_agree_on_retried_histories(max_k: usize) -> bool {
     let ops = [(a, Value::from(1))];
     (1..=max_k).all(|k| {
         let h = retried_history(k);
-        let search = is_xable_search(&h, &ops, SearchBudget::default()).is_reached();
-        let fast = xability_core::xable::fast::check(&h, &ops, &[]).is_xable();
+        let search = SearchChecker::default().check(&h, &ops, &[]).is_xable();
+        let fast = FastChecker::default().check(&h, &ops, &[]).is_xable();
         search == fast
     })
 }

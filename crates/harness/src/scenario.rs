@@ -7,6 +7,7 @@
 //! accounting on the side-effect ledger.
 
 use xability_core::spec::{check_r3, IdentitySequencer, Violation};
+use xability_core::xable::IncrementalChecker;
 use xability_core::{ActionName, Value};
 use xability_protocol::{
     ActiveReplica, Client, ClientMetrics, LogicalRequest, PbReplica, ProtoMsg, ReplicaMetrics,
@@ -265,6 +266,14 @@ impl Scenario {
     /// Builds the world, runs it, and evaluates the outcome.
     pub fn run(&self) -> RunReport {
         let ledger = shared_ledger();
+        // Online R3: the ledger pushes every recorded event into this
+        // monitor as the simulation emits it, so the per-group checker
+        // state is built *during* the run; evaluation then only has to
+        // declare the submitted requests and read the verdict off the
+        // already-digested prefix.
+        ledger
+            .borrow_mut()
+            .attach_monitor(IncrementalChecker::new());
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
@@ -376,8 +385,9 @@ impl Scenario {
                 )
             })
             .collect();
+        let r3 = r3_violation_for(&ledger, &submitted);
+        let (r3_violation, r3_checked_online) = (r3.violation, r3.decided_online);
         let history = ledger.borrow().history();
-        let r3_violation = check_r3(&IdentitySequencer, &submitted, &history);
 
         // R4: every result delivered to the client is a possible reply.
         let service_actor = world
@@ -424,6 +434,7 @@ impl Scenario {
             results,
             exactly_once_violations,
             r3_violation,
+            r3_checked_online,
             r4_ok,
             replica_metrics,
             sim: *world.metrics(),
@@ -431,6 +442,54 @@ impl Scenario {
             end_time: world.now(),
             ledger,
         }
+    }
+}
+
+/// The result of an R3 evaluation against a ledger.
+#[derive(Debug)]
+pub struct R3Outcome {
+    /// The violation, if any (`None` = the history is x-able).
+    pub violation: Option<Violation>,
+    /// Whether the ledger's online monitor decided the question (as
+    /// opposed to the batch fallback re-reducing the final history).
+    pub decided_online: bool,
+}
+
+/// Evaluates R3 for a submitted request sequence against a ledger.
+///
+/// Prefers the ledger's online [`IncrementalChecker`] monitor — which was
+/// fed event by event during the run, so only the groups touched since the
+/// last verdict are re-searched — and falls back to the batch tiered
+/// checker (`spec::check_r3`) when no monitor is attached or the online
+/// verdict is undecided (the tiered checker can escalate small undecided
+/// histories to the exhaustive search).
+///
+/// Idempotent across calls on the same ledger as long as `submitted` only
+/// ever *extends* the previously evaluated sequence: already-declared
+/// requests are not re-declared into the monitor.
+pub fn r3_violation_for(
+    ledger: &SharedLedger,
+    submitted: &[xability_core::Request],
+) -> R3Outcome {
+    let online = {
+        let mut guard = ledger.borrow_mut();
+        guard.monitor_mut().map(|monitor| {
+            let declared = monitor.requests().len();
+            for request in submitted.iter().skip(declared) {
+                monitor.declare_request(request);
+            }
+            monitor.verdict()
+        })
+    };
+    match online {
+        Some(verdict) if !verdict.is_unknown() => R3Outcome {
+            violation: xability_core::spec::r3_violation(&verdict),
+            decided_online: true,
+        },
+        _ => R3Outcome {
+            violation: check_r3(&IdentitySequencer, submitted, &ledger.borrow().history()),
+            decided_online: false,
+        },
     }
 }
 
@@ -457,6 +516,10 @@ pub struct RunReport {
     pub exactly_once_violations: Vec<String>,
     /// R3 verdict (`None` = history is x-able).
     pub r3_violation: Option<Violation>,
+    /// Whether the online incremental monitor *decided* R3 (as opposed to
+    /// answering `Unknown` and falling back to a from-scratch batch
+    /// re-reduction of the final history).
+    pub r3_checked_online: bool,
     /// R4 verdict.
     pub r4_ok: bool,
     /// Aggregated replica counters (x-able scheme only).

@@ -18,8 +18,11 @@
 
 use std::collections::BTreeMap;
 
-use xability_core::spec::{check_r3, IdentitySequencer, Violation};
+use xability_core::spec::Violation;
+use xability_core::xable::IncrementalChecker;
 use xability_core::{ActionId, ActionName, Event, Value};
+
+use crate::scenario::r3_violation_for;
 use xability_protocol::{Client, LogicalRequest, ProtoMsg, XReplica, XReplicaConfig};
 use xability_services::catalog::Bank;
 use xability_services::{shared_ledger, ServiceConfig, ServiceCore, SharedLedger};
@@ -49,8 +52,20 @@ pub struct Gateway {
     tick: SimDuration,
 }
 
+/// Error returned by [`Gateway::try_new`] for an invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayConfigError(String);
+
+impl std::fmt::Display for GatewayConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid gateway configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for GatewayConfigError {}
+
 impl Gateway {
-    /// Creates a gateway.
+    /// Creates a gateway, validating the configuration.
     ///
     /// * `backend_replicas` — the back-end replica group to submit to.
     /// * `backend_action` / `backend_service` — what the back-end requests
@@ -58,22 +73,30 @@ impl Gateway {
     /// * `app_action` — the (idempotent) action name under which the
     ///   composition is recorded in `app_ledger`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `app_action` is not idempotent: a replicated service
-    /// invocation *is* an idempotent action by R1.
-    pub fn new(
+    /// Fails when `backend_replicas` is empty, or when `app_action` is not
+    /// idempotent: a replicated service invocation *is* an idempotent
+    /// action by R1.
+    pub fn try_new(
         backend_replicas: Vec<ProcessId>,
         backend_action: ActionName,
         backend_service: ProcessId,
         app_action: ActionName,
         app_ledger: SharedLedger,
-    ) -> Self {
-        assert!(
-            app_action.is_idempotent(),
-            "a replicated service invocation is an idempotent action (R1)"
-        );
-        Gateway {
+    ) -> Result<Self, GatewayConfigError> {
+        if backend_replicas.is_empty() {
+            return Err(GatewayConfigError(
+                "need at least one back-end replica".to_owned(),
+            ));
+        }
+        if !app_action.is_idempotent() {
+            return Err(GatewayConfigError(format!(
+                "app action {app_action} is not idempotent; a replicated service \
+                 invocation is an idempotent action (R1)"
+            )));
+        }
+        Ok(Gateway {
             backend_replicas,
             backend_action,
             backend_service,
@@ -81,6 +104,31 @@ impl Gateway {
             app_ledger,
             calls: BTreeMap::new(),
             tick: SimDuration::from_millis(15),
+        })
+    }
+
+    /// Creates a gateway. See [`Gateway::try_new`] for the argument
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the configurations [`Gateway::try_new`] rejects.
+    pub fn new(
+        backend_replicas: Vec<ProcessId>,
+        backend_action: ActionName,
+        backend_service: ProcessId,
+        app_action: ActionName,
+        app_ledger: SharedLedger,
+    ) -> Self {
+        match Gateway::try_new(
+            backend_replicas,
+            backend_action,
+            backend_service,
+            app_action,
+            app_ledger,
+        ) {
+            Ok(gateway) => gateway,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -278,6 +326,13 @@ impl ThreeTier {
     pub fn run(&self) -> ThreeTierReport {
         let backend_ledger = shared_ledger();
         let app_ledger = shared_ledger();
+        // Each tier's R3 obligation is tracked online, independently.
+        backend_ledger
+            .borrow_mut()
+            .attach_monitor(IncrementalChecker::new());
+        app_ledger
+            .borrow_mut()
+            .attach_monitor(IncrementalChecker::new());
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
@@ -324,13 +379,16 @@ impl ThreeTier {
         );
         world.add_process(
             "gateway",
-            Box::new(Gateway::new(
-                backend_ids.clone(),
-                ActionName::undoable("transfer"),
-                bank_id,
-                ActionName::idempotent("backend-call"),
-                app_ledger.clone(),
-            )),
+            Box::new(
+                Gateway::try_new(
+                    backend_ids.clone(),
+                    ActionName::undoable("transfer"),
+                    bank_id,
+                    ActionName::idempotent("backend-call"),
+                    app_ledger.clone(),
+                )
+                .expect("three-tier gateway configuration is valid"),
+            ),
         );
 
         let requests: Vec<LogicalRequest> = (0..self.transfers)
@@ -382,11 +440,7 @@ impl ThreeTier {
             .take((completed + 1).min(requests.len()))
             .map(|r| xability_core::Request::new(ActionId::base(r.action.clone()), r.key()))
             .collect();
-        let app_r3 = check_r3(
-            &IdentitySequencer,
-            &app_requests,
-            &app_ledger.borrow().history(),
-        );
+        let app_r3 = r3_violation_for(&app_ledger, &app_requests).violation;
 
         // Back-end R3: the forwarded transfer requests.
         let backend_requests: Vec<xability_core::Request> = requests
@@ -399,11 +453,7 @@ impl ThreeTier {
                 )
             })
             .collect();
-        let backend_r3 = check_r3(
-            &IdentitySequencer,
-            &backend_requests,
-            &backend_ledger.borrow().history(),
-        );
+        let backend_r3 = r3_violation_for(&backend_ledger, &backend_requests).violation;
 
         // End-to-end exactly-once at the bank.
         let keys: Vec<(ActionName, Value)> = requests

@@ -216,6 +216,49 @@ fn client_crash_gives_at_most_once() {
     );
 }
 
+/// The online incremental monitor (fed event by event during the run)
+/// must agree with a from-scratch batch check of the final ledger history
+/// on every harness-produced trace — including crashy ones.
+#[test]
+fn online_monitor_agrees_with_batch_checker_on_harness_traces() {
+    use xability_core::xable::{Checker, FastChecker};
+    use xability_core::Request;
+
+    let scenarios = [
+        Scenario::new(Scheme::XAble, Workload::KvPuts { count: 3 }).seed(7),
+        Scenario::new(
+            Scheme::XAble,
+            Workload::BankTransfers {
+                count: 2,
+                amount: 10,
+            },
+        )
+        .seed(11)
+        .crash(0, SimTime::from_millis(5)),
+        Scenario::new(Scheme::XAble, Workload::TokenIssues { count: 2 })
+            .seed(13)
+            .service_failures(FailurePlan::first_n(2)),
+    ];
+    for scenario in scenarios {
+        let report = scenario.run();
+        assert!(report.r3_checked_online, "monitor was attached for the run");
+        let ledger = report.ledger.borrow();
+        let monitor = ledger.monitor().expect("monitor attached");
+        let requests: Vec<Request> = monitor
+            .requests()
+            .iter()
+            .map(|(a, iv)| Request::new(a.clone(), iv.clone()))
+            .collect();
+        let online = monitor.verdict();
+        let batch = FastChecker::default().check_requests(&ledger.history(), &requests);
+        assert_eq!(
+            online, batch,
+            "online and batch R3 verdicts diverged (seed {})",
+            report.seed
+        );
+    }
+}
+
 #[test]
 fn runs_are_deterministic_per_seed() {
     let run = |seed| {

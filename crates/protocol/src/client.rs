@@ -42,11 +42,34 @@ pub struct Client {
     tick: SimDuration,
 }
 
+/// Error returned by [`Client::try_new`] for an invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfigError(String);
+
+impl std::fmt::Display for ClientConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid client configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClientConfigError {}
+
 impl Client {
-    /// Creates a client that will submit `plan` against `replicas`.
-    pub fn new(replicas: Vec<ProcessId>, plan: Vec<LogicalRequest>) -> Self {
-        assert!(!replicas.is_empty(), "need at least one replica");
-        Client {
+    /// Creates a client that will submit `plan` against `replicas`,
+    /// validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `replicas` is empty (Fig. 5's failover loop needs at
+    /// least one replica to contact).
+    pub fn try_new(
+        replicas: Vec<ProcessId>,
+        plan: Vec<LogicalRequest>,
+    ) -> Result<Self, ClientConfigError> {
+        if replicas.is_empty() {
+            return Err(ClientConfigError("need at least one replica".to_owned()));
+        }
+        Ok(Client {
             replicas,
             plan,
             current: 0,
@@ -57,6 +80,19 @@ impl Client {
             submitted_at: SimTime::ZERO,
             metrics: ClientMetrics::default(),
             tick: SimDuration::from_millis(15),
+        })
+    }
+
+    /// Creates a client that will submit `plan` against `replicas`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas` is empty; use [`Client::try_new`] for a
+    /// fallible variant.
+    pub fn new(replicas: Vec<ProcessId>, plan: Vec<LogicalRequest>) -> Self {
+        match Client::try_new(replicas, plan) {
+            Ok(client) => client,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -179,6 +215,13 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn client_needs_replicas() {
         let _ = Client::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn try_new_reports_the_configuration_error() {
+        let err = Client::try_new(vec![], vec![]).unwrap_err();
+        assert!(err.to_string().contains("at least one replica"));
+        assert!(Client::try_new(vec![ProcessId(0)], vec![]).is_ok());
     }
 
     #[test]

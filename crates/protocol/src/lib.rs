@@ -31,7 +31,7 @@ pub mod replica;
 pub mod service_actor;
 
 pub use baselines::{ActiveReplica, BaselineMetrics, PbReplica};
-pub use client::{Client, ClientMetrics};
+pub use client::{Client, ClientConfigError, ClientMetrics};
 pub use messages::{Decision, LogicalRequest, ProtoMsg};
 pub use replica::{ReplicaMetrics, XReplica, XReplicaConfig};
 pub use service_actor::ServiceActor;

@@ -8,11 +8,11 @@
 //! | Paper (Fig. 6/7) | Here |
 //! |---|---|
 //! | `receive [Request,req]` main loop | [`XReplica::on_message`] on [`ProtoMsg::ClientRequest`] |
-//! | `owner-agreement[round].propose(my-id,req,client)` | proposal with [`Intent::OwnRound`]; the continuation runs in `on_decision` |
-//! | `execute-until-success(req)` | [`Pending::Execute`] + retry logic in `on_invoke_reply` |
-//! | `result-coordination(req, res-val)` (execution mode) | proposals with [`Intent::ExecResult`] / [`Intent::ExecOutcome`] |
-//! | `result-coordination(req, empty-result)` (cleaning mode) | proposals with [`Intent::CleanResult`] / [`Intent::CleanOutcome`] |
-//! | `execute-until-success(cancel(req))` / `(commit(req))` | [`Pending::Cancel`] / [`Pending::Commit`] with retries |
+//! | `owner-agreement[round].propose(my-id,req,client)` | proposal with `Intent::OwnRound` (private); the continuation runs in `on_decision` |
+//! | `execute-until-success(req)` | `Pending::Execute` + retry logic in `on_invoke_reply` |
+//! | `result-coordination(req, res-val)` (execution mode) | proposals with `Intent::ExecResult` / `Intent::ExecOutcome` |
+//! | `result-coordination(req, empty-result)` (cleaning mode) | proposals with `Intent::CleanResult` / `Intent::CleanOutcome` |
+//! | `execute-until-success(cancel(req))` / `(commit(req))` | `Pending::Cancel` / `Pending::Commit` with retries |
 //! | `cleaner()` loop | the cleaning scan in `on_timer` / `on_suspicion` |
 //!
 //! ## Deviations from the paper's pseudo-code (see DESIGN.md)

@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use xability_core::xable::IncrementalChecker;
 use xability_core::{ActionName, Event, History, Value};
 use xability_sim::SimTime;
 
@@ -77,6 +78,7 @@ pub struct Ledger {
     events: Vec<RecordedEvent>,
     effects: Vec<EffectRecord>,
     violations: Vec<String>,
+    monitor: Option<IncrementalChecker>,
 }
 
 impl Ledger {
@@ -85,13 +87,40 @@ impl Ledger {
         Ledger::default()
     }
 
-    /// Records a formal event observation.
+    /// Records a formal event observation. When an online monitor is
+    /// attached, the event is also pushed into it (amortized O(1)), so the
+    /// R3 obligation is tracked *while* the run executes instead of by
+    /// re-reducing the full history afterwards.
     pub fn record_event(&mut self, event: Event, at: SimTime, service: &str) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.push(event.clone());
+        }
         self.events.push(RecordedEvent {
             event,
             at,
             service: service.to_owned(),
         });
+    }
+
+    /// Attaches an online R3 monitor. Events already recorded are replayed
+    /// into it first, so attaching mid-run observes the same prefix a
+    /// monitor attached at creation would have.
+    pub fn attach_monitor(&mut self, mut monitor: IncrementalChecker) {
+        for rec in &self.events {
+            monitor.push(rec.event.clone());
+        }
+        self.monitor = Some(monitor);
+    }
+
+    /// The attached online monitor, if any.
+    pub fn monitor(&self) -> Option<&IncrementalChecker> {
+        self.monitor.as_ref()
+    }
+
+    /// Mutable access to the attached online monitor (for declaring the
+    /// submitted requests as they become known).
+    pub fn monitor_mut(&mut self) -> Option<&mut IncrementalChecker> {
+        self.monitor.as_mut()
     }
 
     /// Records an externally visible effect.
@@ -299,6 +328,23 @@ mod tests {
         assert_eq!(violations.len(), 2);
         assert!(violations[0].contains("2 times"));
         assert!(violations[1].contains("commit after cancel"));
+    }
+
+    #[test]
+    fn monitor_tracks_events_online_and_replays_on_late_attach() {
+        let mut ledger = Ledger::new();
+        let a = ActionId::base(ActionName::idempotent("a"));
+        // One event recorded *before* the monitor exists…
+        ledger.record_event(Event::start(a.clone(), Value::from(1)), t(1), "svc");
+        let mut monitor = IncrementalChecker::new();
+        monitor.declare(a.clone(), Value::from(1));
+        ledger.attach_monitor(monitor);
+        // …and one after: the monitor must see both.
+        ledger.record_event(Event::complete(a.clone(), Value::from(2)), t(2), "svc");
+        let m = ledger.monitor().expect("attached");
+        assert_eq!(m.len(), 2);
+        assert!(m.verdict().is_xable());
+        assert!(ledger.monitor_mut().is_some());
     }
 
     #[test]

@@ -220,14 +220,31 @@ impl<M: std::fmt::Debug + 'static> World<M> {
         id
     }
 
+    /// Schedules `process` to crash at `at` (crash-stop: it never recovers),
+    /// validating the time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `at` is in the simulated past; the error carries the
+    /// current simulated time.
+    pub fn try_schedule_crash(&mut self, process: ProcessId, at: SimTime) -> Result<(), SimTime> {
+        if at < self.now {
+            return Err(self.now);
+        }
+        self.push_event(at, EventKind::Crash(process));
+        Ok(())
+    }
+
     /// Schedules `process` to crash at `at` (crash-stop: it never recovers).
     ///
     /// # Panics
     ///
-    /// Panics if `at` is in the simulated past.
+    /// Panics if `at` is in the simulated past; use
+    /// [`World::try_schedule_crash`] for a fallible variant.
     pub fn schedule_crash(&mut self, process: ProcessId, at: SimTime) {
-        assert!(at >= self.now, "cannot schedule a crash in the past");
-        self.push_event(at, EventKind::Crash(process));
+        if let Err(now) = self.try_schedule_crash(process, at) {
+            panic!("cannot schedule a crash in the past (at {at}, now {now})");
+        }
     }
 
     /// The current simulated time.
@@ -715,5 +732,18 @@ mod tests {
     fn world_debug_is_nonempty() {
         let (world, ..) = build();
         assert!(!format!("{world:?}").is_empty());
+    }
+
+    #[test]
+    fn scheduling_a_crash_in_the_past_is_a_recoverable_error() {
+        let (mut world, responder, _) = build();
+        world.run_until(SimTime::from_millis(10));
+        let err = world
+            .try_schedule_crash(responder, SimTime::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err, SimTime::from_millis(10));
+        assert!(world
+            .try_schedule_crash(responder, SimTime::from_millis(20))
+            .is_ok());
     }
 }

@@ -1,5 +1,7 @@
 //! Using the theory directly: build event histories by hand, reduce them
-//! under the rules of Fig. 4, and decide x-ability.
+//! under the rules of Fig. 4, and decide x-ability with the tiered
+//! checker — then watch the online incremental checker track a history
+//! event by event.
 //!
 //! ```text
 //! cargo run --example history_checker
@@ -7,17 +9,14 @@
 
 use xability::core::reduce;
 use xability::core::signature::signatures;
-use xability::core::xable::{self, SearchBudget};
+use xability::core::xable::{Checker, IncrementalChecker, SearchBudget, TieredChecker};
 use xability::core::{ActionId, ActionName, Event, History, Value};
 
 fn show(h: &History, ops: &[(ActionId, Value)], label: &str) {
-    let verdict = xable::is_xable_search(h, ops, SearchBudget::default());
+    let verdict = TieredChecker::default().check(h, ops, &[]);
     println!("-- {label}");
     println!("   history : {h}");
-    println!(
-        "   verdict : {}",
-        if verdict.is_reached() { "x-able" } else { "NOT x-able" }
-    );
+    println!("   verdict : {verdict}");
     let steps = reduce::reduction_steps(h);
     if let Some(step) = steps.first() {
         println!("   a first reduction step ({}): {}", step.rule, step.result);
@@ -61,7 +60,7 @@ fn main() {
     .collect();
     show(
         &h,
-        &[(get, Value::from(1))],
+        &[(get.clone(), Value::from(1))],
         "disagreeing duplicate outputs (NOT x-able — rule 18 needs equal outputs)",
     );
 
@@ -103,4 +102,21 @@ fn main() {
         &[(xfer, Value::from(9))],
         "cancel after commit (NOT x-able — rule 19 blocked by the interleaved commit)",
     );
+
+    // 5. The online checker: the same retried execution, verified while
+    //    it "happens". push() is amortized O(1); a verdict is available at
+    //    every prefix.
+    println!("== the incremental checker, event by event ==\n");
+    let mut online = IncrementalChecker::new();
+    online.declare(get.clone(), Value::from(1));
+    let events = [
+        Event::start(get.clone(), Value::from(1)),
+        Event::start(get.clone(), Value::from(1)),
+        Event::complete(get, Value::from(42)),
+    ];
+    println!("   (declared request: (getⁱ, 1); verdict uses the R3 reading)");
+    for ev in events {
+        online.push(ev.clone());
+        println!("   after {ev}: {}", online.verdict());
+    }
 }

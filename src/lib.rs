@@ -33,10 +33,13 @@
 //! cargo run --example history_checker
 //! ```
 //!
-//! Check a history for x-ability directly:
+//! Check a history for x-ability directly — [`core::xable::TieredChecker`]
+//! asks the polynomial fast tier first and escalates undecided small
+//! histories to the exhaustive search:
 //!
 //! ```
-//! use xability::core::{xable, ActionId, ActionName, Event, History, Value};
+//! use xability::core::xable::{Checker, TieredChecker};
+//! use xability::core::{ActionId, ActionName, Event, History, Value};
 //!
 //! let ping = ActionId::base(ActionName::idempotent("ping"));
 //! let history: History = [
@@ -46,7 +49,22 @@
 //! ]
 //! .into_iter()
 //! .collect();
-//! assert!(xable::is_xable(&history, &ping, &Value::Nil));
+//! let verdict = TieredChecker::default().check(&history, &[(ping, Value::Nil)], &[]);
+//! assert!(verdict.is_xable());
+//! ```
+//!
+//! Or verify *online*, while the history is being produced:
+//!
+//! ```
+//! use xability::core::xable::IncrementalChecker;
+//! use xability::core::{ActionId, ActionName, Event, Value};
+//!
+//! let ping = ActionId::base(ActionName::idempotent("ping"));
+//! let mut checker = IncrementalChecker::new();
+//! checker.declare(ping.clone(), Value::Nil);
+//! checker.push(Event::start(ping.clone(), Value::Nil));
+//! checker.push(Event::complete(ping, Value::from("pong")));
+//! assert!(checker.verdict().is_xable());
 //! ```
 
 #![forbid(unsafe_code)]

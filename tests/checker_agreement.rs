@@ -1,10 +1,13 @@
 //! Property tests: the polynomial fast checker agrees with the exhaustive
 //! search checker (the reference semantics) wherever it gives a definite
-//! answer.
+//! answer, and the tiered checker never contradicts either tier.
 
 use proptest::prelude::*;
 
-use xability::core::xable::{fast, is_xable_search, SearchBudget, SearchResult};
+use xability::core::xable::{
+    search_reduction, Checker, FastChecker, SearchBudget, SearchChecker, SearchResult,
+    TieredChecker, Verdict,
+};
 use xability::core::{ActionId, ActionName, Event, History, Value};
 
 /// Event alphabet: one idempotent action and one undoable action (with its
@@ -32,6 +35,25 @@ fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
     prop::collection::vec(arb_event(), 0..max_len).prop_map(History::from_events)
 }
 
+/// Fails the property if the fast tier's definite verdict contradicts the
+/// search tier's definite verdict on the same single-request question.
+fn assert_no_contradiction(
+    h: &History,
+    search: &Verdict,
+    fast: &Verdict,
+) -> Result<(), TestCaseError> {
+    match (search, fast) {
+        (Verdict::Xable { .. }, Verdict::NotXable { reason }) => {
+            prop_assert!(false, "fast says NotXable ({reason}) but search reduced: {h}");
+        }
+        (Verdict::NotXable { .. }, Verdict::Xable { .. }) => {
+            prop_assert!(false, "fast says Xable but search exhausted: {h}");
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -41,17 +63,9 @@ proptest! {
     fn fast_agrees_with_search_idempotent(h in arb_history(8)) {
         let a = ActionId::base(ActionName::idempotent("i"));
         let ops = [(a, Value::from(1))];
-        let search = is_xable_search(&h, &ops, SearchBudget::default());
-        let fastv = fast::check(&h, &ops, &[]);
-        match (&search, &fastv) {
-            (SearchResult::Reached(_), fast::Verdict::NotXAble { reason }) => {
-                prop_assert!(false, "fast says NotXAble ({reason}) but search reduced: {h}");
-            }
-            (SearchResult::Exhausted, fast::Verdict::XAble { .. }) => {
-                prop_assert!(false, "fast says XAble but search exhausted: {h}");
-            }
-            _ => {}
-        }
+        let search = SearchChecker::default().check(&h, &ops, &[]);
+        let fast = FastChecker::default().check(&h, &ops, &[]);
+        assert_no_contradiction(&h, &search, &fast)?;
     }
 
     /// Same agreement for single undoable requests.
@@ -59,36 +73,57 @@ proptest! {
     fn fast_agrees_with_search_undoable(h in arb_history(8)) {
         let u = ActionId::base(ActionName::undoable("u"));
         let ops = [(u, Value::from(1))];
-        let search = is_xable_search(&h, &ops, SearchBudget::default());
-        let fastv = fast::check(&h, &ops, &[]);
-        match (&search, &fastv) {
-            (SearchResult::Reached(_), fast::Verdict::NotXAble { reason }) => {
-                prop_assert!(false, "fast says NotXAble ({reason}) but search reduced: {h}");
-            }
-            (SearchResult::Exhausted, fast::Verdict::XAble { .. }) => {
-                prop_assert!(false, "fast says XAble but search exhausted: {h}");
-            }
-            _ => {}
-        }
+        let search = SearchChecker::default().check(&h, &ops, &[]);
+        let fast = FastChecker::default().check(&h, &ops, &[]);
+        assert_no_contradiction(&h, &search, &fast)?;
     }
 
     /// The erasable path agrees with reducibility-to-empty.
     #[test]
     fn fast_erasable_agrees_with_search(h in arb_history(6)) {
-        use xability::core::xable::search_reduction;
         let u = ActionId::base(ActionName::undoable("u"));
         let i = ActionId::base(ActionName::idempotent("i"));
         let erasable = [(u, Value::from(1)), (i, Value::from(1))];
-        let fastv = fast::check(&h, &[], &erasable);
+        let fast = FastChecker::default().check(&h, &[], &erasable);
         let search = search_reduction(&h, History::is_empty, 0, SearchBudget::default());
-        match (&search, &fastv) {
-            (SearchResult::Reached(_), fast::Verdict::NotXAble { reason }) => {
-                prop_assert!(false, "fast says NotXAble ({reason}) but history erases: {h}");
+        match (&search, &fast) {
+            (SearchResult::Reached(_), Verdict::NotXable { reason }) => {
+                prop_assert!(false, "fast says NotXable ({reason}) but history erases: {h}");
             }
-            (SearchResult::Exhausted, fast::Verdict::XAble { .. }) => {
+            (SearchResult::Exhausted, Verdict::Xable { .. }) => {
                 prop_assert!(false, "fast says erasable but search exhausted: {h}");
             }
             _ => {}
         }
+    }
+
+    /// The tiered checker preserves definite fast-tier answers verbatim
+    /// and only ever *adds* information: a tiered `Unknown` implies the
+    /// fast tier was undecided too.
+    #[test]
+    fn tiered_refines_fast(h in arb_history(8)) {
+        let a = ActionId::base(ActionName::idempotent("i"));
+        let ops = [(a, Value::from(1))];
+        let fast = FastChecker::default().check(&h, &ops, &[]);
+        let tiered = TieredChecker::default().check(&h, &ops, &[]);
+        if !fast.is_unknown() {
+            prop_assert_eq!(&tiered, &fast, "tiered must pass definite fast answers through");
+        }
+        if tiered.is_unknown() {
+            prop_assert!(fast.is_unknown(), "tiered Unknown without fast Unknown: {}", h);
+        }
+    }
+
+    /// On the single-request questions (where the fast tier's
+    /// effect-ordered reading coincides with the strict reading), the
+    /// tiered checker agrees with the search reference wherever both are
+    /// definite.
+    #[test]
+    fn tiered_agrees_with_search_reference(h in arb_history(8)) {
+        let a = ActionId::base(ActionName::idempotent("i"));
+        let ops = [(a, Value::from(1))];
+        let search = SearchChecker::default().check(&h, &ops, &[]);
+        let tiered = TieredChecker::default().check(&h, &ops, &[]);
+        assert_no_contradiction(&h, &search, &tiered)?;
     }
 }

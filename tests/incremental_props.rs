@@ -1,0 +1,155 @@
+//! Property tests for the online checker: feeding a random
+//! protocol-shaped history event by event into [`IncrementalChecker`] must
+//! agree with the batch [`FastChecker`] at *every* prefix, and with the
+//! exhaustive [`SearchChecker`] oracle on the final verdict of small
+//! histories.
+
+use proptest::prelude::*;
+
+use xability::core::xable::{
+    Checker, FastChecker, IncrementalChecker, SearchChecker, Verdict,
+};
+use xability::core::{ActionId, ActionName, Event, History, Request, Value};
+
+fn idem() -> ActionId {
+    ActionId::base(ActionName::idempotent("i"))
+}
+
+fn undo() -> ActionId {
+    ActionId::base(ActionName::undoable("u"))
+}
+
+/// Event alphabet shared with `checker_agreement.rs`: one idempotent and
+/// one undoable action (with cancel/commit), one input, two outputs.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let i = idem();
+    let u = undo();
+    let cancel = u.cancel().expect("undoable");
+    let commit = u.commit().expect("undoable");
+    prop_oneof![
+        Just(Event::start(i.clone(), Value::from(1))),
+        Just(Event::complete(i.clone(), Value::from(7))),
+        Just(Event::complete(i, Value::from(8))),
+        Just(Event::start(u.clone(), Value::from(1))),
+        Just(Event::complete(u, Value::from(7))),
+        Just(Event::start(cancel.clone(), Value::from(1))),
+        Just(Event::complete(cancel, Value::Nil)),
+        Just(Event::start(commit.clone(), Value::from(1))),
+        Just(Event::complete(commit, Value::Nil)),
+    ]
+}
+
+/// A declared request sequence: none, the idempotent request, the
+/// undoable request, or both (in either order).
+fn arb_requests() -> impl Strategy<Value = Vec<Request>> {
+    let i = Request::new(idem(), Value::from(1));
+    let u = Request::new(undo(), Value::from(1));
+    prop_oneof![
+        Just(vec![]),
+        Just(vec![i.clone()]),
+        Just(vec![u.clone()]),
+        Just(vec![i.clone(), u.clone()]),
+        Just(vec![u, i]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// THE contract of the incremental checker: at every prefix, its
+    /// verdict equals the batch fast checker's `check_requests` on that
+    /// prefix — exactly, including reasons.
+    #[test]
+    fn incremental_equals_batch_at_every_prefix(
+        events in prop::collection::vec(arb_event(), 0..10),
+        requests in arb_requests(),
+    ) {
+        let batch = FastChecker::default();
+        let mut inc = IncrementalChecker::new();
+        for r in &requests {
+            inc.declare_request(r);
+        }
+        // Prefix 0 (empty history) first, then after every push.
+        let mut prefix = History::empty();
+        prop_assert_eq!(inc.verdict(), batch.check_requests(&prefix, &requests));
+        for ev in events {
+            inc.push(ev.clone());
+            prefix.push(ev);
+            let online = inc.verdict();
+            let offline = batch.check_requests(&prefix, &requests);
+            prop_assert_eq!(
+                &online, &offline,
+                "prefix of {} events diverged: online={} offline={}",
+                prefix.len(), &online, &offline
+            );
+        }
+    }
+
+    /// Requests may also be declared *interleaved* with pushes (the
+    /// client submits Rᵢ₊₁ only after Rᵢ succeeded); the final verdict
+    /// still equals the batch answer for the final (history, requests).
+    #[test]
+    fn late_declaration_matches_batch(
+        events in prop::collection::vec(arb_event(), 0..10),
+        split in 0usize..11,
+    ) {
+        let requests = vec![
+            Request::new(idem(), Value::from(1)),
+            Request::new(undo(), Value::from(1)),
+        ];
+        let mut inc = IncrementalChecker::new();
+        inc.declare_request(&requests[0]);
+        for (k, ev) in events.iter().enumerate() {
+            if k == split {
+                inc.declare_request(&requests[1]);
+            }
+            inc.push(ev.clone());
+        }
+        if split >= events.len() {
+            inc.declare_request(&requests[1]);
+        }
+        let offline = FastChecker::default()
+            .check_requests(&History::from_events(events), &requests);
+        prop_assert_eq!(inc.verdict(), offline);
+    }
+
+    /// Final-verdict agreement with the exhaustive oracle on small
+    /// single-request histories (where the fast tier's effect-ordered
+    /// reading coincides with the strict reading): wherever both are
+    /// definite, they agree.
+    #[test]
+    fn final_verdict_agrees_with_search_oracle(
+        events in prop::collection::vec(arb_event(), 0..8),
+        undoable in prop_oneof![Just(false), Just(true)],
+    ) {
+        let request = if undoable {
+            Request::new(undo(), Value::from(1))
+        } else {
+            Request::new(idem(), Value::from(1))
+        };
+        let requests = vec![request];
+        let mut inc = IncrementalChecker::new();
+        inc.declare_request(&requests[0]);
+        inc.push_all(events.clone());
+        let online = inc.verdict();
+        let oracle = SearchChecker::default()
+            .check_requests(&History::from_events(events), &requests);
+        match (&oracle, &online) {
+            (Verdict::Xable { .. }, Verdict::NotXable { reason }) => {
+                prop_assert!(
+                    false,
+                    "incremental says NotXable ({}) but the oracle reduced: {}",
+                    reason, inc.history()
+                );
+            }
+            (Verdict::NotXable { .. }, Verdict::Xable { .. }) => {
+                prop_assert!(
+                    false,
+                    "incremental says Xable but the oracle exhausted: {}",
+                    inc.history()
+                );
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Public-API snapshot: the `pub` surface of `xability-core` is recorded
+//! in `tests/public_api.txt` and diffed here, so API churn is always a
+//! deliberate, reviewed change (this PR-visible file must be updated
+//! together with the code).
+//!
+//! To refresh the snapshot after an intentional API change:
+//!
+//! ```text
+//! UPDATE_PUBLIC_API=1 cargo test --test public_api
+//! ```
+//!
+//! The extractor is deliberately simple — first lines of `pub` item
+//! declarations at top level or one indentation step (inherent methods),
+//! excluding `pub(crate)`/`pub(super)` — which is exactly the granularity
+//! at which accidental surface changes happen.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT: &str = "tests/public_api.txt";
+const CRATE_ROOT: &str = "crates/core/src";
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).expect("readable source dir");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the first line of every public item declaration in `source`.
+fn public_decls(source: &str) -> Vec<String> {
+    let mut decls = Vec::new();
+    let mut in_tests = false;
+    let mut test_depth = 0usize;
+    let mut depth = 0usize;
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        let indent = line.len() - trimmed.len();
+        if !in_tests && trimmed.starts_with("mod tests") {
+            in_tests = true;
+            test_depth = depth;
+        }
+        // `pub` but not `pub(crate)` / `pub(super)`, at top level or one
+        // step in (inherent methods / associated consts).
+        if !in_tests && indent <= 4 && trimmed.starts_with("pub ") {
+            let decl = trimmed
+                .split_once(" {")
+                .map_or(trimmed, |(head, _)| head)
+                .trim_end_matches(';')
+                .trim_end();
+            decls.push(decl.to_owned());
+        }
+        depth += line.matches('{').count();
+        depth = depth.saturating_sub(line.matches('}').count());
+        if in_tests && depth <= test_depth && line.contains('}') {
+            in_tests = false;
+        }
+    }
+    decls
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let mut files = Vec::new();
+    rust_files(Path::new(CRATE_ROOT), &mut files);
+    files.sort();
+
+    let mut actual = String::from(
+        "# Public API of xability-core (first lines of `pub` declarations).\n\
+         # Regenerate with: UPDATE_PUBLIC_API=1 cargo test --test public_api\n",
+    );
+    for file in &files {
+        let source = fs::read_to_string(file).expect("readable source file");
+        let rel = file
+            .strip_prefix(CRATE_ROOT)
+            .expect("under crate root")
+            .display()
+            .to_string();
+        let decls = public_decls(&source);
+        if decls.is_empty() {
+            continue;
+        }
+        writeln!(actual, "\n## {rel}").expect("infallible");
+        for decl in decls {
+            writeln!(actual, "{decl}").expect("infallible");
+        }
+    }
+
+    if std::env::var_os("UPDATE_PUBLIC_API").is_some() {
+        fs::write(SNAPSHOT, &actual).expect("write snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(SNAPSHOT).unwrap_or_default();
+    if actual != expected {
+        // Qualify each line with its `## file` section (and a per-section
+        // occurrence count) so duplicate declarations across or within
+        // files still produce a meaningful diff.
+        fn qualified(snapshot: &str) -> Vec<String> {
+            let mut section = String::new();
+            let mut out = Vec::new();
+            for line in snapshot.lines().filter(|l| !l.is_empty()) {
+                if let Some(name) = line.strip_prefix("## ") {
+                    section = name.to_owned();
+                    continue;
+                }
+                let qualified = format!("{section}: {line}");
+                let dup = out.iter().filter(|l: &&String| **l == qualified).count();
+                out.push(if dup == 0 {
+                    qualified
+                } else {
+                    format!("{qualified} (#{})", dup + 1)
+                });
+            }
+            out
+        }
+        let actual_lines = qualified(&actual);
+        let expected_lines = qualified(&expected);
+        let mut diff = String::new();
+        for line in &actual_lines {
+            if !expected_lines.contains(line) {
+                writeln!(diff, "+ {line}").expect("infallible");
+            }
+        }
+        for line in &expected_lines {
+            if !actual_lines.contains(line) {
+                writeln!(diff, "- {line}").expect("infallible");
+            }
+        }
+        if diff.is_empty() {
+            // Pure reordering: same line multiset, different order. Show
+            // the first position where the two snapshots diverge.
+            if let Some((a, e)) = actual_lines
+                .iter()
+                .zip(&expected_lines)
+                .find(|(a, e)| a != e)
+            {
+                writeln!(diff, "reordered: first divergence\n+ {a}\n- {e}").expect("infallible");
+            }
+        }
+        panic!(
+            "the public API of xability-core changed:\n{diff}\n\
+             If intentional, update the snapshot:\n  \
+             UPDATE_PUBLIC_API=1 cargo test --test public_api"
+        );
+    }
+}

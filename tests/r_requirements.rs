@@ -108,11 +108,15 @@ fn r2_submit_eventually_succeeds() {
 }
 
 /// R3 — the server-side history is x-able with respect to the submitted
-/// sequence (validated here straight from the ledger).
+/// sequence, validated twice: *online* by an incremental monitor attached
+/// to the ledger before the run (fed event by event as the simulation
+/// emits them), and *batch* by the tiered checker over the final history.
 #[test]
 fn r3_history_is_xable() {
     use xability::core::spec::{check_r3, IdentitySequencer};
+    use xability::core::xable::IncrementalChecker;
     let (mut world, replicas, service, ledger) = build_world(3);
+    ledger.borrow_mut().attach_monitor(IncrementalChecker::new());
     let reqs = vec![issue_request(service)];
     let client = world.add_process(
         "client",
@@ -133,6 +137,17 @@ fn r3_history_is_xable() {
             )
         })
         .collect();
+    // Online: the monitor digested the run's events as they happened.
+    let online = {
+        let mut guard = ledger.borrow_mut();
+        let monitor = guard.monitor_mut().expect("monitor attached before the run");
+        for r in &submitted {
+            monitor.declare_request(r);
+        }
+        monitor.verdict()
+    };
+    assert!(online.is_xable(), "online R3 verdict: {online}");
+    // Batch: the tiered checker over the final history agrees.
     let verdict = check_r3(&IdentitySequencer, &submitted, &ledger.borrow().history());
     assert!(verdict.is_none(), "{verdict:?}");
 }
