@@ -159,15 +159,41 @@ impl GroupCell {
             SearchResult::Reached(witness) => {
                 let output = failure_free_output(&action, input, &witness)
                     .expect("goal predicate guarantees failure-free shape");
-                // The request's *effect anchor*: the first completion of
-                // the base action within the surviving execution.
+                // The request's *effect anchor*: the completion of the
+                // *surviving* execution. For an undoable request, rule 19
+                // only ever erases the group's first remaining start (its
+                // side condition demands `(aᵘ, iv) ∉ h₁`), so cancelled
+                // attempts are erased strictly left-to-right and the
+                // execution that survives into the failure-free target is
+                // the *last* attempt: the anchor is the first base
+                // completion at or after the group's last base start. A
+                // cancelled-then-retried request therefore anchors at the
+                // retry's completion, not the undone original's. For an
+                // idempotent request (no cancellations) every completion
+                // is the same effect and the first one is when it became
+                // observable; later ones are deduplicated copies.
+                let is_base_completion = |&i: &usize| {
+                    matches!(&h[i], Event::Complete(a, _) if matches!(a, ActionId::Base(_)))
+                };
+                let surviving_from = if key.0.is_undoable() {
+                    self.indices
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            matches!(&h[i], Event::Start(a, _) if matches!(a, ActionId::Base(_)))
+                        })
+                        .last()
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
                 let anchor = self
                     .indices
                     .iter()
                     .copied()
-                    .find(|&i| {
-                        matches!(&h[i], Event::Complete(a, _) if matches!(a, ActionId::Base(_)))
-                    })
+                    .filter(|&i| i >= surviving_from)
+                    .find(is_base_completion)
+                    .or_else(|| self.indices.iter().copied().find(is_base_completion))
                     .unwrap_or(self.indices[0]);
                 ExecOutcome::Reduced { output, anchor }
             }
@@ -717,6 +743,62 @@ mod tests {
         let h: History = [s(&a, 1), s(&b, 2), c(&a, 5), c(&b, 6)].into_iter().collect();
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
         assert!(fast().check(&h, &ops, &[]).is_xable());
+    }
+
+    #[test]
+    fn cancelled_then_retried_after_later_request_is_rejected() {
+        // u completed, was cancelled, and was only re-executed (and
+        // committed) after b's effect: u's first completion was undone by
+        // the cancellation, so its *surviving* effect postdates b's —
+        // effects are out of submission order (the search reference
+        // agrees; see tests/checker_agreement.rs).
+        let u = undo("u");
+        let b = idem("b");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let h: History = [
+            s(&u, 1),
+            c(&u, 7),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&b, 2),
+            c(&b, 6),
+            s(&u, 1),
+            c(&u, 7),
+            s(&commit, 1),
+            cnil(&commit),
+        ]
+        .into_iter()
+        .collect();
+        let ops = [(u, Value::from(1)), (b, Value::from(2))];
+        assert!(fast().check(&h, &ops, &[]).is_not_xable());
+    }
+
+    #[test]
+    fn cancelled_then_retried_before_later_request_is_xable() {
+        // Same cancel-then-retry shape, but the retry (and commit) lands
+        // before b: the surviving effects are in submission order.
+        let u = undo("u");
+        let b = idem("b");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let h: History = [
+            s(&u, 1),
+            c(&u, 7),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&u, 1),
+            c(&u, 7),
+            s(&commit, 1),
+            cnil(&commit),
+            s(&b, 2),
+            c(&b, 6),
+        ]
+        .into_iter()
+        .collect();
+        let ops = [(u, Value::from(1)), (b, Value::from(2))];
+        let v = fast().check(&h, &ops, &[]);
+        assert_eq!(v, Verdict::xable(vec![Value::from(7), Value::from(6)]));
     }
 
     #[test]

@@ -164,8 +164,10 @@ impl IncrementalChecker {
     /// The R3 verdict for the current prefix and declared request
     /// sequence: x-able with respect to `R₁…Rₙ` or `R₁…Rₙ₋₁`.
     ///
-    /// Equals `FastChecker::check_requests` on
-    /// ([`history()`](Self::history), [`requests()`](Self::requests)).
+    /// Equals `FastChecker::new(budget).check_requests` on
+    /// ([`history()`](Self::history), [`requests()`](Self::requests)) for
+    /// the budget this checker was built with (the default `FastChecker`
+    /// budget when built via [`IncrementalChecker::new`]).
     pub fn verdict(&self) -> Verdict {
         if let Some(reason) = &self.orphan {
             return Verdict::NotXable {
@@ -186,7 +188,8 @@ impl IncrementalChecker {
 
     /// The verdict for an explicit `(ops, erasable)` question over the
     /// current prefix, bypassing the declared sequence and the R3
-    /// last-request fallback. Equals `FastChecker::check` on the prefix.
+    /// last-request fallback. Equals `FastChecker::new(budget).check` on
+    /// the prefix, for the budget this checker was built with.
     pub fn verdict_for(
         &self,
         ops: &[(ActionId, Value)],

@@ -475,6 +475,19 @@ pub fn r3_violation_for(
         let mut guard = ledger.borrow_mut();
         guard.monitor_mut().map(|monitor| {
             let declared = monitor.requests().len();
+            debug_assert!(
+                declared <= submitted.len()
+                    && monitor
+                        .requests()
+                        .iter()
+                        .zip(submitted)
+                        .all(|((action, input), request)| {
+                            action == request.action() && input == request.input()
+                        }),
+                "`submitted` must extend the monitor's declared request \
+                 sequence; re-evaluating with a reordered or shortened \
+                 sequence would silently diverge from the monitor"
+            );
             for request in submitted.iter().skip(declared) {
                 monitor.declare_request(request);
             }

@@ -105,7 +105,18 @@ impl Ledger {
     /// Attaches an online R3 monitor. Events already recorded are replayed
     /// into it first, so attaching mid-run observes the same prefix a
     /// monitor attached at creation would have.
+    ///
+    /// At most one monitor may ever be attached: re-attaching would
+    /// silently discard the previous monitor's declared request sequence
+    /// and warm per-group state (debug builds assert against it; release
+    /// builds keep the replacement semantics).
     pub fn attach_monitor(&mut self, mut monitor: IncrementalChecker) {
+        debug_assert!(
+            self.monitor.is_none(),
+            "attach_monitor called on a ledger that already has a monitor; \
+             the previous monitor's declared requests and warm group state \
+             would be discarded"
+        );
         for rec in &self.events {
             monitor.push(rec.event.clone());
         }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use xability::core::xable::{
-    search_reduction, Checker, FastChecker, SearchBudget, SearchChecker, SearchResult,
-    TieredChecker, Verdict,
+    search_reduction, Checker, FastChecker, IncrementalChecker, SearchBudget, SearchChecker,
+    SearchResult, TieredChecker, Verdict,
 };
 use xability::core::{ActionId, ActionName, Event, History, Value};
 
@@ -54,6 +54,145 @@ fn assert_no_contradiction(
     Ok(())
 }
 
+/// Protocol-plausible histories: a concatenation of complete event pairs
+/// (executions, cancellations, commits). Compared to uniformly random
+/// event soup, this hits the multi-request effect-ordering shapes —
+/// cancel-then-retry, help commits, trailing duplicates — with meaningful
+/// probability.
+fn arb_paired_history(max_pairs: usize) -> impl Strategy<Value = History> {
+    let idem = ActionId::base(ActionName::idempotent("i"));
+    let undo = ActionId::base(ActionName::undoable("u"));
+    let cancel = undo.cancel().expect("undoable");
+    let commit = undo.commit().expect("undoable");
+    let pair = prop_oneof![
+        Just(vec![
+            Event::start(idem.clone(), Value::from(1)),
+            Event::complete(idem, Value::from(7)),
+        ]),
+        Just(vec![
+            Event::start(undo.clone(), Value::from(1)),
+            Event::complete(undo, Value::from(7)),
+        ]),
+        Just(vec![
+            Event::start(cancel.clone(), Value::from(1)),
+            Event::complete(cancel, Value::Nil),
+        ]),
+        Just(vec![
+            Event::start(commit.clone(), Value::from(1)),
+            Event::complete(commit, Value::Nil),
+        ]),
+    ];
+    prop::collection::vec(pair, 0..max_pairs + 1)
+        .prop_map(|pairs| History::from_events(pairs.into_iter().flatten().collect()))
+}
+
+/// The indices of `op`'s base-action completions in `h`.
+fn base_completions(h: &History, op: &ActionId) -> Vec<usize> {
+    (0..h.len())
+        .filter(|&i| h[i].is_complete() && h[i].action() == op)
+        .collect()
+}
+
+/// `op`'s *surviving-effect anchor*, derived independently of the fast
+/// checker's internals. Rule 19 only ever erases the group's first
+/// remaining attempt, so an undoable request's surviving execution is its
+/// *last* attempt: the anchor is the first base completion at or after the
+/// last base start. An idempotent request's completions are all the same
+/// effect, observable from the first one. Exact over this file's
+/// one-input-per-action alphabet, where the action identifies a group.
+fn surviving_anchor(h: &History, op: &ActionId) -> Option<usize> {
+    let from = if op.is_undoable_base() {
+        (0..h.len())
+            .filter(|&i| h[i].is_start() && h[i].action() == op)
+            .last()
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    base_completions(h, op).into_iter().find(|&i| i >= from)
+}
+
+/// Two-request agreement: the fast tier's effect-ordered reading may
+/// diverge from the strict search reading only in the documented
+/// duplicate classes (DESIGN.md §4.3), and in each divergence the fast
+/// verdict must match the *surviving-effect order* derived independently
+/// here: a fast accept against a search reject is benign only when the
+/// surviving effects really are in submission order (trailing duplicates
+/// made the strict target unreachable), and a fast reject against a
+/// search accept is benign only when they really are out of order (the
+/// strict reading erased an early effect copy against a later duplicate).
+/// Anything else is a checker bug.
+fn assert_two_request_agreement(h: &History, undoable_first: bool) -> Result<(), TestCaseError> {
+    let i = ActionId::base(ActionName::idempotent("i"));
+    let u = ActionId::base(ActionName::undoable("u"));
+    let (a1, a2) = if undoable_first { (u, i) } else { (i, u) };
+    let ops = [(a1.clone(), Value::from(1)), (a2.clone(), Value::from(1))];
+    let search = SearchChecker::default().check(h, &ops, &[]);
+    let fast = FastChecker::default().check(h, &ops, &[]);
+    let anchors = (surviving_anchor(h, &a1), surviving_anchor(h, &a2));
+    match (&search, &fast) {
+        (Verdict::Xable { .. }, Verdict::NotXable { reason }) => {
+            let out_of_order = matches!(anchors, (Some(x1), Some(x2)) if x1 >= x2);
+            prop_assert!(
+                reason.contains("out of submission order") && out_of_order,
+                "fast says NotXable ({reason}) but search reduced and the \
+                 surviving effects {anchors:?} are in order: {h}"
+            );
+        }
+        (Verdict::NotXable { .. }, Verdict::Xable { .. }) => {
+            let in_order = matches!(anchors, (Some(x1), Some(x2)) if x1 < x2);
+            prop_assert!(
+                in_order,
+                "fast says Xable but search exhausted and the surviving \
+                 effects {anchors:?} are not in order: {h}"
+            );
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Regression for the cancel-then-retry unsoundness: a request that
+/// completed, was cancelled, and was only retried (and committed) after a
+/// later request's effect has its *surviving* effect out of submission
+/// order. The fast tier must not anchor the effect at the cancelled first
+/// completion — every tier, including the online checker, rejects.
+#[test]
+fn cancel_then_retry_after_later_request_rejected_by_every_tier() {
+    let u = ActionId::base(ActionName::undoable("u"));
+    let b = ActionId::base(ActionName::idempotent("i"));
+    let cancel = u.cancel().expect("undoable");
+    let commit = u.commit().expect("undoable");
+    let h: History = [
+        Event::start(u.clone(), Value::from(1)),
+        Event::complete(u.clone(), Value::from(7)),
+        Event::start(cancel.clone(), Value::from(1)),
+        Event::complete(cancel, Value::Nil),
+        Event::start(b.clone(), Value::from(1)),
+        Event::complete(b.clone(), Value::from(8)),
+        Event::start(u.clone(), Value::from(1)),
+        Event::complete(u.clone(), Value::from(7)),
+        Event::start(commit.clone(), Value::from(1)),
+        Event::complete(commit, Value::Nil),
+    ]
+    .into_iter()
+    .collect();
+    let ops = [(u.clone(), Value::from(1)), (b.clone(), Value::from(1))];
+
+    let search = SearchChecker::default().check(&h, &ops, &[]);
+    assert!(search.is_not_xable(), "search reference: {search}");
+    for checker in [&FastChecker::default() as &dyn Checker, &TieredChecker::default()] {
+        let v = checker.check(&h, &ops, &[]);
+        assert!(v.is_not_xable(), "{}: {v}", checker.name());
+    }
+    let mut online = IncrementalChecker::default();
+    online.declare(u, Value::from(1));
+    online.declare(b, Value::from(1));
+    online.push_all(h.iter().cloned());
+    let v = online.verdict();
+    assert!(v.is_not_xable(), "incremental: {v}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -76,6 +215,24 @@ proptest! {
         let search = SearchChecker::default().check(&h, &ops, &[]);
         let fast = FastChecker::default().check(&h, &ops, &[]);
         assert_no_contradiction(&h, &search, &fast)?;
+    }
+
+    /// Two-request agreement: the fast tier's effect-ordered reading may
+    /// diverge from the strict search reading only in the documented
+    /// duplicate classes (DESIGN.md §4.3), and in each divergence the fast
+    /// verdict must match the *surviving-effect order* derived
+    /// independently here: a fast accept against a search reject is benign
+    /// only when the surviving effects really are in submission order
+    /// (trailing duplicates made the strict target unreachable), and a
+    /// fast reject against a search accept is benign only when they really
+    /// are out of order (the strict reading erased an early effect copy
+    /// against a later duplicate). Anything else is a checker bug.
+    #[test]
+    fn fast_agrees_with_search_on_two_requests(
+        h in arb_history(10),
+        undoable_first in prop_oneof![Just(true), Just(false)],
+    ) {
+        assert_two_request_agreement(&h, undoable_first)?;
     }
 
     /// The erasable path agrees with reducibility-to-empty.
@@ -125,5 +282,24 @@ proptest! {
         let search = SearchChecker::default().check(&h, &ops, &[]);
         let tiered = TieredChecker::default().check(&h, &ops, &[]);
         assert_no_contradiction(&h, &search, &tiered)?;
+    }
+}
+
+proptest! {
+    // Pair sequences are short (≤ 14 events) and highly structured, so a
+    // much larger case count stays cheap — large enough that the
+    // five-pair cancel-then-retry shapes (execution, cancel, other
+    // request, retry, commit) occur in the deterministic case stream.
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// Same two-request agreement over protocol-plausible histories of
+    /// complete pairs, which exercise the cancel-then-retry and
+    /// help-commit orderings much more densely than random event soup.
+    #[test]
+    fn fast_agrees_with_search_on_two_requests_paired(
+        h in arb_paired_history(6),
+        undoable_first in prop_oneof![Just(true), Just(false)],
+    ) {
+        assert_two_request_agreement(&h, undoable_first)?;
     }
 }
