@@ -1,0 +1,189 @@
+//! Trace-store capacity and throughput on heavy-traffic traces: the
+//! interned, segmented `TraceStore` (one shared copy of the event stream)
+//! against the historical `Vec<Event>` posture (the ledger's own vector
+//! *plus* the online checker's private `History` — two full copies).
+//!
+//! The headline numbers — bytes/event and append+online-check throughput
+//! on a ≥1M-event trace — are measured directly (not through criterion)
+//! and written to `BENCH_store.json` at the workspace root when the
+//! `EMIT_BENCH_JSON` environment variable is set, mirroring
+//! `benches/checker.rs`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use xability_bench::n_retried_requests;
+use xability_core::xable::{Checker, FastChecker, IncrementalChecker, IncrementalState};
+use xability_core::{ActionId, Event, History, Value};
+// The baseline `Vec<Event>` bytes use the same per-value heap estimator
+// as `TraceStore::approx_bytes`, so the two sides of the comparison
+// cannot diverge. (Each owned event clone uniquely owns its value's
+// buffers; the `Arc<str>` action name is shared and counted by its
+// inline fat pointer only.)
+use xability_store::{value_heap_bytes, TraceStore};
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_append");
+    group.sample_size(10);
+    let (h, _) = n_retried_requests(10_000 / 3);
+    group.bench_with_input(BenchmarkId::new("trace_store", h.len()), &h, |b, h| {
+        b.iter(|| {
+            let mut store = TraceStore::new();
+            for ev in h.iter() {
+                store.push(ev);
+            }
+            black_box(store.len())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("vec_events", h.len()), &h, |b, h| {
+        b.iter(|| {
+            let mut events: Vec<Event> = Vec::new();
+            for ev in h.iter() {
+                events.push(ev.clone());
+            }
+            black_box(events.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_view_check(c: &mut Criterion) {
+    // Batch-checking a store view must cost about the same as checking
+    // the owned history it mirrors.
+    let mut group = c.benchmark_group("store_view_batch_check");
+    group.sample_size(10);
+    let (h, ops) = n_retried_requests(3_000 / 3);
+    let store = TraceStore::from_history(&h);
+    let checker = FastChecker::default();
+    group.bench_with_input(BenchmarkId::new("view", h.len()), &store, |b, store| {
+        let view = store.view();
+        b.iter(|| black_box(checker.check_source(&view, &ops, &[]).is_xable()));
+    });
+    group.bench_with_input(BenchmarkId::new("owned", h.len()), &h, |b, h| {
+        b.iter(|| black_box(checker.check(h, &ops, &[]).is_xable()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_view_check);
+
+/// One store-backed ingest pass: append to the shared store, let the
+/// storage-free monitor observe each event (one copy of the trace total).
+fn store_backed_pass(h: &History, ops: &[(ActionId, Value)]) -> (TraceStore, IncrementalState) {
+    let mut store = TraceStore::new();
+    let mut monitor = IncrementalState::new();
+    for (a, iv) in ops {
+        monitor.declare(a.clone(), iv.clone());
+    }
+    for ev in h.iter() {
+        monitor.observe(ev);
+        store.push(ev);
+    }
+    (store, monitor)
+}
+
+/// The historical posture: the ledger keeps its own `Vec<Event>` and the
+/// online checker keeps a second full `History` (two copies).
+fn owned_copies_pass(h: &History, ops: &[(ActionId, Value)]) -> (Vec<Event>, IncrementalChecker) {
+    let mut events: Vec<Event> = Vec::new();
+    let mut checker = IncrementalChecker::new();
+    for (a, iv) in ops {
+        checker.declare(a.clone(), iv.clone());
+    }
+    for ev in h.iter() {
+        checker.push(ev.clone());
+        events.push(ev.clone());
+    }
+    (events, checker)
+}
+
+/// Measures the headline comparison on a ≥1M-event trace and writes
+/// `BENCH_store.json`. Skipped in `cargo test` smoke mode so the
+/// committed artifact only ever holds real `cargo bench` numbers.
+fn emit_bench_json() {
+    const REQUESTS: usize = 333_334; // × 3 events = 1,000,002 events
+    let (h, ops) = n_retried_requests(REQUESTS);
+    assert!(h.len() >= 1_000_000);
+
+    // Append + online check, store-backed (one copy).
+    let start = Instant::now();
+    let (store, monitor) = store_backed_pass(&h, &ops);
+    let store_ingest = start.elapsed();
+    let start = Instant::now();
+    let online_ok = monitor.verdict_over(&store.view()).is_xable();
+    let verdict_ms = start.elapsed().as_millis();
+
+    // Append + online check, historical two-copy posture.
+    let start = Instant::now();
+    let (vec_events, owned_checker) = owned_copies_pass(&h, &ops);
+    let owned_ingest = start.elapsed();
+    assert!(owned_checker.verdict().is_xable() && online_ok);
+
+    // Plain append throughput (no monitor), both representations.
+    let start = Instant::now();
+    let mut plain = TraceStore::new();
+    for ev in h.iter() {
+        plain.push(ev);
+    }
+    let store_append = start.elapsed();
+    let start = Instant::now();
+    let mut plain_vec: Vec<Event> = Vec::new();
+    for ev in h.iter() {
+        plain_vec.push(ev.clone());
+    }
+    let vec_append = start.elapsed();
+    assert_eq!(plain.len(), plain_vec.len());
+
+    // Bytes per event: the store (events + interner tables) against one
+    // owned Vec<Event> copy — the old world held two of the latter.
+    let n = h.len() as f64;
+    let store_bpe = store.approx_bytes() as f64 / n;
+    let vec_heap: usize = vec_events.iter().map(|e| value_heap_bytes(e.value())).sum();
+    let vec_bpe =
+        (vec_events.capacity() * std::mem::size_of::<Event>() + vec_heap) as f64 / n;
+    let ingest_events_per_sec = n / store_ingest.as_secs_f64();
+
+    // The historical posture kept two full owned copies of the stream
+    // (the ledger's vector plus the monitor's private History); the store
+    // replaces both with one interned copy.
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"trace_events\": {},\n  \"requests\": {},\n  \
+         \"bytes_per_event\": {{ \"trace_store\": {:.1}, \"vec_events_one_copy\": {:.1}, \
+         \"two_copy_baseline\": {:.1}, \"ratio_vs_two_copy\": {:.2} }},\n  \
+         \"append_per_event_ns\": {{ \"trace_store\": {:.1}, \"vec_events\": {:.1} }},\n  \
+         \"append_plus_online_check\": {{ \"store_backed_ns_per_event\": {:.1}, \
+         \"two_copy_baseline_ns_per_event\": {:.1}, \"events_per_sec\": {:.0} }},\n  \
+         \"final_verdict_ms\": {},\n  \"verdict_xable\": true\n}}\n",
+        h.len(),
+        ops.len(),
+        store_bpe,
+        vec_bpe,
+        2.0 * vec_bpe,
+        2.0 * vec_bpe / store_bpe,
+        store_append.as_nanos() as f64 / n,
+        vec_append.as_nanos() as f64 / n,
+        store_ingest.as_nanos() as f64 / n,
+        owned_ingest.as_nanos() as f64 / n,
+        ingest_events_per_sec,
+        verdict_ms,
+    );
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    println!(
+        "bench store: wrote BENCH_store.json ({:.1} vs {:.1} bytes/event, {:.0} events/s ingest)",
+        store_bpe,
+        vec_bpe,
+        ingest_events_per_sec
+    );
+}
+
+fn main() {
+    benches();
+    // Re-measuring the 1M-event trace takes seconds and rewrites the
+    // committed BENCH_store.json with machine-local numbers, so it only
+    // runs on explicit request.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode && std::env::var_os("EMIT_BENCH_JSON").is_some() {
+        emit_bench_json();
+    }
+}

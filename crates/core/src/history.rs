@@ -19,6 +19,107 @@ use crate::action::ActionId;
 use crate::event::Event;
 use crate::value::Value;
 
+/// Read-only access to a totally ordered event sequence — the checker
+/// input abstraction.
+///
+/// Every x-ability decision procedure is ultimately a function of one
+/// event stream, but the stream may live in different representations: an
+/// owned [`History`] (the theory's value type), a borrowed window over
+/// one ([`HistoryWindow`]), or a compact interned store (the
+/// `xability-store` crate's `HistoryView`). `HistoryRead` is the surface
+/// the fast and incremental checkers need — length, per-index decode,
+/// index-set gathering, and full iteration — so they can run over any of
+/// them without the caller materializing a `Vec<Event>` copy first.
+///
+/// The trait is object safe: checkers accept `&dyn HistoryRead`.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{ActionId, ActionName, Event, History, HistoryRead, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let h: History = [
+///     Event::start(a.clone(), Value::from(1)),
+///     Event::complete(a, Value::from(42)),
+/// ]
+/// .into_iter()
+/// .collect();
+///
+/// let source: &dyn HistoryRead = &h;
+/// assert_eq!(source.len(), 2);
+/// assert!(source.event_at(0).is_start());
+/// assert_eq!(source.to_history(), h);
+/// ```
+pub trait HistoryRead {
+    /// The number of events in the sequence.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the sequence is empty (`Λ`).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The event at `index`, decoded to an owned [`Event`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    fn event_at(&self, index: usize) -> Event;
+
+    /// Calls `f` for each event in order with its index, stopping early
+    /// when `f` returns `false`.
+    ///
+    /// Implementations that store events directly pass borrows without
+    /// cloning; implementations over packed representations decode each
+    /// event once.
+    fn scan_events(&self, f: &mut dyn FnMut(usize, &Event) -> bool) {
+        for i in 0..self.len() {
+            let ev = self.event_at(i);
+            if !f(i, &ev) {
+                return;
+            }
+        }
+    }
+
+    /// Materializes the sub-history formed by the events at `indices` (in
+    /// the order given) — the view-level counterpart of
+    /// [`History::select`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    fn gather(&self, indices: &[usize]) -> History {
+        indices.iter().map(|&i| self.event_at(i)).collect()
+    }
+
+    /// Materializes the whole sequence as an owned [`History`] (for the
+    /// search tier, which explores by rewriting owned histories).
+    fn to_history(&self) -> History {
+        let mut events = Vec::with_capacity(self.len());
+        self.scan_events(&mut |_, ev| {
+            events.push(ev.clone());
+            true
+        });
+        History::from_events(events)
+    }
+
+    /// Returns `true` if the event at `index` is the start of a *base*
+    /// action (not a cancellation or commit).
+    ///
+    /// A structural test the fast checker runs per group index; packed
+    /// representations answer it from tag bits without decoding values.
+    fn is_base_start_at(&self, index: usize) -> bool {
+        matches!(self.event_at(index), Event::Start(ActionId::Base(_), _))
+    }
+
+    /// Returns `true` if the event at `index` is the completion of a
+    /// *base* action.
+    fn is_base_completion_at(&self, index: usize) -> bool {
+        matches!(self.event_at(index), Event::Complete(ActionId::Base(_), _))
+    }
+}
+
 /// A history: a finite sequence of [`Event`]s in observation order.
 ///
 /// Histories are ordinary values: they can be concatenated, sliced, compared,
@@ -116,11 +217,35 @@ impl History {
         self.events.iter().any(|e| e.is_start_of(action, input))
     }
 
+    /// The event `first(h)` selects (Fig. 3), borrowed: the first event,
+    /// or `None` for `Λ`. Use this wherever a view suffices; [`first`]
+    /// (returning an owned sub-history) exists for paper fidelity.
+    ///
+    /// [`first`]: History::first
+    pub fn first_event(&self) -> Option<&Event> {
+        self.events.first()
+    }
+
+    /// The event `second(h)` selects (Fig. 3), borrowed: the second event
+    /// of a two-event history, the only event of a one-event history, and
+    /// `None` otherwise (mirroring the paper's slightly surprising
+    /// `second(e) = e` case for singletons).
+    pub fn second_event(&self) -> Option<&Event> {
+        match self.events.len() {
+            1 => self.events.first(),
+            2 => self.events.get(1),
+            _ => None,
+        }
+    }
+
     /// `first(h)` (Fig. 3): the first event of the history as a (sub-)history,
     /// or `Λ` if the history is empty.
+    ///
+    /// Materializes a one-event history; prefer [`History::first_event`]
+    /// where a borrowed view suffices.
     #[must_use]
     pub fn first(&self) -> History {
-        match self.events.first() {
+        match self.first_event() {
             Some(e) => History::from_events(vec![e.clone()]),
             None => History::empty(),
         }
@@ -129,14 +254,44 @@ impl History {
     /// `second(h)` (Fig. 3): the second event of a two-event history, the
     /// only event of a one-event history, and `Λ` otherwise.
     ///
-    /// This mirrors the paper's definition exactly, including the slightly
-    /// surprising `second(e) = e` case for singleton histories.
+    /// Materializes a one-event history; prefer [`History::second_event`]
+    /// where a borrowed view suffices.
     #[must_use]
     pub fn second(&self) -> History {
-        match self.events.len() {
-            1 => History::from_events(vec![self.events[0].clone()]),
-            2 => History::from_events(vec![self.events[1].clone()]),
-            _ => History::empty(),
+        match self.second_event() {
+            Some(e) => History::from_events(vec![e.clone()]),
+            None => History::empty(),
+        }
+    }
+
+    /// A zero-copy window over the contiguous range `start..end`, for
+    /// checking prefixes or slices without the `Vec<Event>` clone that
+    /// [`History::slice`] pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, like slice indexing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xability_core::{ActionId, ActionName, Event, History, HistoryRead, Value};
+    ///
+    /// let a = ActionId::base(ActionName::idempotent("a"));
+    /// let h: History = [
+    ///     Event::start(a.clone(), Value::from(1)),
+    ///     Event::complete(a, Value::from(2)),
+    /// ]
+    /// .into_iter()
+    /// .collect();
+    /// let prefix = h.window(0, 1);
+    /// assert_eq!(prefix.len(), 1);
+    /// assert_eq!(prefix.to_history(), h.slice(0, 1));
+    /// ```
+    #[must_use]
+    pub fn window(&self, start: usize, end: usize) -> HistoryWindow<'_> {
+        HistoryWindow {
+            events: &self.events[start..end],
         }
     }
 
@@ -197,6 +352,81 @@ impl History {
     /// Consumes the history, returning its events.
     pub fn into_events(self) -> Vec<Event> {
         self.events
+    }
+}
+
+impl HistoryRead for History {
+    fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    fn event_at(&self, index: usize) -> Event {
+        self.events[index].clone()
+    }
+
+    fn scan_events(&self, f: &mut dyn FnMut(usize, &Event) -> bool) {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !f(i, ev) {
+                return;
+            }
+        }
+    }
+
+    fn gather(&self, indices: &[usize]) -> History {
+        self.select(indices)
+    }
+
+    fn to_history(&self) -> History {
+        self.clone()
+    }
+
+    fn is_base_start_at(&self, index: usize) -> bool {
+        matches!(&self.events[index], Event::Start(ActionId::Base(_), _))
+    }
+
+    fn is_base_completion_at(&self, index: usize) -> bool {
+        matches!(&self.events[index], Event::Complete(ActionId::Base(_), _))
+    }
+}
+
+/// A borrowed, zero-copy window over a contiguous range of a [`History`]
+/// (see [`History::window`]). Implements [`HistoryRead`], so every
+/// checker accepts it directly.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryWindow<'a> {
+    events: &'a [Event],
+}
+
+impl HistoryWindow<'_> {
+    /// The events of the window, in observation order.
+    pub fn events(&self) -> &[Event] {
+        self.events
+    }
+}
+
+impl HistoryRead for HistoryWindow<'_> {
+    fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    fn event_at(&self, index: usize) -> Event {
+        self.events[index].clone()
+    }
+
+    fn scan_events(&self, f: &mut dyn FnMut(usize, &Event) -> bool) {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !f(i, ev) {
+                return;
+            }
+        }
+    }
+
+    fn is_base_start_at(&self, index: usize) -> bool {
+        matches!(&self.events[index], Event::Start(ActionId::Base(_), _))
+    }
+
+    fn is_base_completion_at(&self, index: usize) -> bool {
+        matches!(&self.events[index], Event::Complete(ActionId::Base(_), _))
     }
 }
 
@@ -383,6 +613,58 @@ mod tests {
         let h: History = [s(a(), 1), s(a(), 1)].into_iter().collect();
         assert_eq!(h.len(), 2);
         assert_eq!(h[0], h[1]);
+    }
+
+    #[test]
+    fn borrowed_first_and_second_match_owned() {
+        let e1 = s(a(), 1);
+        let e2 = c(a(), 2);
+        for events in [vec![], vec![e1.clone()], vec![e1.clone(), e2.clone()], vec![e1.clone(), e2, e1]] {
+            let h = History::from_events(events);
+            assert_eq!(h.first().events(), h.first_event().cloned().as_slice_opt());
+            assert_eq!(h.second().events(), h.second_event().cloned().as_slice_opt());
+        }
+    }
+
+    /// Helper: an `Option<Event>` as the slice its one-event history holds.
+    trait AsSliceOpt {
+        fn as_slice_opt(&self) -> &[Event];
+    }
+    impl AsSliceOpt for Option<Event> {
+        fn as_slice_opt(&self) -> &[Event] {
+            self.as_ref().map(std::slice::from_ref).unwrap_or(&[])
+        }
+    }
+
+    #[test]
+    fn window_is_a_zero_copy_slice_view() {
+        let h: History = [s(a(), 1), c(a(), 2), s(b(), 3)].into_iter().collect();
+        let w = h.window(1, 3);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.events(), &h.events()[1..3]);
+        assert_eq!(w.to_history(), h.slice(1, 3));
+        assert_eq!(w.event_at(0), h[1]);
+        assert!(h.window(1, 1).is_empty());
+    }
+
+    #[test]
+    fn history_read_object_matches_inherent_surface() {
+        let h: History = [s(a(), 1), c(a(), 2), s(b(), 3)].into_iter().collect();
+        let src: &dyn HistoryRead = &h;
+        assert_eq!(src.len(), 3);
+        assert_eq!(src.event_at(2), h[2]);
+        assert_eq!(src.gather(&[2, 0]), h.select(&[2, 0]));
+        assert_eq!(src.to_history(), h);
+        assert!(src.is_base_start_at(0) && !src.is_base_start_at(1));
+        assert!(src.is_base_completion_at(1) && !src.is_base_completion_at(0));
+        let mut seen = Vec::new();
+        src.scan_events(&mut |i, ev| {
+            seen.push((i, ev.clone()));
+            i < 1 // stop after the second event
+        });
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[1].1, h[1]);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod xable;
 
 pub use action::{ActionId, ActionKind, ActionName, Request};
 pub use event::Event;
-pub use history::History;
+pub use history::{History, HistoryRead, HistoryWindow};
 pub use pattern::{InterleavedWitness, Pattern, SimplePattern};
 pub use value::Value;
 

@@ -22,7 +22,7 @@
 use std::fmt;
 
 use crate::action::Request;
-use crate::history::History;
+use crate::history::HistoryRead;
 use crate::value::Value;
 use crate::xable::{Checker, TieredChecker, Verdict};
 
@@ -156,7 +156,7 @@ pub fn r3_violation(verdict: &Verdict) -> Option<Violation> {
 pub fn check_r3<S: Sequencer>(
     sequencer: &S,
     requests: &[Request],
-    server_history: &History,
+    server_history: &dyn HistoryRead,
 ) -> Option<Violation> {
     check_r3_with(&TieredChecker::default(), sequencer, requests, server_history)
 }
@@ -180,13 +180,13 @@ pub fn check_r3_with<C: Checker + ?Sized, S: Sequencer>(
     checker: &C,
     sequencer: &S,
     requests: &[Request],
-    server_history: &History,
+    server_history: &dyn HistoryRead,
 ) -> Option<Violation> {
     let mut expanded: Vec<Request> = Vec::new();
     for (i, r) in requests.iter().enumerate() {
         expanded.extend(sequencer.actions_for(i, r));
     }
-    r3_violation(&checker.check_requests(server_history, &expanded))
+    r3_violation(&checker.check_requests_source(server_history, &expanded))
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ use std::fmt;
 
 use crate::action::{ActionId, Request};
 use crate::failure_free::failure_free_sequence_outputs;
-use crate::history::History;
+use crate::history::{History, HistoryRead};
 use crate::value::Value;
 use crate::xable::fast::{decide, partition};
 use crate::xable::search::{is_xable_search, SearchBudget, SearchResult};
@@ -188,6 +188,27 @@ pub trait Checker {
             .collect();
         combine_r3_attempts(&ops, |ops, erasable| self.check(h, ops, erasable))
     }
+
+    /// [`check`](Checker::check) over any [`HistoryRead`] source — a
+    /// zero-copy store view, a borrowed window, or an owned history.
+    ///
+    /// The default implementation materializes the source once and
+    /// delegates; deciders that can run directly over a view (the fast
+    /// tier) override it to avoid the copy.
+    fn check_source(
+        &self,
+        h: &dyn HistoryRead,
+        ops: &[(ActionId, Value)],
+        erasable: &[(ActionId, Value)],
+    ) -> Verdict {
+        self.check(&h.to_history(), ops, erasable)
+    }
+
+    /// [`check_requests`](Checker::check_requests) over any
+    /// [`HistoryRead`] source.
+    fn check_requests_source(&self, h: &dyn HistoryRead, requests: &[Request]) -> Verdict {
+        self.check_requests(&h.to_history(), requests)
+    }
 }
 
 /// Shared R3 combination logic: try the full sequence, then the prefix
@@ -315,15 +336,33 @@ impl Checker for FastChecker {
         ops: &[(ActionId, Value)],
         erasable: &[(ActionId, Value)],
     ) -> Verdict {
+        self.check_source(h, ops, erasable)
+    }
+
+    /// Overridden to partition once and share the per-group memo cells
+    /// between the full-sequence and last-request-abandoned attempts.
+    fn check_requests(&self, h: &History, requests: &[Request]) -> Verdict {
+        self.check_requests_source(h, requests)
+    }
+
+    /// Overridden to run natively over the view: the partition and every
+    /// per-group search read events through [`HistoryRead`], so no owned
+    /// copy of the source is ever built.
+    fn check_source(
+        &self,
+        h: &dyn HistoryRead,
+        ops: &[(ActionId, Value)],
+        erasable: &[(ActionId, Value)],
+    ) -> Verdict {
         match partition(h) {
             Ok(part) => decide(h, &part.groups, part.ambiguous, self.group_budget, ops, erasable),
             Err(reason) => Verdict::NotXable { reason },
         }
     }
 
-    /// Overridden to partition once and share the per-group memo cells
-    /// between the full-sequence and last-request-abandoned attempts.
-    fn check_requests(&self, h: &History, requests: &[Request]) -> Verdict {
+    /// Overridden to partition the view once and share the per-group memo
+    /// cells between the full-sequence and last-request-abandoned attempts.
+    fn check_requests_source(&self, h: &dyn HistoryRead, requests: &[Request]) -> Verdict {
         let ops: Vec<(ActionId, Value)> = requests
             .iter()
             .map(|r| (r.action().clone(), r.input().clone()))
@@ -430,6 +469,31 @@ impl Checker for TieredChecker {
     fn check_requests(&self, h: &History, requests: &[Request]) -> Verdict {
         let fast = self.fast.check_requests(h, requests);
         self.escalate(h.len(), fast, |search| search.check_requests(h, requests))
+    }
+
+    /// Overridden so the fast tier runs zero-copy over the view; the
+    /// source is materialized only when a small `Unknown` actually
+    /// escalates to the search tier.
+    fn check_source(
+        &self,
+        h: &dyn HistoryRead,
+        ops: &[(ActionId, Value)],
+        erasable: &[(ActionId, Value)],
+    ) -> Verdict {
+        let fast = self.fast.check_source(h, ops, erasable);
+        self.escalate(h.len(), fast, |search| {
+            search.check(&h.to_history(), ops, erasable)
+        })
+    }
+
+    /// Overridden so the fast tier runs zero-copy over the view; the
+    /// source is materialized only when a small `Unknown` actually
+    /// escalates to the search tier.
+    fn check_requests_source(&self, h: &dyn HistoryRead, requests: &[Request]) -> Verdict {
+        let fast = self.fast.check_requests_source(h, requests);
+        self.escalate(h.len(), fast, |search| {
+            search.check_requests(&h.to_history(), requests)
+        })
     }
 }
 
@@ -559,6 +623,33 @@ mod tests {
         ] {
             let v = checker.check_requests(&h, &requests);
             assert!(v.is_xable(), "{}: {v}", checker.name());
+        }
+    }
+
+    #[test]
+    fn source_entry_points_agree_with_owned() {
+        let a = idem("a");
+        let h: History = [s(&a, 1), s(&a, 1), c(&a, 5)].into_iter().collect();
+        let ops = [(a.clone(), Value::from(1))];
+        let requests = vec![Request::new(a, Value::from(1))];
+        let view = h.window(0, h.len());
+        for checker in [
+            &SearchChecker::default() as &dyn Checker,
+            &FastChecker::default(),
+            &TieredChecker::default(),
+        ] {
+            assert_eq!(
+                checker.check(&h, &ops, &[]),
+                checker.check_source(&view, &ops, &[]),
+                "{}: check vs check_source",
+                checker.name()
+            );
+            assert_eq!(
+                checker.check_requests(&h, &requests),
+                checker.check_requests_source(&view, &requests),
+                "{}: check_requests vs check_requests_source",
+                checker.name()
+            );
         }
     }
 

@@ -53,7 +53,7 @@ use std::fmt;
 use crate::action::{ActionId, ActionName, Request};
 use crate::event::Event;
 use crate::failure_free::failure_free_output;
-use crate::history::History;
+use crate::history::{History, HistoryRead};
 use crate::value::Value;
 use crate::xable::checker::{combine_r3_attempts, Checker, FastChecker, Witness};
 use crate::xable::search::{search_reduction, SearchBudget, SearchResult};
@@ -128,11 +128,11 @@ impl GroupCell {
     }
 
     /// Whether the group's events reduce to `Λ`, memoized.
-    fn erases(&self, h: &History, budget: SearchBudget) -> EraseOutcome {
+    fn erases<H: HistoryRead + ?Sized>(&self, h: &H, budget: SearchBudget) -> EraseOutcome {
         if let Some(outcome) = *self.erase.borrow() {
             return outcome;
         }
-        let sub = h.select(&self.indices);
+        let sub = h.gather(&self.indices);
         let outcome = match search_reduction(&sub, History::is_empty, 0, budget) {
             SearchResult::Reached(_) => EraseOutcome::Erases,
             SearchResult::Exhausted => EraseOutcome::Stuck,
@@ -146,13 +146,18 @@ impl GroupCell {
     /// key's action/input, memoized. The target is fully determined by the
     /// group key: the action is `Base(key.0)` and the input is `key.1`
     /// (for round-stamped groups the stamped pair *is* the input, §5.4).
-    fn exec(&self, h: &History, key: &GroupKey, budget: SearchBudget) -> ExecOutcome {
+    fn exec<H: HistoryRead + ?Sized>(
+        &self,
+        h: &H,
+        key: &GroupKey,
+        budget: SearchBudget,
+    ) -> ExecOutcome {
         if let Some(outcome) = self.exec.borrow().clone() {
             return outcome;
         }
         let action = ActionId::base(key.0.clone());
         let input = &key.1;
-        let sub = h.select(&self.indices);
+        let sub = h.gather(&self.indices);
         let min_len = if key.0.is_undoable() { 4 } else { 2 };
         let goal = |cand: &History| failure_free_output(&action, input, cand).is_some();
         let outcome = match search_reduction(&sub, goal, min_len, budget) {
@@ -172,17 +177,13 @@ impl GroupCell {
                 // idempotent request (no cancellations) every completion
                 // is the same effect and the first one is when it became
                 // observable; later ones are deduplicated copies.
-                let is_base_completion = |&i: &usize| {
-                    matches!(&h[i], Event::Complete(a, _) if matches!(a, ActionId::Base(_)))
-                };
+                let is_base_completion = |&i: &usize| h.is_base_completion_at(i);
                 let surviving_from = if key.0.is_undoable() {
                     self.indices
                         .iter()
+                        .rev()
                         .copied()
-                        .filter(|&i| {
-                            matches!(&h[i], Event::Start(a, _) if matches!(a, ActionId::Base(_)))
-                        })
-                        .last()
+                        .find(|&i| h.is_base_start_at(i))
                         .unwrap_or(0)
                 } else {
                     0
@@ -307,19 +308,31 @@ pub(crate) struct Partition {
 
 /// Partitions `h` into groups in one pass, or reports the first completion
 /// without a start (a definite `NotXable` reason).
-pub(crate) fn partition(h: &History) -> Result<Partition, String> {
+pub(crate) fn partition<H: HistoryRead + ?Sized>(h: &H) -> Result<Partition, String> {
     let mut part = Partition::default();
     let mut state = AttributionState::default();
-    for (i, ev) in h.iter().enumerate() {
-        let key = attribute(&mut state, &mut part.ambiguous, ev, i)?;
-        let is_commit_completion =
-            matches!(ev, Event::Complete(a, _) if a.is_commit());
-        part.groups
-            .entry(key)
-            .or_default()
-            .push_index(i, is_commit_completion);
+    let mut err: Option<String> = None;
+    h.scan_events(&mut |i, ev| {
+        match attribute(&mut state, &mut part.ambiguous, ev, i) {
+            Ok(key) => {
+                let is_commit_completion =
+                    matches!(ev, Event::Complete(a, _) if a.is_commit());
+                part.groups
+                    .entry(key)
+                    .or_default()
+                    .push_index(i, is_commit_completion);
+                true
+            }
+            Err(reason) => {
+                err = Some(reason);
+                false
+            }
+        }
+    });
+    match err {
+        Some(reason) => Err(reason),
+        None => Ok(part),
     }
-    Ok(part)
 }
 
 /// The assembly: decides x-ability of `h` — already partitioned into
@@ -330,8 +343,8 @@ pub(crate) fn partition(h: &History) -> Result<Partition, String> {
 /// Per-group searches go through the [`GroupCell`] memos, so a caller that
 /// keeps the cells warm (the incremental checker, or the two attempts of an
 /// R3 question) pays for each group search at most once.
-pub(crate) fn decide(
-    h: &History,
+pub(crate) fn decide<H: HistoryRead + ?Sized>(
+    h: &H,
     groups: &BTreeMap<GroupKey, GroupCell>,
     ambiguous: bool,
     budget: SearchBudget,
@@ -557,8 +570,11 @@ pub(crate) fn decide(
 /// ]
 /// .into_iter()
 /// .collect();
+/// # #[allow(deprecated)]
+/// # {
 /// let verdict = check(&h, &[(a, Value::from(1))], &[]);
 /// assert!(verdict.is_xable());
+/// # }
 /// ```
 #[deprecated(
     since = "0.1.0",
@@ -575,6 +591,21 @@ pub fn check(
 /// The R3 obligation (§4) for a sequence of client requests: the server-side
 /// history must be x-able with respect to `R₁…Rₙ` *or* `R₁…Rₙ₋₁` (the last
 /// request may have been abandoned if the client failed before retrying).
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::xable::fast::check_request_sequence;
+/// use xability_core::{failure_free::eventsof, ActionId, ActionName, Request, Value};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let h = eventsof(&a, &Value::from(1), &Value::from(5));
+/// let requests = vec![Request::new(a, Value::from(1))];
+/// # #[allow(deprecated)]
+/// # {
+/// assert!(check_request_sequence(&h, &requests).is_xable());
+/// # }
+/// ```
 #[deprecated(
     since = "0.1.0",
     note = "use `Checker::check_requests` on `xable::FastChecker` or `TieredChecker`"
@@ -585,8 +616,8 @@ pub fn check_request_sequence(h: &History, requests: &[Request]) -> Verdict {
 
 /// Batch entry point used by the `FastChecker` frontend and the shims: one
 /// partition, then the R3 combination over the shared memo cells.
-pub(crate) fn check_requests_batch(
-    h: &History,
+pub(crate) fn check_requests_batch<H: HistoryRead + ?Sized>(
+    h: &H,
     budget: SearchBudget,
     ops: &[(ActionId, Value)],
 ) -> Verdict {
@@ -874,12 +905,26 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_answer() {
-        #![allow(deprecated)]
-        let a = idem("a");
-        let h = eventsof(&a, &Value::from(1), &Value::from(5));
-        assert!(check(&h, &[(a.clone(), Value::from(1))], &[]).is_xable());
-        let requests = vec![Request::new(a, Value::from(1))];
-        assert!(check_request_sequence(&h, &requests).is_xable());
+    fn view_backed_check_matches_owned() {
+        // The engine is generic over `HistoryRead`: a zero-copy window
+        // over the full history must decide exactly like the owned value.
+        let u = undo("u");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let h: History = [
+            s(&u, 1),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&u, 1),
+            c(&u, 7),
+            s(&commit, 1),
+            cnil(&commit),
+        ]
+        .into_iter()
+        .collect();
+        let ops = [(u, Value::from(1))];
+        let owned = fast().check(&h, &ops, &[]);
+        let viewed = check_requests_batch(&h.window(0, h.len()), SearchBudget::small(), &ops);
+        assert_eq!(owned, viewed);
     }
 }

@@ -52,53 +52,83 @@ use std::collections::BTreeMap;
 
 use crate::action::{ActionId, Request};
 use crate::event::Event;
-use crate::history::History;
+use crate::history::{History, HistoryRead};
 use crate::value::Value;
 use crate::xable::checker::{combine_r3_attempts, Verdict};
 use crate::xable::fast::{attribute, decide, AttributionState, GroupCell, GroupKey};
 use crate::xable::search::SearchBudget;
 
-/// An online R3 checker: push events as they are observed, declare
-/// requests as they are submitted, ask for a verdict at any prefix.
+/// The storage-free core of the online checker: attribution state, the
+/// per-group partition with warm memo cells, and the declared request
+/// sequence — everything the incremental verdict needs *except* the
+/// events themselves.
 ///
-/// Equivalent to running [`super::FastChecker`]'s `check_requests` on the
-/// full current prefix, but with the partition maintained incrementally
-/// and per-group search outcomes cached across pushes.
+/// An `IncrementalState` is a **cursor** over an event stream that lives
+/// elsewhere: [`observe`](IncrementalState::observe) consumes the next
+/// event (amortized O(1)) and advances the cursor, and
+/// [`verdict_over`](IncrementalState::verdict_over) answers the R3
+/// question against any [`HistoryRead`] holding the consumed prefix —
+/// typically the shared `TraceStore` a ledger records into, so the
+/// monitor never owns a second copy of the trace. The self-contained
+/// [`IncrementalChecker`] wraps one of these around an owned [`History`].
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::xable::IncrementalState;
+/// use xability_core::{ActionId, ActionName, Event, History, Value};
+///
+/// let get = ActionId::base(ActionName::idempotent("get"));
+/// let mut shared = History::empty(); // stand-in for a shared store
+/// let mut monitor = IncrementalState::new();
+/// monitor.declare(get.clone(), Value::from(1));
+///
+/// for event in [
+///     Event::start(get.clone(), Value::from(1)),
+///     Event::complete(get, Value::from(42)),
+/// ] {
+///     monitor.observe(&event); // O(1), no event copy retained
+///     shared.push(event);
+/// }
+/// assert!(monitor.verdict_over(&shared).is_xable());
+/// ```
 #[derive(Debug)]
-pub struct IncrementalChecker {
+pub struct IncrementalState {
     budget: SearchBudget,
     requests: Vec<(ActionId, Value)>,
-    history: History,
     attribution: AttributionState,
     ambiguous: bool,
     /// First completion observed without any start of its action — a
     /// permanent violation of the event axioms (§2.2).
     orphan: Option<String>,
     groups: BTreeMap<GroupKey, GroupCell>,
+    /// Cursor position: how many events of the underlying stream have
+    /// been consumed.
+    consumed: usize,
 }
 
-impl Default for IncrementalChecker {
+impl Default for IncrementalState {
     fn default() -> Self {
-        IncrementalChecker::new()
+        IncrementalState::new()
     }
 }
 
-impl IncrementalChecker {
-    /// An empty checker with the fast tier's default per-group budget.
+impl IncrementalState {
+    /// An empty state with the fast tier's default per-group budget.
     pub fn new() -> Self {
-        IncrementalChecker::with_budget(SearchBudget::small())
+        IncrementalState::with_budget(SearchBudget::small())
     }
 
-    /// An empty checker with an explicit per-group search budget.
+    /// An empty state with an explicit per-group search budget.
     pub fn with_budget(budget: SearchBudget) -> Self {
-        IncrementalChecker {
+        IncrementalState {
             budget,
             requests: Vec::new(),
-            history: History::empty(),
             attribution: AttributionState::default(),
             ambiguous: false,
             orphan: None,
             groups: BTreeMap::new(),
+            consumed: 0,
         }
     }
 
@@ -112,14 +142,16 @@ impl IncrementalChecker {
         self.declare(request.action().clone(), request.input().clone());
     }
 
-    /// Consumes one observed event, in amortized O(1): one attribution
-    /// step, one group-cell append, one memo invalidation.
-    pub fn push(&mut self, event: Event) {
-        let index = self.history.len();
-        match attribute(&mut self.attribution, &mut self.ambiguous, &event, index) {
+    /// Consumes the next event of the stream, in amortized O(1): one
+    /// attribution step, one group-cell append, one memo invalidation.
+    /// The event itself is not retained — only its index joins the
+    /// partition.
+    pub fn observe(&mut self, event: &Event) {
+        let index = self.consumed;
+        match attribute(&mut self.attribution, &mut self.ambiguous, event, index) {
             Ok(key) => {
                 let is_commit_completion =
-                    matches!(&event, Event::Complete(a, _) if a.is_commit());
+                    matches!(event, Event::Complete(a, _) if a.is_commit());
                 self.groups
                     .entry(key)
                     .or_default()
@@ -131,6 +163,116 @@ impl IncrementalChecker {
                 }
             }
         }
+        self.consumed += 1;
+    }
+
+    /// The cursor position: how many events have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Returns `true` if no event has been consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.consumed == 0
+    }
+
+    /// The declared request sequence.
+    pub fn requests(&self) -> &[(ActionId, Value)] {
+        &self.requests
+    }
+
+    /// The R3 verdict for the consumed prefix, read from `h` — the stream
+    /// this state has been observing, which must hold exactly the
+    /// [`consumed`](IncrementalState::consumed) events in order.
+    ///
+    /// Equals `FastChecker::new(budget).check_requests` on that prefix
+    /// and [`requests()`](Self::requests), for the budget this state was
+    /// built with.
+    pub fn verdict_over<H: HistoryRead + ?Sized>(&self, h: &H) -> Verdict {
+        debug_assert_eq!(
+            h.len(),
+            self.consumed,
+            "verdict_over: the source must hold exactly the consumed prefix"
+        );
+        if let Some(reason) = &self.orphan {
+            return Verdict::NotXable {
+                reason: reason.clone(),
+            };
+        }
+        combine_r3_attempts(&self.requests, |ops, erasable| {
+            decide(h, &self.groups, self.ambiguous, self.budget, ops, erasable)
+        })
+    }
+
+    /// The verdict for an explicit `(ops, erasable)` question over the
+    /// consumed prefix held by `h`, bypassing the declared sequence and
+    /// the R3 last-request fallback. Equals `FastChecker::new(budget).check`
+    /// on that prefix.
+    pub fn verdict_for_over<H: HistoryRead + ?Sized>(
+        &self,
+        h: &H,
+        ops: &[(ActionId, Value)],
+        erasable: &[(ActionId, Value)],
+    ) -> Verdict {
+        debug_assert_eq!(
+            h.len(),
+            self.consumed,
+            "verdict_for_over: the source must hold exactly the consumed prefix"
+        );
+        if let Some(reason) = &self.orphan {
+            return Verdict::NotXable {
+                reason: reason.clone(),
+            };
+        }
+        decide(h, &self.groups, self.ambiguous, self.budget, ops, erasable)
+    }
+}
+
+/// An online R3 checker: push events as they are observed, declare
+/// requests as they are submitted, ask for a verdict at any prefix.
+///
+/// Equivalent to running [`super::FastChecker`]'s `check_requests` on the
+/// full current prefix, but with the partition maintained incrementally
+/// and per-group search outcomes cached across pushes.
+///
+/// This is the self-contained flavour: it owns its copy of the consumed
+/// prefix. When the events already live in a shared store (the service
+/// ledger's `TraceStore`), use the storage-free [`IncrementalState`]
+/// directly and keep a single copy of the trace.
+#[derive(Debug, Default)]
+pub struct IncrementalChecker {
+    state: IncrementalState,
+    history: History,
+}
+
+impl IncrementalChecker {
+    /// An empty checker with the fast tier's default per-group budget.
+    pub fn new() -> Self {
+        IncrementalChecker::with_budget(SearchBudget::small())
+    }
+
+    /// An empty checker with an explicit per-group search budget.
+    pub fn with_budget(budget: SearchBudget) -> Self {
+        IncrementalChecker {
+            state: IncrementalState::with_budget(budget),
+            history: History::empty(),
+        }
+    }
+
+    /// Appends an expected request to the declared R3 sequence.
+    pub fn declare(&mut self, action: ActionId, input: Value) {
+        self.state.declare(action, input);
+    }
+
+    /// Appends an expected [`Request`] to the declared R3 sequence.
+    pub fn declare_request(&mut self, request: &Request) {
+        self.state.declare_request(request);
+    }
+
+    /// Consumes one observed event, in amortized O(1): one attribution
+    /// step, one group-cell append, one memo invalidation.
+    pub fn push(&mut self, event: Event) {
+        self.state.observe(&event);
         self.history.push(event);
     }
 
@@ -158,7 +300,7 @@ impl IncrementalChecker {
 
     /// The declared request sequence.
     pub fn requests(&self) -> &[(ActionId, Value)] {
-        &self.requests
+        self.state.requests()
     }
 
     /// The R3 verdict for the current prefix and declared request
@@ -169,21 +311,7 @@ impl IncrementalChecker {
     /// the budget this checker was built with (the default `FastChecker`
     /// budget when built via [`IncrementalChecker::new`]).
     pub fn verdict(&self) -> Verdict {
-        if let Some(reason) = &self.orphan {
-            return Verdict::NotXable {
-                reason: reason.clone(),
-            };
-        }
-        combine_r3_attempts(&self.requests, |ops, erasable| {
-            decide(
-                &self.history,
-                &self.groups,
-                self.ambiguous,
-                self.budget,
-                ops,
-                erasable,
-            )
-        })
+        self.state.verdict_over(&self.history)
     }
 
     /// The verdict for an explicit `(ops, erasable)` question over the
@@ -195,19 +323,7 @@ impl IncrementalChecker {
         ops: &[(ActionId, Value)],
         erasable: &[(ActionId, Value)],
     ) -> Verdict {
-        if let Some(reason) = &self.orphan {
-            return Verdict::NotXable {
-                reason: reason.clone(),
-            };
-        }
-        decide(
-            &self.history,
-            &self.groups,
-            self.ambiguous,
-            self.budget,
-            ops,
-            erasable,
-        )
+        self.state.verdict_for_over(&self.history, ops, erasable)
     }
 }
 
@@ -358,6 +474,45 @@ mod tests {
         assert_eq!(
             inc.verdict_for(&ops, &[]),
             FastChecker::default().check(inc.history(), &ops, &[])
+        );
+    }
+
+    #[test]
+    fn storage_free_state_agrees_with_owned_checker() {
+        // An IncrementalState observing the same stream as an owned
+        // IncrementalChecker, with the events living in one shared
+        // History, must produce identical verdicts at every prefix.
+        let u = undo("xfer");
+        let cancel = u.cancel().unwrap();
+        let b = idem("get");
+        let events = [
+            s(&u, 1),
+            Event::start(cancel.clone(), Value::from(1)),
+            cnil(&cancel),
+            s(&b, 2),
+            c(&b, 9),
+        ];
+        let mut shared = History::empty();
+        let mut state = IncrementalState::new();
+        let mut owned = IncrementalChecker::new();
+        for who in [&u, &b] {
+            state.declare(who.clone(), Value::from(if *who == u { 1 } else { 2 }));
+            owned.declare(who.clone(), Value::from(if *who == u { 1 } else { 2 }));
+        }
+        assert!(state.is_empty());
+        for ev in events {
+            state.observe(&ev);
+            owned.push(ev.clone());
+            shared.push(ev);
+            assert_eq!(state.consumed(), shared.len());
+            assert_eq!(state.verdict_over(&shared), owned.verdict());
+            assert_eq!(state.requests(), owned.requests());
+        }
+        let ops = [(b.clone(), Value::from(2))];
+        let erasable = [(u.clone(), Value::from(1))];
+        assert_eq!(
+            state.verdict_for_over(&shared, &ops, &erasable),
+            owned.verdict_for(&ops, &erasable)
         );
     }
 

@@ -22,7 +22,10 @@
 //! * [`IncrementalChecker`] — the online decider: `push(event)` in
 //!   amortized O(1), a verdict at any prefix, agreeing with
 //!   [`FastChecker`] by construction (it runs the same engine with its
-//!   per-group state maintained across pushes).
+//!   per-group state maintained across pushes). Its storage-free core,
+//!   [`IncrementalState`], is a cursor over an event stream owned by
+//!   someone else (a shared trace store), for monitoring without a
+//!   second copy of the trace.
 //!
 //! The submodules [`search`] and [`fast`] hold the respective engines; the
 //! free functions they historically exported remain as deprecated shims.
@@ -33,7 +36,7 @@ pub mod incremental;
 pub mod search;
 
 pub use checker::{Checker, FastChecker, SearchChecker, TieredChecker, Verdict, Witness};
-pub use incremental::IncrementalChecker;
+pub use incremental::{IncrementalChecker, IncrementalState};
 pub use search::{is_xable_search, search_reduction, SearchBudget, SearchResult};
 
 use crate::action::ActionId;

@@ -6,9 +6,13 @@
 //! paper's correctness obligations R1–R4 (§4) plus direct exactly-once
 //! accounting on the side-effect ledger.
 
+use std::io;
+use std::path::Path;
+
 use xability_core::spec::{check_r3, IdentitySequencer, Violation};
-use xability_core::xable::IncrementalChecker;
+use xability_core::xable::IncrementalState;
 use xability_core::{ActionName, Value};
+use xability_store::write_trace_file;
 use xability_protocol::{
     ActiveReplica, Client, ClientMetrics, LogicalRequest, PbReplica, ProtoMsg, ReplicaMetrics,
     ServiceActor, XReplica, XReplicaConfig,
@@ -266,14 +270,15 @@ impl Scenario {
     /// Builds the world, runs it, and evaluates the outcome.
     pub fn run(&self) -> RunReport {
         let ledger = shared_ledger();
-        // Online R3: the ledger pushes every recorded event into this
-        // monitor as the simulation emits it, so the per-group checker
-        // state is built *during* the run; evaluation then only has to
-        // declare the submitted requests and read the verdict off the
-        // already-digested prefix.
+        // Online R3: the ledger's monitor observes every recorded event as
+        // the simulation emits it — a storage-free cursor over the
+        // ledger's shared trace store, so the per-group checker state is
+        // built *during* the run without a second copy of the event
+        // stream; evaluation then only has to declare the submitted
+        // requests and read the verdict off the already-digested prefix.
         ledger
             .borrow_mut()
-            .attach_monitor(IncrementalChecker::new());
+            .attach_monitor(IncrementalState::new());
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
@@ -387,7 +392,6 @@ impl Scenario {
             .collect();
         let r3 = r3_violation_for(&ledger, &submitted);
         let (r3_violation, r3_checked_online) = (r3.violation, r3.decided_online);
-        let history = ledger.borrow().history();
 
         // R4: every result delivered to the client is a possible reply.
         let service_actor = world
@@ -422,7 +426,7 @@ impl Scenario {
             }
         }
 
-        let history_len = history.len();
+        let history_len = ledger.borrow().event_count();
         RunReport {
             scheme: self.scheme,
             seed: self.seed,
@@ -440,6 +444,7 @@ impl Scenario {
             sim: *world.metrics(),
             history_len,
             end_time: world.now(),
+            submitted,
             ledger,
         }
     }
@@ -457,12 +462,14 @@ pub struct R3Outcome {
 
 /// Evaluates R3 for a submitted request sequence against a ledger.
 ///
-/// Prefers the ledger's online [`IncrementalChecker`] monitor — which was
-/// fed event by event during the run, so only the groups touched since the
-/// last verdict are re-searched — and falls back to the batch tiered
-/// checker (`spec::check_r3`) when no monitor is attached or the online
-/// verdict is undecided (the tiered checker can escalate small undecided
-/// histories to the exhaustive search).
+/// Prefers the ledger's online [`IncrementalState`] monitor — which
+/// observed every event during the run as a cursor over the ledger's
+/// shared trace store, so only the groups touched since the last verdict
+/// are re-searched — and falls back to the batch tiered checker
+/// (`spec::check_r3`, reading the same store through a zero-copy view)
+/// when no monitor is attached or the online verdict is undecided (the
+/// tiered checker can escalate small undecided histories to the
+/// exhaustive search).
 ///
 /// Idempotent across calls on the same ledger as long as `submitted` only
 /// ever *extends* the previously evaluated sequence: already-declared
@@ -473,26 +480,8 @@ pub fn r3_violation_for(
 ) -> R3Outcome {
     let online = {
         let mut guard = ledger.borrow_mut();
-        guard.monitor_mut().map(|monitor| {
-            let declared = monitor.requests().len();
-            debug_assert!(
-                declared <= submitted.len()
-                    && monitor
-                        .requests()
-                        .iter()
-                        .zip(submitted)
-                        .all(|((action, input), request)| {
-                            action == request.action() && input == request.input()
-                        }),
-                "`submitted` must extend the monitor's declared request \
-                 sequence; re-evaluating with a reordered or shortened \
-                 sequence would silently diverge from the monitor"
-            );
-            for request in submitted.iter().skip(declared) {
-                monitor.declare_request(request);
-            }
-            monitor.verdict()
-        })
+        guard.declare_requests(submitted);
+        guard.monitor_verdict()
     };
     match online {
         Some(verdict) if !verdict.is_unknown() => R3Outcome {
@@ -543,11 +532,21 @@ pub struct RunReport {
     pub history_len: usize,
     /// Simulated completion time.
     pub end_time: SimTime,
+    /// The request sequence R3 was evaluated against (for trace dumps and
+    /// re-checks).
+    pub submitted: Vec<xability_core::Request>,
     /// The shared ledger (for deeper inspection).
     pub ledger: SharedLedger,
 }
 
 impl RunReport {
+    /// Dumps the run's trace — the submitted request sequence plus the
+    /// ledger's full event stream — to `path` in the versioned binary
+    /// trace format, so the run can be replayed and re-checked offline
+    /// (`xability_store::read_trace`).
+    pub fn write_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        write_trace_file(path, &self.submitted, &self.ledger.borrow().snapshot())
+    }
     /// `true` when the run satisfied every checked obligation.
     pub fn is_correct(&self) -> bool {
         self.finished

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use xability_core::spec::Violation;
-use xability_core::xable::IncrementalChecker;
+use xability_core::xable::IncrementalState;
 use xability_core::{ActionId, ActionName, Event, Value};
 
 use crate::scenario::r3_violation_for;
@@ -329,10 +329,10 @@ impl ThreeTier {
         // Each tier's R3 obligation is tracked online, independently.
         backend_ledger
             .borrow_mut()
-            .attach_monitor(IncrementalChecker::new());
+            .attach_monitor(IncrementalState::new());
         app_ledger
             .borrow_mut()
-            .attach_monitor(IncrementalChecker::new());
+            .attach_monitor(IncrementalState::new());
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
@@ -462,8 +462,8 @@ impl ThreeTier {
             .map(|r| (ActionName::undoable("transfer"), r.key()))
             .collect();
         let exactly_once_violations = backend_ledger.borrow().exactly_once_violations(&keys);
-        let app_history_len = app_ledger.borrow().history().len();
-        let backend_history_len = backend_ledger.borrow().history().len();
+        let app_history_len = app_ledger.borrow().event_count();
+        let backend_history_len = backend_ledger.borrow().event_count();
 
         ThreeTierReport {
             finished,

@@ -249,8 +249,10 @@ fn online_monitor_agrees_with_batch_checker_on_harness_traces() {
             .iter()
             .map(|(a, iv)| Request::new(a.clone(), iv.clone()))
             .collect();
-        let online = monitor.verdict();
-        let batch = FastChecker::default().check_requests(&ledger.history(), &requests);
+        let online = ledger.monitor_verdict().expect("monitor attached");
+        // The batch checker reads the same shared store through a
+        // zero-copy view — no owned copy of the trace is materialized.
+        let batch = FastChecker::default().check_requests_source(&ledger.history(), &requests);
         assert_eq!(
             online, batch,
             "online and batch R3 verdicts diverged (seed {})",
@@ -281,4 +283,43 @@ fn runs_are_deterministic_per_seed() {
         )
     };
     assert_eq!(run(23), run(23));
+}
+
+#[test]
+fn run_trace_dumps_and_replays_to_the_same_verdict() {
+    use xability_core::xable::{Checker, FastChecker};
+    use xability_store::RecordedTrace;
+
+    // A run with a crash, so the trace contains retries/cancels worth
+    // replaying, dumped through the versioned binary format and
+    // re-checked from disk.
+    let report = Scenario::new(
+        Scheme::XAble,
+        Workload::BankTransfers {
+            count: 2,
+            amount: 10,
+        },
+    )
+    .seed(7)
+    .crash(0, SimTime::from_millis(5))
+    .run();
+    assert!(report.is_correct(), "r3: {:?}", report.r3_violation);
+
+    let dir = std::env::temp_dir().join("xability-e2e-trace");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("run-seed7-{}.xtrace", std::process::id()));
+    report.write_trace(&path).expect("dump trace");
+
+    let replayed = RecordedTrace::read_from_file(&path).expect("replay trace");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(replayed.requests, report.submitted);
+    assert_eq!(replayed.store.len(), report.history_len);
+    assert_eq!(
+        replayed.store.view().to_history(),
+        report.ledger.borrow().history().to_history(),
+        "replayed events diverge from the ledger's stream"
+    );
+    let verdict = FastChecker::default()
+        .check_requests_source(&replayed.store.view(), &replayed.requests);
+    assert!(verdict.is_xable(), "replayed re-check: {verdict}");
 }

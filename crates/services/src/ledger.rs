@@ -4,17 +4,26 @@
 //! The x-ability theory reasons about the history of start/completion events
 //! of action executions and about externally visible side-effects. The
 //! ledger records both, in global observation order, so that after a
-//! simulation run the harness can (a) hand the formal [`History`] to the
+//! simulation run the harness can (a) hand the formal history to the
 //! x-ability checkers and (b) verify exactly-once side-effect semantics
 //! directly against effect records.
+//!
+//! The event stream itself lives in **one** interned
+//! [`TraceStore`]: the attached online monitor
+//! is a storage-free [`IncrementalState`] cursor over that store (no
+//! second `Vec<Event>`/`History` copy), [`Ledger::history`] is a zero-copy
+//! [`HistoryView`], and [`Ledger::snapshot`] feeds the binary trace
+//! recorder. Per-event provenance (time, observing service) is kept in a
+//! compact side table.
 
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use xability_core::xable::IncrementalChecker;
-use xability_core::{ActionName, Event, History, Value};
+use xability_core::xable::{IncrementalState, Verdict};
+use xability_core::{ActionName, Event, Request, Value};
 use xability_sim::SimTime;
+use xability_store::{HistoryView, TraceSnapshot, TraceStore};
 
 /// What kind of externally visible effect a record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -67,18 +76,32 @@ pub struct EffectRecord {
     pub at: SimTime,
 }
 
+/// Per-event provenance: when the event was observed and by which service
+/// (as a symbol into the ledger's small service-name table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventMeta {
+    at: SimTime,
+    service: u32,
+}
+
 /// The global ledger of events, effects, and detected service-level protocol
 /// violations.
 ///
 /// One ledger is shared (via [`SharedLedger`]) by every external service in
 /// a simulation; append order equals simulated-time order because the
 /// simulator is single-threaded and time is monotone.
+///
+/// The formal event stream is stored once, interned and packed, in a
+/// [`TraceStore`]; the attached monitor and every reader work over views
+/// of that store.
 #[derive(Debug, Default)]
 pub struct Ledger {
-    events: Vec<RecordedEvent>,
+    store: TraceStore,
+    meta: Vec<EventMeta>,
+    service_names: Vec<String>,
     effects: Vec<EffectRecord>,
     violations: Vec<String>,
-    monitor: Option<IncrementalChecker>,
+    monitor: Option<IncrementalState>,
 }
 
 impl Ledger {
@@ -88,50 +111,94 @@ impl Ledger {
     }
 
     /// Records a formal event observation. When an online monitor is
-    /// attached, the event is also pushed into it (amortized O(1)), so the
-    /// R3 obligation is tracked *while* the run executes instead of by
-    /// re-reducing the full history afterwards.
+    /// attached, it observes the event too (amortized O(1)), so the R3
+    /// obligation is tracked *while* the run executes instead of by
+    /// re-reducing the full history afterwards. The event itself is stored
+    /// exactly once, in the shared [`TraceStore`].
     pub fn record_event(&mut self, event: Event, at: SimTime, service: &str) {
         if let Some(monitor) = &mut self.monitor {
-            monitor.push(event.clone());
+            monitor.observe(&event);
         }
-        self.events.push(RecordedEvent {
-            event,
-            at,
-            service: service.to_owned(),
-        });
+        self.store.push(&event);
+        let service = self.intern_service(service);
+        self.meta.push(EventMeta { at, service });
+    }
+
+    fn intern_service(&mut self, service: &str) -> u32 {
+        match self.service_names.iter().position(|s| s == service) {
+            Some(i) => i as u32,
+            None => {
+                self.service_names.push(service.to_owned());
+                (self.service_names.len() - 1) as u32
+            }
+        }
     }
 
     /// Attaches an online R3 monitor. Events already recorded are replayed
-    /// into it first, so attaching mid-run observes the same prefix a
-    /// monitor attached at creation would have.
+    /// into it from the store (via a cursor), so attaching mid-run observes
+    /// the same prefix a monitor attached at creation would have.
     ///
     /// At most one monitor may ever be attached: re-attaching would
     /// silently discard the previous monitor's declared request sequence
     /// and warm per-group state (debug builds assert against it; release
     /// builds keep the replacement semantics).
-    pub fn attach_monitor(&mut self, mut monitor: IncrementalChecker) {
+    pub fn attach_monitor(&mut self, mut monitor: IncrementalState) {
         debug_assert!(
             self.monitor.is_none(),
             "attach_monitor called on a ledger that already has a monitor; \
              the previous monitor's declared requests and warm group state \
              would be discarded"
         );
-        for rec in &self.events {
-            monitor.push(rec.event.clone());
+        for event in self.store.cursor_at(monitor.consumed()) {
+            monitor.observe(&event);
         }
         self.monitor = Some(monitor);
     }
 
     /// The attached online monitor, if any.
-    pub fn monitor(&self) -> Option<&IncrementalChecker> {
+    pub fn monitor(&self) -> Option<&IncrementalState> {
         self.monitor.as_ref()
     }
 
     /// Mutable access to the attached online monitor (for declaring the
     /// submitted requests as they become known).
-    pub fn monitor_mut(&mut self) -> Option<&mut IncrementalChecker> {
+    pub fn monitor_mut(&mut self) -> Option<&mut IncrementalState> {
         self.monitor.as_mut()
+    }
+
+    /// The monitor's R3 verdict over the shared store, if a monitor is
+    /// attached. The monitor reads the prefix it has consumed through a
+    /// zero-copy view — it never owns a second copy of the trace.
+    pub fn monitor_verdict(&self) -> Option<Verdict> {
+        self.monitor
+            .as_ref()
+            .map(|monitor| monitor.verdict_over(&self.store.view()))
+    }
+
+    /// Declares every not-yet-declared request of `submitted` into the
+    /// attached monitor. `submitted` must *extend* the monitor's declared
+    /// sequence (debug builds assert it): re-declaring a reordered or
+    /// shortened sequence would silently diverge from the monitor's warm
+    /// state. No-op when no monitor is attached.
+    pub fn declare_requests(&mut self, submitted: &[Request]) {
+        let Some(monitor) = self.monitor.as_mut() else {
+            return;
+        };
+        let declared = monitor.requests().len();
+        debug_assert!(
+            declared <= submitted.len()
+                && monitor
+                    .requests()
+                    .iter()
+                    .zip(submitted)
+                    .all(|((action, input), request)| {
+                        action == request.action() && input == request.input()
+                    }),
+            "`submitted` must extend the monitor's declared request sequence"
+        );
+        for request in submitted.iter().skip(declared) {
+            monitor.declare_request(request);
+        }
     }
 
     /// Records an externally visible effect.
@@ -159,14 +226,52 @@ impl Ledger {
         self.violations.push(detail.into());
     }
 
-    /// The formal history of all recorded events, in observation order.
-    pub fn history(&self) -> History {
-        self.events.iter().map(|r| r.event.clone()).collect()
+    /// The formal history of all recorded events, in observation order, as
+    /// a zero-copy view over the shared store.
+    ///
+    /// The view implements [`xability_core::HistoryRead`], so every
+    /// checker consumes it directly; call
+    /// [`to_history`](HistoryView::to_history) only where an owned
+    /// [`xability_core::History`] is genuinely needed (the exhaustive
+    /// search tier).
+    pub fn history(&self) -> HistoryView {
+        self.store.view()
     }
 
-    /// All recorded events with metadata.
-    pub fn events(&self) -> &[RecordedEvent] {
-        &self.events
+    /// The number of formal events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The recorded event at `index`, decoded together with its
+    /// provenance metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn recorded_event(&self, index: usize) -> RecordedEvent {
+        let meta = self.meta[index];
+        RecordedEvent {
+            event: self.store.event(index),
+            at: meta.at,
+            service: self.service_names[meta.service as usize].clone(),
+        }
+    }
+
+    /// Iterates all recorded events with metadata, in observation order.
+    pub fn recorded_events(&self) -> impl Iterator<Item = RecordedEvent> + '_ {
+        (0..self.store.len()).map(|i| self.recorded_event(i))
+    }
+
+    /// An immutable snapshot of the underlying trace store (for the
+    /// binary trace recorder and other whole-trace consumers).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        self.store.snapshot()
+    }
+
+    /// The shared trace store backing this ledger.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
     }
 
     /// All effect records.
@@ -290,10 +395,30 @@ mod tests {
         ledger.record_event(Event::complete(a.clone(), Value::from(2)), t(2), "svc");
         let h = ledger.history();
         assert_eq!(h.len(), 2);
-        assert!(h[0].is_start());
-        assert!(h[1].is_complete());
-        assert_eq!(ledger.events()[0].service, "svc");
-        assert_eq!(ledger.events()[1].at, t(2));
+        assert_eq!(ledger.event_count(), 2);
+        assert!(h.event(0).is_start());
+        assert!(h.event(1).is_complete());
+        assert_eq!(ledger.recorded_event(0).service, "svc");
+        assert_eq!(ledger.recorded_event(1).at, t(2));
+        let all: Vec<RecordedEvent> = ledger.recorded_events().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].event, Event::start(a, Value::from(1)));
+    }
+
+    #[test]
+    fn store_is_shared_not_copied() {
+        // The monitor consumes events as a cursor over the ledger's store;
+        // the ledger's view and the snapshot read the same segments.
+        let mut ledger = Ledger::new();
+        let a = ActionId::base(ActionName::idempotent("a"));
+        ledger.attach_monitor(IncrementalState::new());
+        ledger.record_event(Event::start(a.clone(), Value::from(1)), t(1), "svc");
+        ledger.record_event(Event::complete(a, Value::from(2)), t(2), "svc");
+        assert_eq!(ledger.monitor().unwrap().consumed(), ledger.event_count());
+        let snap = ledger.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.view().to_history(), ledger.history().to_history());
+        assert_eq!(ledger.store().len(), 2);
     }
 
     #[test]
@@ -347,15 +472,35 @@ mod tests {
         let a = ActionId::base(ActionName::idempotent("a"));
         // One event recorded *before* the monitor exists…
         ledger.record_event(Event::start(a.clone(), Value::from(1)), t(1), "svc");
-        let mut monitor = IncrementalChecker::new();
+        let mut monitor = IncrementalState::new();
         monitor.declare(a.clone(), Value::from(1));
         ledger.attach_monitor(monitor);
         // …and one after: the monitor must see both.
         ledger.record_event(Event::complete(a.clone(), Value::from(2)), t(2), "svc");
         let m = ledger.monitor().expect("attached");
-        assert_eq!(m.len(), 2);
-        assert!(m.verdict().is_xable());
+        assert_eq!(m.consumed(), 2);
+        assert!(ledger.monitor_verdict().expect("attached").is_xable());
         assert!(ledger.monitor_mut().is_some());
+    }
+
+    #[test]
+    fn declare_requests_skips_already_declared_prefix() {
+        let mut ledger = Ledger::new();
+        let a = ActionId::base(ActionName::idempotent("a"));
+        let b = ActionId::base(ActionName::idempotent("b"));
+        ledger.attach_monitor(IncrementalState::new());
+        let first = vec![Request::new(a.clone(), Value::from(1))];
+        ledger.declare_requests(&first);
+        let both = vec![
+            Request::new(a, Value::from(1)),
+            Request::new(b, Value::from(2)),
+        ];
+        ledger.declare_requests(&both);
+        assert_eq!(ledger.monitor().unwrap().requests().len(), 2);
+        // Without a monitor, declaring is a no-op.
+        let mut bare = Ledger::new();
+        bare.declare_requests(&both);
+        assert!(bare.monitor_verdict().is_none());
     }
 
     #[test]

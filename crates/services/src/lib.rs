@@ -13,9 +13,11 @@
 //! * [`catalog`] — concrete services: a bank, a key-value store, a token
 //!   issuer, a seat-reservation system, and a deliberately misbehaving
 //!   counter for negative tests.
-//! * [`Ledger`] — the materialized event observer of §2.2: produces the
-//!   formal [`xability_core::History`] checked by the x-ability deciders,
-//!   plus direct exactly-once accounting of side-effects.
+//! * [`Ledger`] — the materialized event observer of §2.2: records the
+//!   formal event stream once into a shared, interned
+//!   [`xability_store::TraceStore`], hands out zero-copy history views to
+//!   the x-ability deciders, and keeps direct exactly-once accounting of
+//!   side-effects.
 //!
 //! ```
 //! use rand::SeedableRng;
@@ -108,7 +110,7 @@ mod tests {
         let out = svc.handle(&req.to_commit(), SimTime::from_millis(2), &mut r);
         assert!(out.is_success());
 
-        let h = ledger.borrow().history();
+        let h = ledger.borrow().history().to_history();
         // Formal inputs are round-stamped (§5.4): the surviving execution
         // ran in round 1.
         let ops = [(
@@ -151,7 +153,7 @@ mod tests {
             .handle(&req2.to_commit(), SimTime::from_millis(5), &mut r)
             .is_success());
 
-        let h = ledger.borrow().history();
+        let h = ledger.borrow().history().to_history();
         // Round 2 survives; round 1's attempt/cancel erases under rule 19.
         let ops = [(
             ActionId::base(ActionName::undoable("transfer")),
@@ -211,7 +213,7 @@ mod tests {
         let logic: &TokenIssuer = (svc.logic() as &dyn std::any::Any).downcast_ref().unwrap();
         assert_eq!(logic.issued(), 1);
         // The history (two completed executions, equal outputs) is x-able.
-        let h = ledger.borrow().history();
+        let h = ledger.borrow().history().to_history();
         let ops = [(
             ActionId::base(ActionName::idempotent("issue")),
             Value::from("req-9"),
@@ -243,7 +245,7 @@ mod tests {
         assert!(!svc.handle(&req, SimTime::from_millis(2), &mut r).is_success());
         let out = svc.handle(&req, SimTime::from_millis(3), &mut r);
         assert!(out.is_success());
-        let h = ledger.borrow().history();
+        let h = ledger.borrow().history().to_history();
         let ops = [(
             ActionId::base(ActionName::idempotent("issue")),
             Value::from("k"),
@@ -279,7 +281,7 @@ mod tests {
         let out1 = svc.handle(&req, SimTime::from_millis(1), &mut r);
         let out2 = svc.handle(&req, SimTime::from_millis(2), &mut r);
         assert_ne!(out1, out2, "non-deterministic duplicates disagree");
-        let h = ledger.borrow().history();
+        let h = ledger.borrow().history().to_history();
         let ops = [(
             ActionId::base(ActionName::idempotent("issue")),
             Value::from("k"),

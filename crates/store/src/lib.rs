@@ -1,0 +1,62 @@
+//! # xability-store — the shared, interned trace store
+//!
+//! Every layer of the reproduction is ultimately a consumer of one event
+//! stream: the ledger records it, the online monitor folds it, the batch
+//! checkers re-read it, the benches replay it. This crate is that stream's
+//! home — one append-only store, many cheap read-only views — so that a
+//! multi-million-event trace is stored **once**, compactly, instead of as
+//! heap-heavy `Vec<Event>` copies per component.
+//!
+//! * [`Interner`] maps [`ActionName`]s and [`Value`]s to dense `u32`
+//!   symbols, so each distinct action name and value is stored once.
+//! * [`EventRepr`] is the packed 12-byte per-event record: an event tag,
+//!   an action-role tag, and the two symbols.
+//! * [`TraceStore`] is the append-only segmented store. Appends never
+//!   move old segments (no reallocation copies), and
+//!   [`TraceStore::snapshot`] hands out an immutable [`TraceSnapshot`] in
+//!   O(#segments) — cheaply cloneable across components.
+//! * [`HistoryView`] is a zero-copy [`HistoryRead`] over a snapshot: the
+//!   fast and incremental checkers run on it directly, and
+//!   [`HistoryView::to_history`] / [`TraceStore::from_history`] convert
+//!   losslessly to/from the owned [`History`] the search tier needs.
+//! * [`TraceCursor`] iterates a snapshot from a position — the replay
+//!   primitive behind `Ledger::attach_monitor`.
+//! * [`trace`] is the versioned binary record/replay format
+//!   ([`write_trace`] / [`read_trace`]): the harness dumps a run's trace
+//!   to disk, tests and benches replay it bit-for-bit.
+//!
+//! ```
+//! use xability_core::xable::{Checker, FastChecker};
+//! use xability_core::{ActionId, ActionName, Event, HistoryRead, Value};
+//! use xability_store::TraceStore;
+//!
+//! let get = ActionId::base(ActionName::idempotent("get"));
+//! let mut store = TraceStore::new();
+//! store.push(&Event::start(get.clone(), Value::from(1)));
+//! store.push(&Event::complete(get.clone(), Value::from(42)));
+//!
+//! // O(#segments) snapshot; the view reads events without copying them.
+//! let view = store.view();
+//! assert_eq!(view.len(), 2);
+//! let verdict = FastChecker::default().check_source(&view, &[(get, Value::from(1))], &[]);
+//! assert!(verdict.is_xable());
+//! ```
+//!
+//! [`ActionName`]: xability_core::ActionName
+//! [`Value`]: xability_core::Value
+//! [`History`]: xability_core::History
+//! [`HistoryRead`]: xability_core::HistoryRead
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod log;
+
+pub mod intern;
+pub mod store;
+pub mod trace;
+
+pub use intern::{value_heap_bytes, Interner};
+pub use store::{EventRepr, HistoryView, TraceCursor, TraceSnapshot, TraceStore};
+pub use trace::{read_trace, write_trace, write_trace_file, RecordedTrace, TRACE_FORMAT_VERSION};

@@ -1,0 +1,651 @@
+//! The append-only segmented trace store and its zero-copy views.
+//!
+//! One [`TraceStore`] holds a run's whole event stream, interned and
+//! packed (12 bytes per event). Components that need to *read* the
+//! stream — the online monitor, the batch checkers, the exactly-once
+//! accountants, the trace writer — take an immutable [`TraceSnapshot`]
+//! (O(#segments), cheaply cloneable) or a [`HistoryView`] over one, which
+//! implements [`HistoryRead`] so every checker runs on it without a
+//! `Vec<Event>` copy ever being materialized.
+
+use std::fmt;
+
+use xability_core::{ActionId, Event, History, HistoryRead, Value};
+
+use crate::intern::Interner;
+use crate::log::{AppendLog, LogView};
+
+/// Events per store segment. 64k × 12 bytes ≈ 768 KiB per segment: large
+/// enough that a million-event trace is ~16 segments, small enough that
+/// the one-off copy-on-write after a snapshot stays cheap.
+pub(crate) const EVENT_SEGMENT: usize = 1 << 16;
+
+/// Role tag: the base action `a`.
+const ROLE_BASE: u8 = 0;
+/// Role tag: the cancellation action `a⁻¹`.
+const ROLE_CANCEL: u8 = 1;
+/// Role tag: the commit action `aᶜ`.
+const ROLE_COMMIT: u8 = 2;
+
+/// The packed per-event record: 12 bytes instead of an owned [`Event`]
+/// (~120 bytes of enum + heap on a 64-bit target).
+///
+/// Layout: an event tag (start/completion), the action's role
+/// (base/cancel/commit), the interned [`ActionName`] symbol, and the
+/// interned [`Value`] symbol (the input of a start, the output of a
+/// completion).
+///
+/// [`ActionName`]: xability_core::ActionName
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRepr {
+    /// Bit 0: 1 for completion events. Bits 1–2: the action role.
+    tag: u8,
+    _pad: [u8; 3],
+    action: u32,
+    value: u32,
+}
+
+impl EventRepr {
+    /// Packs the tag byte.
+    fn new(is_complete: bool, role: u8, action: u32, value: u32) -> Self {
+        EventRepr {
+            tag: u8::from(is_complete) | (role << 1),
+            _pad: [0; 3],
+            action,
+            value,
+        }
+    }
+
+    /// Returns `true` for completion events.
+    pub fn is_complete(&self) -> bool {
+        self.tag & 1 == 1
+    }
+
+    /// The action role bits (0 base, 1 cancel, 2 commit).
+    pub(crate) fn role(&self) -> u8 {
+        (self.tag >> 1) & 0b11
+    }
+
+    /// The interned action-name symbol.
+    pub fn action_symbol(&self) -> u32 {
+        self.action
+    }
+
+    /// The interned value symbol.
+    pub fn value_symbol(&self) -> u32 {
+        self.value
+    }
+
+    /// The raw tag byte (for the trace format).
+    pub(crate) fn tag_byte(&self) -> u8 {
+        self.tag
+    }
+
+    /// Rebuilds a repr from its serialized parts, validating the tag.
+    pub(crate) fn from_parts(tag: u8, action: u32, value: u32) -> Option<Self> {
+        if tag & !0b111 != 0 || (tag >> 1) > ROLE_COMMIT {
+            return None;
+        }
+        Some(EventRepr {
+            tag,
+            _pad: [0; 3],
+            action,
+            value,
+        })
+    }
+}
+
+fn role_of(action: &ActionId) -> u8 {
+    match action {
+        ActionId::Base(_) => ROLE_BASE,
+        ActionId::Cancel(_) => ROLE_CANCEL,
+        ActionId::Commit(_) => ROLE_COMMIT,
+    }
+}
+
+/// The append-only, interned, segmented store for one event stream.
+///
+/// Appends are amortized O(1) and never move old segments; see
+/// [`TraceStore::snapshot`] for the read side.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{ActionId, ActionName, Event, HistoryRead, Value};
+/// use xability_store::TraceStore;
+///
+/// let a = ActionId::base(ActionName::idempotent("a"));
+/// let mut store = TraceStore::new();
+/// let index = store.push(&Event::start(a.clone(), Value::from(1)));
+/// assert_eq!(index, 0);
+/// assert_eq!(store.event(0), Event::start(a, Value::from(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    interner: Interner,
+    events: AppendLog<EventRepr>,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TraceStore {
+            interner: Interner::new(),
+            events: AppendLog::new(EVENT_SEGMENT),
+        }
+    }
+
+    /// Appends one event, returning its index in the stream.
+    pub fn push(&mut self, event: &Event) -> usize {
+        let (is_complete, action, value) = match event {
+            Event::Start(a, iv) => (false, a, iv),
+            Event::Complete(a, ov) => (true, a, ov),
+        };
+        let repr = EventRepr::new(
+            is_complete,
+            role_of(action),
+            self.interner.intern_action(action.base_name()),
+            self.interner.intern_value(value),
+        );
+        let index = self.events.len();
+        self.events.push(repr);
+        index
+    }
+
+    /// Appends every event of an iterator.
+    pub fn extend<'a, I: IntoIterator<Item = &'a Event>>(&mut self, events: I) {
+        for event in events {
+            self.push(event);
+        }
+    }
+
+    /// A store holding the events of `h` — the lossless owned→interned
+    /// conversion ([`HistoryView::to_history`] is its inverse).
+    pub fn from_history(h: &History) -> Self {
+        let mut store = TraceStore::new();
+        store.extend(h.iter());
+        store
+    }
+
+    /// The number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no event has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.len() == 0
+    }
+
+    /// Decodes the event at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn event(&self, index: usize) -> Event {
+        let repr = *self.events.get(index);
+        decode(
+            repr,
+            self.interner.action(repr.action_symbol()).clone(),
+            self.interner.value(repr.value_symbol()).clone(),
+        )
+    }
+
+    /// The interner backing this store.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// An immutable snapshot of the current stream: O(#segments) `Arc`
+    /// clones, no event or symbol is copied. Later appends to the store
+    /// are invisible to the snapshot (at most one open segment is copied
+    /// on the next append, bounded by the segment size).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let (actions, values) = self.interner.snapshot();
+        TraceSnapshot {
+            actions,
+            values,
+            events: self.events.snapshot(),
+        }
+    }
+
+    /// A zero-copy [`HistoryRead`] view of the whole current stream
+    /// (shorthand for `snapshot().view()`).
+    pub fn view(&self) -> HistoryView {
+        self.snapshot().view()
+    }
+
+    /// A cursor iterating the current stream from `position` — the
+    /// replay primitive (`Ledger::attach_monitor` feeds a late-attached
+    /// monitor from one of these).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position > len`.
+    pub fn cursor_at(&self, position: usize) -> TraceCursor {
+        assert!(position <= self.len(), "cursor position out of bounds");
+        TraceCursor {
+            snap: self.snapshot(),
+            position,
+        }
+    }
+
+    /// Approximate resident bytes: packed event segments plus the
+    /// interner's tables. The per-event cost approaches
+    /// `size_of::<EventRepr>()` (12 bytes) as the trace grows, because
+    /// the symbol tables are bounded by *distinct* names/values.
+    pub fn approx_bytes(&self) -> usize {
+        self.events.segment_bytes() + self.interner.approx_bytes()
+    }
+
+    /// Appends a raw repr whose symbols were produced by this store's
+    /// interner (the trace reader's fast path).
+    pub(crate) fn push_repr(&mut self, repr: EventRepr) -> Result<(), String> {
+        if (repr.action_symbol() as usize) >= self.interner.action_count() {
+            return Err(format!(
+                "event references action symbol {} but only {} are interned",
+                repr.action_symbol(),
+                self.interner.action_count()
+            ));
+        }
+        if (repr.value_symbol() as usize) >= self.interner.value_count() {
+            return Err(format!(
+                "event references value symbol {} but only {} are interned",
+                repr.value_symbol(),
+                self.interner.value_count()
+            ));
+        }
+        // Only undoable base actions have cancel/commit derived actions
+        // (§3.1); a cancel/commit role on an idempotent name encodes an
+        // event no real system can emit.
+        if repr.role() != ROLE_BASE && !self.interner.action(repr.action_symbol()).is_undoable() {
+            return Err(format!(
+                "event has a cancel/commit role for idempotent action {:?}",
+                self.interner.action(repr.action_symbol()).name()
+            ));
+        }
+        self.events.push(repr);
+        Ok(())
+    }
+
+    /// Mutable access to the interner (the trace reader re-interns the
+    /// symbol tables before pushing raw reprs).
+    pub(crate) fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+}
+
+/// Decodes a packed repr given its resolved action name and value.
+fn decode(repr: EventRepr, name: xability_core::ActionName, value: Value) -> Event {
+    let action = match repr.role() {
+        ROLE_BASE => ActionId::Base(name),
+        ROLE_CANCEL => ActionId::Cancel(name),
+        _ => ActionId::Commit(name),
+    };
+    if repr.is_complete() {
+        Event::complete(action, value)
+    } else {
+        Event::start(action, value)
+    }
+}
+
+/// An immutable snapshot of a [`TraceStore`]: the event segments and the
+/// symbol tables as of the moment it was taken.
+///
+/// Cloning a snapshot (or handing it to another component) is a handful
+/// of `Arc` clones; the underlying segments are shared with the live
+/// store and every other snapshot.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    pub(crate) actions: LogView<xability_core::ActionName>,
+    pub(crate) values: LogView<Value>,
+    pub(crate) events: LogView<EventRepr>,
+}
+
+impl TraceSnapshot {
+    /// The number of events in the snapshot.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the snapshot holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.len() == 0
+    }
+
+    /// Decodes the event at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn event(&self, index: usize) -> Event {
+        let repr = *self.events.get(index);
+        decode(
+            repr,
+            self.actions.get(repr.action_symbol() as usize).clone(),
+            self.values.get(repr.value_symbol() as usize).clone(),
+        )
+    }
+
+    /// The packed repr at `index` (no decode).
+    pub fn repr(&self, index: usize) -> EventRepr {
+        *self.events.get(index)
+    }
+
+    /// A zero-copy view over the whole snapshot.
+    pub fn view(&self) -> HistoryView {
+        let end = self.len();
+        HistoryView {
+            snap: self.clone(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+/// A zero-copy history over a [`TraceSnapshot`] range, implementing
+/// [`HistoryRead`] — the input every checker accepts.
+///
+/// Slicing ([`HistoryView::slice`]) is O(1) and shares the underlying
+/// segments; only [`HistoryView::to_history`] (for the exhaustive search
+/// tier) materializes owned events.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{ActionId, ActionName, Event, HistoryRead, Value};
+/// use xability_store::TraceStore;
+///
+/// let a = ActionId::base(ActionName::idempotent("a"));
+/// let mut store = TraceStore::new();
+/// store.push(&Event::start(a.clone(), Value::from(1)));
+/// store.push(&Event::complete(a, Value::from(2)));
+///
+/// let view = store.view();
+/// let prefix = view.slice(0, 1); // O(1), no copy
+/// assert_eq!(prefix.len(), 1);
+/// assert!(prefix.event_at(0).is_start());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryView {
+    snap: TraceSnapshot,
+    start: usize,
+    end: usize,
+}
+
+impl HistoryView {
+    /// The number of events in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Decodes the event at `index` (view-relative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn event(&self, index: usize) -> Event {
+        assert!(index < self.len(), "HistoryView index {index} out of bounds");
+        self.snap.event(self.start + index)
+    }
+
+    /// A sub-view over `start..end` (view-relative), in O(1) without
+    /// copying any event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, start: usize, end: usize) -> HistoryView {
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        HistoryView {
+            snap: self.snap.clone(),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Iterates the view's events in order (each decoded once).
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        (0..self.len()).map(move |i| self.event(i))
+    }
+
+    /// Materializes the view as an owned [`History`] — the lossless
+    /// interned→owned conversion ([`TraceStore::from_history`] is its
+    /// inverse).
+    pub fn to_history(&self) -> History {
+        self.iter().collect()
+    }
+}
+
+impl HistoryRead for HistoryView {
+    fn len(&self) -> usize {
+        HistoryView::len(self)
+    }
+
+    fn event_at(&self, index: usize) -> Event {
+        HistoryView::event(self, index)
+    }
+
+    fn to_history(&self) -> History {
+        HistoryView::to_history(self)
+    }
+
+    fn is_base_start_at(&self, index: usize) -> bool {
+        assert!(index < HistoryView::len(self), "index out of bounds");
+        let repr = self.snap.repr(self.start + index);
+        !repr.is_complete() && repr.role() == ROLE_BASE
+    }
+
+    fn is_base_completion_at(&self, index: usize) -> bool {
+        assert!(index < HistoryView::len(self), "index out of bounds");
+        let repr = self.snap.repr(self.start + index);
+        repr.is_complete() && repr.role() == ROLE_BASE
+    }
+}
+
+impl fmt::Display for HistoryView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Λ");
+        }
+        for i in 0..self.len() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", self.event(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// An owning iterator over a snapshot from a position — the replay
+/// primitive behind late monitor attachment and trace re-checking.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    snap: TraceSnapshot,
+    position: usize,
+}
+
+impl TraceCursor {
+    /// The next position this cursor will yield.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl Iterator for TraceCursor {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if self.position >= self.snap.len() {
+            return None;
+        }
+        let event = self.snap.event(self.position);
+        self.position += 1;
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.snap.len() - self.position;
+        (rest, Some(rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xability_core::ActionName;
+
+    fn idem(name: &str) -> ActionId {
+        ActionId::base(ActionName::idempotent(name))
+    }
+
+    fn undo(name: &str) -> ActionId {
+        ActionId::base(ActionName::undoable(name))
+    }
+
+    fn sample_history() -> History {
+        let u = undo("xfer");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let b = idem("get");
+        [
+            Event::start(u.clone(), Value::from(1)),
+            Event::start(cancel.clone(), Value::from(1)),
+            Event::complete(cancel, Value::Nil),
+            Event::start(u.clone(), Value::from(1)),
+            Event::complete(u, Value::from(7)),
+            Event::start(commit.clone(), Value::from(1)),
+            Event::complete(commit, Value::Nil),
+            Event::start(b.clone(), Value::from(2)),
+            Event::complete(b, Value::from(9)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn repr_is_12_bytes() {
+        assert_eq!(std::mem::size_of::<EventRepr>(), 12);
+    }
+
+    #[test]
+    fn round_trip_through_store_is_lossless() {
+        let h = sample_history();
+        let store = TraceStore::from_history(&h);
+        assert_eq!(store.len(), h.len());
+        for (i, ev) in h.iter().enumerate() {
+            assert_eq!(&store.event(i), ev);
+        }
+        assert_eq!(store.view().to_history(), h);
+    }
+
+    #[test]
+    fn interning_dedupes_symbols() {
+        let h = sample_history();
+        let store = TraceStore::from_history(&h);
+        // 2 base names; values 1, nil, 7, 2, 9.
+        assert_eq!(store.interner().action_count(), 2);
+        assert_eq!(store.interner().value_count(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_appends() {
+        let h = sample_history();
+        let mut store = TraceStore::from_history(&h);
+        let snap = store.snapshot();
+        let extra = Event::start(idem("late"), Value::from(99));
+        store.push(&extra);
+        assert_eq!(snap.len(), h.len());
+        assert_eq!(store.len(), h.len() + 1);
+        assert_eq!(store.event(h.len()), extra);
+        // The snapshot still decodes everything it holds.
+        assert_eq!(snap.view().to_history(), h);
+    }
+
+    #[test]
+    fn views_slice_in_constant_time_and_agree_with_owned_slices() {
+        let h = sample_history();
+        let store = TraceStore::from_history(&h);
+        let view = store.view();
+        let sub = view.slice(2, 7);
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub.to_history(), h.slice(2, 7));
+        let subsub = sub.slice(1, 3);
+        assert_eq!(subsub.to_history(), h.slice(3, 5));
+        assert!(sub.slice(0, 0).is_empty());
+    }
+
+    #[test]
+    fn history_read_structural_tests_match_decode() {
+        let h = sample_history();
+        let store = TraceStore::from_history(&h);
+        let view = store.view();
+        for i in 0..h.len() {
+            assert_eq!(
+                HistoryRead::is_base_start_at(&view, i),
+                HistoryRead::is_base_start_at(&h, i),
+                "index {i}"
+            );
+            assert_eq!(
+                HistoryRead::is_base_completion_at(&view, i),
+                HistoryRead::is_base_completion_at(&h, i),
+                "index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_replays_from_any_position() {
+        let h = sample_history();
+        let store = TraceStore::from_history(&h);
+        let all: Vec<Event> = store.cursor_at(0).collect();
+        assert_eq!(History::from_events(all), h);
+        let mut cursor = store.cursor_at(7);
+        assert_eq!(cursor.position(), 7);
+        assert_eq!(cursor.next(), Some(h[7].clone()));
+        assert_eq!(cursor.size_hint(), (1, Some(1)));
+    }
+
+    #[test]
+    fn display_matches_owned_history() {
+        let h = sample_history();
+        let store = TraceStore::from_history(&h);
+        assert_eq!(format!("{}", store.view()), format!("{h}"));
+        assert_eq!(format!("{}", TraceStore::new().view()), "Λ");
+    }
+
+    #[test]
+    fn approx_bytes_is_far_below_owned_size_for_repetitive_traces() {
+        let a = idem("put");
+        let mut store = TraceStore::new();
+        let mut h = History::empty();
+        for i in 0..10_000i64 {
+            let s = Event::start(a.clone(), Value::from(i % 16));
+            let c = Event::complete(a.clone(), Value::from(i % 16));
+            store.push(&s);
+            store.push(&c);
+            h.push(s);
+            h.push(c);
+        }
+        let owned = h.len() * std::mem::size_of::<Event>();
+        assert!(
+            store.approx_bytes() < owned,
+            "store {} bytes >= owned inline {} bytes",
+            store.approx_bytes(),
+            owned
+        );
+    }
+}

@@ -1,0 +1,549 @@
+//! The versioned binary trace record/replay format.
+//!
+//! A recorded trace is a self-contained file: the declared request
+//! sequence, both symbol tables, and the packed event stream. Re-reading
+//! one rebuilds a [`TraceStore`] with identical symbols and events, so a
+//! harness run can be dumped to disk and re-checked bit-for-bit by tests
+//! and benches (`tests/corpus/` keeps a small committed corpus).
+//!
+//! ## Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    "XTRC" (4 bytes)
+//! version  u32                      — TRACE_FORMAT_VERSION
+//! actions  u32 count, then per name:  kind u8 (0 idem, 1 undo),
+//!                                     name  u32 len + UTF-8 bytes
+//! values   u32 count, then per value: recursive value encoding (below)
+//! requests u32 count, then per req:   role u8 (0 base, 1 cancel, 2 commit),
+//!                                     kind u8, name u32 len + UTF-8 bytes
+//!                                     (requests are self-contained, not
+//!                                     symbol references), input value encoding
+//! events   u64 count, then per event: tag u8, action u32 sym, value u32 sym
+//! ```
+//!
+//! Value encoding: a tag byte — 0 `Nil`, 1 `Bool` (+u8), 2 `Int` (+i64),
+//! 3 `Str` (+u32 len + bytes), 4 `List` (+u32 count + elements),
+//! 5 `Pair` (+two elements) — matching the [`Value`] variants.
+//!
+//! The version is checked on read; an unknown magic or version is an
+//! `InvalidData` error, never a silent misparse.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use xability_core::{ActionId, ActionKind, ActionName, Request, Value};
+
+use crate::store::{EventRepr, TraceSnapshot, TraceStore};
+
+/// The file magic.
+pub const TRACE_MAGIC: [u8; 4] = *b"XTRC";
+
+/// The current trace format version.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// A replayed trace: the declared request sequence plus the rebuilt
+/// store.
+///
+/// # Examples
+///
+/// ```
+/// use xability_core::{ActionId, ActionName, Event, Request, Value};
+/// use xability_store::{read_trace, write_trace, TraceStore};
+///
+/// let a = ActionId::base(ActionName::idempotent("get"));
+/// let mut store = TraceStore::new();
+/// store.push(&Event::start(a.clone(), Value::from(1)));
+/// store.push(&Event::complete(a.clone(), Value::from(5)));
+/// let requests = vec![Request::new(a, Value::from(1))];
+///
+/// let mut bytes = Vec::new();
+/// write_trace(&mut bytes, &requests, &store.snapshot()).unwrap();
+/// let replayed = read_trace(&mut bytes.as_slice()).unwrap();
+/// assert_eq!(replayed.requests, requests);
+/// assert_eq!(replayed.store.view().to_history(), store.view().to_history());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// The request sequence the trace was recorded against (the R3
+    /// question to re-ask on replay).
+    pub requests: Vec<Request>,
+    /// The rebuilt store, symbol-for-symbol identical to the recorded
+    /// one.
+    pub store: TraceStore,
+}
+
+impl RecordedTrace {
+    /// Writes the trace to `path` (see [`write_trace_file`]).
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        write_trace_file(path, &self.requests, &self.store.snapshot())
+    }
+
+    /// Reads a trace from `path` (see [`read_trace`]).
+    pub fn read_from_file(path: impl AsRef<Path>) -> io::Result<RecordedTrace> {
+        read_trace(&mut BufReader::new(File::open(path)?))
+    }
+}
+
+/// Writes a recorded trace to `path` (buffered and flushed) — the one
+/// path-based entry point shared by [`RecordedTrace::write_to_file`] and
+/// the harness's run dumps.
+pub fn write_trace_file(
+    path: impl AsRef<Path>,
+    requests: &[Request],
+    snapshot: &TraceSnapshot,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_trace(&mut w, requests, snapshot)?;
+    w.flush()
+}
+
+fn bad(data: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, data.into())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_len<W: Write>(w: &mut W, len: usize, what: &str) -> io::Result<()> {
+    let v = u32::try_from(len).map_err(|_| bad(format!("{what} count exceeds u32")))?;
+    write_u32(w, v)
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_len(w, s.len(), "string byte")?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    // Grow as bytes actually arrive instead of trusting the length field
+    // with an up-front allocation: a corrupt length then fails cleanly on
+    // EOF rather than attempting a multi-GiB buffer.
+    let mut buf = Vec::with_capacity(len.min(1 << 16));
+    let read = r.by_ref().take(len as u64).read_to_end(&mut buf)?;
+    if read != len {
+        return Err(bad("truncated string"));
+    }
+    String::from_utf8(buf).map_err(|_| bad("string is not UTF-8"))
+}
+
+fn write_value<W: Write>(w: &mut W, value: &Value) -> io::Result<()> {
+    write_value_at(w, value, 0)
+}
+
+fn write_value_at<W: Write>(w: &mut W, value: &Value, depth: usize) -> io::Result<()> {
+    // Enforced symmetrically with the reader: a value too deep for the
+    // format fails at *record* time, never producing an unreadable file.
+    if depth >= MAX_VALUE_DEPTH {
+        return Err(bad(format!(
+            "value nesting exceeds the format's depth limit ({MAX_VALUE_DEPTH})"
+        )));
+    }
+    match value {
+        Value::Nil => w.write_all(&[0]),
+        Value::Bool(b) => w.write_all(&[1, u8::from(*b)]),
+        Value::Int(i) => {
+            w.write_all(&[2])?;
+            w.write_all(&i.to_le_bytes())
+        }
+        Value::Str(s) => {
+            w.write_all(&[3])?;
+            write_str(w, s)
+        }
+        Value::List(items) => {
+            w.write_all(&[4])?;
+            write_len(w, items.len(), "list element")?;
+            for item in items {
+                write_value_at(w, item, depth + 1)?;
+            }
+            Ok(())
+        }
+        Value::Pair(p) => {
+            w.write_all(&[5])?;
+            write_value_at(w, &p.0, depth + 1)?;
+            write_value_at(w, &p.1, depth + 1)
+        }
+    }
+}
+
+/// Deepest `List`/`Pair` nesting the reader accepts. Real values nest a
+/// handful of levels; the cap turns a corrupt run of nesting tags into a
+/// clean `InvalidData` instead of a stack-overflow abort.
+const MAX_VALUE_DEPTH: usize = 64;
+
+fn read_value<R: Read>(r: &mut R) -> io::Result<Value> {
+    read_value_at(r, 0)
+}
+
+fn read_value_at<R: Read>(r: &mut R, depth: usize) -> io::Result<Value> {
+    if depth >= MAX_VALUE_DEPTH {
+        return Err(bad(format!(
+            "value nesting exceeds the format's depth limit ({MAX_VALUE_DEPTH})"
+        )));
+    }
+    match read_u8(r)? {
+        0 => Ok(Value::Nil),
+        1 => Ok(Value::Bool(read_u8(r)? != 0)),
+        2 => {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            Ok(Value::Int(i64::from_le_bytes(buf)))
+        }
+        3 => Ok(Value::Str(read_str(r)?)),
+        4 => {
+            let count = read_u32(r)? as usize;
+            let mut items = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                items.push(read_value_at(r, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        5 => {
+            let first = read_value_at(r, depth + 1)?;
+            let second = read_value_at(r, depth + 1)?;
+            Ok(Value::pair(first, second))
+        }
+        tag => Err(bad(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn write_action_id<W: Write>(w: &mut W, action: &ActionId) -> io::Result<()> {
+    let (role, name): (u8, &ActionName) = match action {
+        ActionId::Base(n) => (0, n),
+        ActionId::Cancel(n) => (1, n),
+        ActionId::Commit(n) => (2, n),
+    };
+    w.write_all(&[role, u8::from(name.is_undoable())])?;
+    write_str(w, name.name())
+}
+
+fn read_action_id<R: Read>(r: &mut R) -> io::Result<ActionId> {
+    let role = read_u8(r)?;
+    let kind = match read_u8(r)? {
+        0 => ActionKind::Idempotent,
+        1 => ActionKind::Undoable,
+        k => return Err(bad(format!("unknown action kind {k}"))),
+    };
+    let name = ActionName::new(read_str(r)?, kind);
+    if role != 0 && !name.is_undoable() {
+        return Err(bad(format!(
+            "cancel/commit role on idempotent action {:?} (only undoable actions have derived actions)",
+            name.name()
+        )));
+    }
+    match role {
+        0 => Ok(ActionId::Base(name)),
+        1 => Ok(ActionId::Cancel(name)),
+        2 => Ok(ActionId::Commit(name)),
+        other => Err(bad(format!("unknown action role {other}"))),
+    }
+}
+
+/// Writes a recorded trace: the request sequence plus a snapshot's symbol
+/// tables and packed event stream.
+pub fn write_trace<W: Write>(
+    w: &mut W,
+    requests: &[Request],
+    snapshot: &TraceSnapshot,
+) -> io::Result<()> {
+    w.write_all(&TRACE_MAGIC)?;
+    write_u32(w, TRACE_FORMAT_VERSION)?;
+
+    write_len(w, snapshot.actions.len(), "action symbol")?;
+    for name in snapshot.actions.iter() {
+        w.write_all(&[u8::from(name.is_undoable())])?;
+        write_str(w, name.name())?;
+    }
+
+    write_len(w, snapshot.values.len(), "value symbol")?;
+    for value in snapshot.values.iter() {
+        write_value(w, value)?;
+    }
+
+    write_len(w, requests.len(), "request")?;
+    for request in requests {
+        write_action_id(w, request.action())?;
+        write_value(w, request.input())?;
+    }
+
+    let count = snapshot.len() as u64;
+    w.write_all(&count.to_le_bytes())?;
+    for i in 0..snapshot.len() {
+        let repr = snapshot.repr(i);
+        w.write_all(&[repr.tag_byte()])?;
+        write_u32(w, repr.action_symbol())?;
+        write_u32(w, repr.value_symbol())?;
+    }
+    Ok(())
+}
+
+/// Reads a recorded trace, rebuilding a [`TraceStore`] whose symbols and
+/// events are identical to the recorded ones.
+///
+/// Fails with `InvalidData` on a bad magic, an unsupported version, an
+/// out-of-range symbol, or a malformed value/action encoding.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<RecordedTrace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != TRACE_MAGIC {
+        return Err(bad("not a trace file (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != TRACE_FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported trace format version {version} (this build reads {TRACE_FORMAT_VERSION})"
+        )));
+    }
+
+    let mut store = TraceStore::new();
+
+    let action_count = read_u32(r)? as usize;
+    for _ in 0..action_count {
+        let kind = match read_u8(r)? {
+            0 => ActionKind::Idempotent,
+            1 => ActionKind::Undoable,
+            k => return Err(bad(format!("unknown action kind {k}"))),
+        };
+        let name = ActionName::new(read_str(r)?, kind);
+        store.interner_mut().intern_action(&name);
+    }
+    if store.interner().action_count() != action_count {
+        return Err(bad("duplicate action name in symbol table"));
+    }
+
+    let value_count = read_u32(r)? as usize;
+    for _ in 0..value_count {
+        let value = read_value(r)?;
+        store.interner_mut().intern_value(&value);
+    }
+    if store.interner().value_count() != value_count {
+        return Err(bad("duplicate value in symbol table"));
+    }
+
+    let request_count = read_u32(r)? as usize;
+    let mut requests = Vec::with_capacity(request_count.min(1 << 16));
+    for _ in 0..request_count {
+        let action = read_action_id(r)?;
+        let input = read_value(r)?;
+        requests.push(Request::new(action, input));
+    }
+
+    let event_count = read_u64(r)?;
+    for _ in 0..event_count {
+        let tag = read_u8(r)?;
+        let action = read_u32(r)?;
+        let value = read_u32(r)?;
+        let repr = EventRepr::from_parts(tag, action, value)
+            .ok_or_else(|| bad(format!("malformed event tag {tag:#04x}")))?;
+        store.push_repr(repr).map_err(bad)?;
+    }
+
+    Ok(RecordedTrace { requests, store })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xability_core::xable::{Checker, FastChecker};
+    use xability_core::{Event, History};
+
+    fn sample() -> (Vec<Request>, TraceStore) {
+        let u = ActionId::base(ActionName::undoable("xfer"));
+        let cancel = u.cancel().unwrap();
+        let b = ActionId::base(ActionName::idempotent("get"));
+        let h: History = [
+            Event::start(u.clone(), Value::from(1)),
+            Event::start(cancel.clone(), Value::from(1)),
+            Event::complete(cancel, Value::Nil),
+            Event::start(u.clone(), Value::from(1)),
+            Event::complete(u.clone(), Value::from(7)),
+            Event::start(u.commit().unwrap(), Value::from(1)),
+            Event::complete(u.commit().unwrap(), Value::Nil),
+            Event::start(b.clone(), Value::list([Value::pair(Value::from("k"), Value::from(2))])),
+            Event::complete(b.clone(), Value::from("ok")),
+        ]
+        .into_iter()
+        .collect();
+        let requests = vec![
+            Request::new(u, Value::from(1)),
+            Request::new(b, Value::list([Value::pair(Value::from("k"), Value::from(2))])),
+        ];
+        (requests, TraceStore::from_history(&h))
+    }
+
+    #[test]
+    fn round_trip_preserves_requests_symbols_and_events() {
+        let (requests, store) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &requests, &store.snapshot()).unwrap();
+        let replayed = read_trace(&mut bytes.as_slice()).unwrap();
+        assert_eq!(replayed.requests, requests);
+        assert_eq!(replayed.store.len(), store.len());
+        assert_eq!(
+            replayed.store.interner().action_count(),
+            store.interner().action_count()
+        );
+        assert_eq!(
+            replayed.store.interner().value_count(),
+            store.interner().value_count()
+        );
+        assert_eq!(replayed.store.view().to_history(), store.view().to_history());
+    }
+
+    #[test]
+    fn replayed_trace_rechecks_identically() {
+        let (requests, store) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &requests, &store.snapshot()).unwrap();
+        let replayed = read_trace(&mut bytes.as_slice()).unwrap();
+        let checker = FastChecker::default();
+        assert_eq!(
+            checker.check_requests_source(&store.view(), &requests),
+            checker.check_requests_source(&replayed.store.view(), &replayed.requests),
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&mut &b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        let err = read_trace(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn out_of_range_symbol_is_rejected() {
+        let (requests, store) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &requests, &store.snapshot()).unwrap();
+        // Corrupt the last event's value symbol (last 4 bytes).
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_trace(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("value symbol"), "{err}");
+    }
+
+    #[test]
+    fn runaway_value_nesting_is_rejected_not_a_stack_overflow() {
+        // A value section that is one long run of Pair tags would recurse
+        // once per byte without the depth cap.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no actions
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one value…
+        bytes.extend(std::iter::repeat(5u8).take(100_000)); // …of nested Pairs
+        let err = read_trace(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn over_deep_value_fails_at_record_time_not_replay_time() {
+        // The depth cap is symmetric: a value the reader would reject is
+        // refused by the writer, so no unreadable file is ever produced.
+        let mut deep = Value::Nil;
+        for _ in 0..100 {
+            deep = Value::pair(deep, Value::Nil);
+        }
+        let a = ActionId::base(ActionName::idempotent("a"));
+        let mut store = TraceStore::new();
+        store.push(&Event::start(a, deep));
+        let mut bytes = Vec::new();
+        let err = write_trace(&mut bytes, &[], &store.snapshot()).unwrap_err();
+        assert!(err.to_string().contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn cancel_role_on_idempotent_action_is_rejected() {
+        // Hand-built trace: one idempotent action, one Nil value, one
+        // event whose tag claims a cancel role — unconstructible via the
+        // core API, so the reader must refuse it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one action:
+        bytes.push(0); // idempotent
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'a');
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one value:
+        bytes.push(0); // Nil
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no requests
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // one event:
+        bytes.push(0b010); // start, ROLE_CANCEL
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // action 0
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // value 0
+        let err = read_trace(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("idempotent"), "{err}");
+
+        // Same impossible combination in the request section.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no actions
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no values
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one request:
+        bytes.push(1); // cancel role…
+        bytes.push(0); // …of an idempotent name
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'a');
+        bytes.push(0); // Nil input
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // no events
+        let err = read_trace(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("idempotent"), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let (requests, store) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &requests, &store.snapshot()).unwrap();
+        for cut in [3, 7, 12, bytes.len() - 1] {
+            assert!(read_trace(&mut &bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (requests, store) = sample();
+        let dir = std::env::temp_dir().join("xability-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.xtrace");
+        let recorded = RecordedTrace {
+            requests: requests.clone(),
+            store: store.clone(),
+        };
+        recorded.write_to_file(&path).unwrap();
+        let replayed = RecordedTrace::read_from_file(&path).unwrap();
+        assert_eq!(replayed.requests, requests);
+        assert_eq!(replayed.store.view().to_history(), store.view().to_history());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,6 +15,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `xability-core` | events, histories, patterns, reduction, the x-able predicate, R1–R4 |
+//! | [`store`] | `xability-store` | interned segmented trace store, zero-copy history views, binary trace record/replay |
 //! | [`sim`] | `xability-sim` | deterministic discrete-event simulator with ◇P failure detection |
 //! | [`consensus`] | `xability-consensus` | Chandra–Toueg consensus objects (`propose`/`read`) |
 //! | [`services`] | `xability-services` | external services, side-effect ledger, fault injection |
@@ -76,3 +77,4 @@ pub use xability_harness as harness;
 pub use xability_protocol as protocol;
 pub use xability_services as services;
 pub use xability_sim as sim;
+pub use xability_store as store;

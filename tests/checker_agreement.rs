@@ -103,8 +103,7 @@ fn base_completions(h: &History, op: &ActionId) -> Vec<usize> {
 fn surviving_anchor(h: &History, op: &ActionId) -> Option<usize> {
     let from = if op.is_undoable_base() {
         (0..h.len())
-            .filter(|&i| h[i].is_start() && h[i].action() == op)
-            .last()
+            .rfind(|&i| h[i].is_start() && h[i].action() == op)
             .unwrap_or(0)
     } else {
         0

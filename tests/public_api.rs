@@ -1,7 +1,7 @@
-//! Public-API snapshot: the `pub` surface of `xability-core` is recorded
-//! in `tests/public_api.txt` and diffed here, so API churn is always a
-//! deliberate, reviewed change (this PR-visible file must be updated
-//! together with the code).
+//! Public-API snapshot: the `pub` surface of `xability-core` and
+//! `xability-store` is recorded in `tests/public_api.txt` and diffed
+//! here, so API churn is always a deliberate, reviewed change (this
+//! PR-visible file must be updated together with the code).
 //!
 //! To refresh the snapshot after an intentional API change:
 //!
@@ -19,7 +19,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 const SNAPSHOT: &str = "tests/public_api.txt";
-const CRATE_ROOT: &str = "crates/core/src";
+/// The snapshotted crates: the theory surface and the store surface.
+const CRATE_ROOTS: [&str; 2] = ["crates/core/src", "crates/store/src"];
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let entries = fs::read_dir(dir).expect("readable source dir");
@@ -67,28 +68,29 @@ fn public_decls(source: &str) -> Vec<String> {
 
 #[test]
 fn public_api_matches_snapshot() {
-    let mut files = Vec::new();
-    rust_files(Path::new(CRATE_ROOT), &mut files);
-    files.sort();
-
     let mut actual = String::from(
-        "# Public API of xability-core (first lines of `pub` declarations).\n\
+        "# Public API of xability-core and xability-store (first lines of `pub` declarations).\n\
          # Regenerate with: UPDATE_PUBLIC_API=1 cargo test --test public_api\n",
     );
-    for file in &files {
-        let source = fs::read_to_string(file).expect("readable source file");
-        let rel = file
-            .strip_prefix(CRATE_ROOT)
-            .expect("under crate root")
-            .display()
-            .to_string();
-        let decls = public_decls(&source);
-        if decls.is_empty() {
-            continue;
-        }
-        writeln!(actual, "\n## {rel}").expect("infallible");
-        for decl in decls {
-            writeln!(actual, "{decl}").expect("infallible");
+    for root in CRATE_ROOTS {
+        let mut files = Vec::new();
+        rust_files(Path::new(root), &mut files);
+        files.sort();
+        for file in &files {
+            let source = fs::read_to_string(file).expect("readable source file");
+            let rel = file
+                .strip_prefix(root)
+                .expect("under crate root")
+                .display()
+                .to_string();
+            let decls = public_decls(&source);
+            if decls.is_empty() {
+                continue;
+            }
+            writeln!(actual, "\n## {root}/{rel}").expect("infallible");
+            for decl in decls {
+                writeln!(actual, "{decl}").expect("infallible");
+            }
         }
     }
 

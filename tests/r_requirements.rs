@@ -114,9 +114,9 @@ fn r2_submit_eventually_succeeds() {
 #[test]
 fn r3_history_is_xable() {
     use xability::core::spec::{check_r3, IdentitySequencer};
-    use xability::core::xable::IncrementalChecker;
+    use xability::core::xable::IncrementalState;
     let (mut world, replicas, service, ledger) = build_world(3);
-    ledger.borrow_mut().attach_monitor(IncrementalChecker::new());
+    ledger.borrow_mut().attach_monitor(IncrementalState::new());
     let reqs = vec![issue_request(service)];
     let client = world.add_process(
         "client",
@@ -137,17 +137,16 @@ fn r3_history_is_xable() {
             )
         })
         .collect();
-    // Online: the monitor digested the run's events as they happened.
+    // Online: the monitor digested the run's events as they happened,
+    // reading the prefix back through the ledger's shared trace store.
     let online = {
         let mut guard = ledger.borrow_mut();
-        let monitor = guard.monitor_mut().expect("monitor attached before the run");
-        for r in &submitted {
-            monitor.declare_request(r);
-        }
-        monitor.verdict()
+        guard.declare_requests(&submitted);
+        guard.monitor_verdict().expect("monitor attached before the run")
     };
     assert!(online.is_xable(), "online R3 verdict: {online}");
-    // Batch: the tiered checker over the final history agrees.
+    // Batch: the tiered checker over the final history (a zero-copy view
+    // of the same store) agrees.
     let verdict = check_r3(&IdentitySequencer, &submitted, &ledger.borrow().history());
     assert!(verdict.is_none(), "{verdict:?}");
 }

@@ -1,0 +1,142 @@
+//! Trace-corpus replay regression: the small recorded traces under
+//! `tests/corpus/` must keep replaying bit-for-bit and re-checking to the
+//! same verdicts on every build — the committed corpus pins the binary
+//! trace format (magic, version, encodings) against accidental drift.
+//!
+//! To regenerate the corpus after a *deliberate* format change (bump
+//! `TRACE_FORMAT_VERSION` first):
+//!
+//! ```text
+//! UPDATE_TRACE_CORPUS=1 cargo test --test trace_replay
+//! ```
+
+use std::path::Path;
+
+use xability::core::xable::{Checker, FastChecker};
+use xability::core::{ActionId, ActionName, Event, History, Request, Value};
+use xability::store::{RecordedTrace, TraceStore};
+use xability_bench::{n_requests_with_cancelled_rounds, n_retried_requests};
+
+const CORPUS_DIR: &str = "tests/corpus";
+
+/// Expected verdict class of a corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Xable,
+    NotXable,
+}
+
+/// One corpus entry: its file name, how to (re)build it, the event/request
+/// counts it must hold, and the verdict it must re-check to.
+struct CorpusEntry {
+    file: &'static str,
+    build: fn() -> (Vec<Request>, History),
+    events: usize,
+    requests: usize,
+    expect: Expect,
+}
+
+fn requests_of(ops: Vec<(ActionId, Value)>) -> Vec<Request> {
+    ops.into_iter().map(|(a, iv)| Request::new(a, iv)).collect()
+}
+
+/// 40 idempotent requests, each retried once: the bulk heavy-traffic shape.
+fn retried_idempotent() -> (Vec<Request>, History) {
+    let (h, ops) = n_retried_requests(40);
+    (requests_of(ops), h)
+}
+
+/// 20 undoable requests, each with a cancelled round before the committed
+/// one: what crash/cleaning runs record.
+fn cancelled_rounds() -> (Vec<Request>, History) {
+    let (h, ops) = n_requests_with_cancelled_rounds(20);
+    (requests_of(ops), h)
+}
+
+/// A duplicated effect with disagreeing outputs: irreducible, the
+/// regression pin for a definite NotXable replay.
+fn duplicated_effect() -> (Vec<Request>, History) {
+    let a = ActionId::base(ActionName::idempotent("put"));
+    let h: History = [
+        Event::start(a.clone(), Value::from(1)),
+        Event::complete(a.clone(), Value::from(5)),
+        Event::start(a.clone(), Value::from(1)),
+        Event::complete(a.clone(), Value::from(6)),
+    ]
+    .into_iter()
+    .collect();
+    (vec![Request::new(a, Value::from(1))], h)
+}
+
+const CORPUS: [CorpusEntry; 3] = [
+    CorpusEntry {
+        file: "retried_idempotent.xtrace",
+        build: retried_idempotent,
+        events: 120,
+        requests: 40,
+        expect: Expect::Xable,
+    },
+    CorpusEntry {
+        file: "cancelled_rounds.xtrace",
+        build: cancelled_rounds,
+        events: 140,
+        requests: 20,
+        expect: Expect::Xable,
+    },
+    CorpusEntry {
+        file: "duplicated_effect.xtrace",
+        build: duplicated_effect,
+        events: 4,
+        requests: 1,
+        expect: Expect::NotXable,
+    },
+];
+
+#[test]
+fn corpus_replays_and_rechecks() {
+    if std::env::var_os("UPDATE_TRACE_CORPUS").is_some() {
+        std::fs::create_dir_all(CORPUS_DIR).expect("create corpus dir");
+        for entry in &CORPUS {
+            let (requests, history) = (entry.build)();
+            let recorded = RecordedTrace {
+                requests,
+                store: TraceStore::from_history(&history),
+            };
+            recorded
+                .write_to_file(Path::new(CORPUS_DIR).join(entry.file))
+                .expect("write corpus entry");
+        }
+        return;
+    }
+
+    let checker = FastChecker::default();
+    for entry in &CORPUS {
+        let path = Path::new(CORPUS_DIR).join(entry.file);
+        let replayed = RecordedTrace::read_from_file(&path)
+            .unwrap_or_else(|e| panic!("corpus entry {} failed to replay: {e}", entry.file));
+        assert_eq!(replayed.store.len(), entry.events, "{}: event count", entry.file);
+        assert_eq!(
+            replayed.requests.len(),
+            entry.requests,
+            "{}: request count",
+            entry.file
+        );
+
+        // The recorded bytes decode to exactly the generator's history…
+        let (expected_requests, expected_history) = (entry.build)();
+        assert_eq!(replayed.requests, expected_requests, "{}: requests", entry.file);
+        assert_eq!(
+            replayed.store.view().to_history(),
+            expected_history,
+            "{}: events",
+            entry.file
+        );
+
+        // …and re-check to the pinned verdict, zero-copy off the view.
+        let verdict = checker.check_requests_source(&replayed.store.view(), &replayed.requests);
+        match entry.expect {
+            Expect::Xable => assert!(verdict.is_xable(), "{}: {verdict}", entry.file),
+            Expect::NotXable => assert!(verdict.is_not_xable(), "{}: {verdict}", entry.file),
+        }
+    }
+}
