@@ -1,12 +1,15 @@
 //! Checker tiers on heavy-traffic traces: the online incremental checker
-//! versus repeated batch re-checks.
+//! versus repeated batch re-checks, and the sharded batch checker across
+//! worker-thread counts.
 //!
 //! The headline numbers — amortized per-event cost of the online checker
-//! against the mean cost of one batch re-check on a 10k-event trace — are
-//! measured directly (not through criterion) and written to
-//! `BENCH_checker.json` at the workspace root, so the speedup is recorded
-//! as a machine-readable artifact. The measurement (and the file rewrite)
-//! only runs when the `EMIT_BENCH_JSON` environment variable is set.
+//! (a verdict after *every* push, riding the dirty-tracked aggregate)
+//! against the mean cost of one batch re-check on a 10k-event trace, plus
+//! a 1/2/4/8-worker batch-check scaling series — are measured directly
+//! (not through criterion) and written to `BENCH_checker.json` at the
+//! workspace root, so the speedup is recorded as a machine-readable
+//! artifact. The measurement (and the file rewrite) only runs when the
+//! `EMIT_BENCH_JSON` environment variable is set.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -14,12 +17,32 @@ use std::time::Instant;
 
 use xability_bench::n_retried_requests;
 use xability_core::xable::{Checker, FastChecker, IncrementalChecker};
-use xability_core::{ActionId, History, Request, Value};
+use xability_core::{ActionId, ActionName, Event, History, Request, Value};
 
 fn requests_of(ops: &[(ActionId, Value)]) -> Vec<Request> {
     ops.iter()
         .map(|(a, iv)| Request::new(a.clone(), iv.clone()))
         .collect()
+}
+
+/// A trace of `n` sequential idempotent requests, each with `retries`
+/// failed attempts before the success — heavier per-group searches than
+/// [`n_retried_requests`], which is what the sharded batch check needs to
+/// amortize its fan-out.
+fn n_heavy_requests(n: usize, retries: usize) -> (History, Vec<(ActionId, Value)>) {
+    let a = ActionId::base(ActionName::idempotent("put"));
+    let mut events = Vec::with_capacity(n * (retries + 2));
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = Value::from(format!("r{i}"));
+        for _ in 0..retries {
+            events.push(Event::start(a.clone(), key.clone()));
+        }
+        events.push(Event::start(a.clone(), key.clone()));
+        events.push(Event::complete(a.clone(), Value::from(i as i64)));
+        ops.push((a.clone(), key));
+    }
+    (History::from_events(events), ops)
 }
 
 /// One full online pass: declare the requests, push every event, read the
@@ -84,9 +107,36 @@ fn bench_batch_recheck(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental, bench_batch_recheck);
+fn bench_sharded_batch(c: &mut Criterion) {
+    // One full batch check, group searches fanned out over scoped worker
+    // threads. The verdict is bit-identical for every worker count
+    // (tests/checker_scaling.rs); only the wall clock may differ.
+    let mut group = c.benchmark_group("checker_sharded_batch_check");
+    group.sample_size(10);
+    let checker = FastChecker::default();
+    let (h, ops) = n_heavy_requests(400, 5);
+    let requests = requests_of(&ops);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(
+                        checker
+                            .check_requests_sharded(black_box(&h), &requests, workers)
+                            .is_xable(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
 
-/// Measures the headline comparison on a 10k-event trace and writes
+criterion_group!(benches, bench_incremental, bench_batch_recheck, bench_sharded_batch);
+
+/// Measures the headline comparisons on 10k-event traces and writes
 /// `BENCH_checker.json`. Skipped in `cargo test` smoke mode so the
 /// committed artifact only ever holds real `cargo bench` numbers.
 fn emit_bench_json() {
@@ -95,7 +145,8 @@ fn emit_bench_json() {
     let (h, ops) = n_retried_requests(EVENTS / 3);
     let requests = requests_of(&ops);
 
-    // Online: one pass, verdict after every event.
+    // Online: one pass, verdict after every event (O(dirty groups) per
+    // verdict thanks to the maintained aggregate).
     let start = Instant::now();
     let online_ok = incremental_pass(&h, &ops);
     let inc_total = start.elapsed();
@@ -116,19 +167,66 @@ fn emit_bench_json() {
     let batch_mean_check_ns = batch_total_ns as f64 / CHECKPOINTS as f64;
     assert!(online_ok && batch_ok, "the generated trace must be x-able");
 
+    // Sharded: one full batch check across 1/2/4/8 workers on a trace
+    // with heavier per-group searches (median of 3 runs per point).
+    let (sh, sops) = n_heavy_requests(1_429, 5); // ≈10k events
+    let srequests = requests_of(&sops);
+    let mut sharded_points = String::new();
+    let mut sharded_ns: Vec<(usize, u128)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut runs: Vec<u128> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let ok = checker
+                    .check_requests_sharded(&sh, &srequests, workers)
+                    .is_xable();
+                assert!(ok, "the sharded trace must be x-able");
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        runs.sort_unstable();
+        let median = runs[1];
+        sharded_ns.push((workers, median));
+        if !sharded_points.is_empty() {
+            sharded_points.push_str(", ");
+        }
+        sharded_points.push_str(&format!(
+            "{{ \"workers\": {workers}, \"check_ns\": {median} }}"
+        ));
+    }
+    let one_worker_ns = sharded_ns[0].1 as f64;
+    let best = sharded_ns
+        .iter()
+        .copied()
+        .min_by_key(|&(_, ns)| ns)
+        .expect("non-empty series");
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
     let speedup = batch_mean_check_ns / inc_per_event_ns;
     let json = format!(
         "{{\n  \"bench\": \"checker\",\n  \"trace_events\": {},\n  \"requests\": {},\n  \
          \"incremental\": {{ \"total_ns\": {}, \"per_event_verdict_ns\": {:.1} }},\n  \
          \"batch\": {{ \"checkpoints\": {}, \"mean_check_ns\": {:.1} }},\n  \
-         \"speedup_per_event_vs_batch_recheck\": {:.1}\n}}\n",
+         \"speedup_per_event_vs_batch_recheck\": {:.1},\n  \
+         \"sharded_batch\": {{\n    \"trace_events\": {}, \"requests\": {}, \
+         \"available_parallelism\": {},\n    \
+         \"threads\": [{}],\n    \
+         \"best\": {{ \"workers\": {}, \"speedup_vs_1_worker\": {:.2} }}\n  }}\n}}\n",
         h.len(),
         ops.len(),
         inc_total.as_nanos(),
         inc_per_event_ns,
         CHECKPOINTS,
         batch_mean_check_ns,
-        speedup
+        speedup,
+        sh.len(),
+        sops.len(),
+        parallelism,
+        sharded_points,
+        best.0,
+        one_worker_ns / best.1 as f64,
     );
     std::fs::write("BENCH_checker.json", &json).expect("write BENCH_checker.json");
     println!("bench checker: wrote BENCH_checker.json (speedup {speedup:.1}x)");
@@ -144,10 +242,10 @@ fn emit_bench_json() {
 
 fn main() {
     benches();
-    // Re-measuring the 10k-event trace takes tens of seconds and rewrites
-    // the committed BENCH_checker.json with machine-local numbers, so it
-    // only runs on explicit request — not as a side-effect of benching an
-    // unrelated group (cargo invokes every bench binary).
+    // Re-measuring the 10k-event traces rewrites the committed
+    // BENCH_checker.json with machine-local numbers, so it only runs on
+    // explicit request — not as a side-effect of benching an unrelated
+    // group (cargo invokes every bench binary).
     let test_mode = std::env::args().any(|a| a == "--test");
     if !test_mode && std::env::var_os("EMIT_BENCH_JSON").is_some() {
         emit_bench_json();

@@ -26,6 +26,8 @@
 //! | [`xable`] | §3.2, eq. 23 | the x-able predicate: the [`xable::Checker`] tiers (search, fast, tiered) plus the online [`xable::IncrementalChecker`] |
 //! | [`signature`] | §3.3 | history signatures (rules 24–25) |
 //! | [`spec`] | §3.4, §4 | `PossibleReply`, sequencers, requirements R1–R4 |
+//! | [`seglog`] | — | segmented append-only log with O(#segments) snapshots |
+//! | [`intern`] | — | `u32` symbol interning, shared by the checker engine and the trace store |
 //!
 //! ## Quick start
 //!
@@ -72,14 +74,17 @@ pub mod action;
 pub mod event;
 pub mod failure_free;
 pub mod history;
+pub mod intern;
 pub mod pattern;
 pub mod reduce;
+pub mod seglog;
 pub mod signature;
 pub mod spec;
 pub mod value;
 pub mod xable;
 
 pub use action::{ActionId, ActionKind, ActionName, Request};
+pub use intern::{Interner, InternerReader};
 pub use event::Event;
 pub use history::{History, HistoryRead, HistoryWindow};
 pub use pattern::{InterleavedWitness, Pattern, SimplePattern};

@@ -1,5 +1,6 @@
-//! The segmented append-only log shared by the event store and the
-//! interner's symbol tables.
+//! The segmented append-only log shared by the checker engine's symbol
+//! tables (via [`crate::intern::Interner`]) and the `xability-store`
+//! crate's event segments.
 //!
 //! An [`AppendLog`] grows in fixed-capacity segments. Old segments are
 //! never moved or reallocated — appending allocates a fresh segment when
@@ -13,13 +14,17 @@
 //! append that finds its tail aliased by a snapshot copies that one
 //! segment (at most `segment_capacity` entries) once and continues in the
 //! private copy. Amortized append stays O(1); a snapshot costs
-//! O(#segments) pointer clones.
+//! O(#segments) pointer clones. Because a [`LogView`] owns `Arc`s to its
+//! segments and never observes later appends, a view handed to another
+//! thread keeps reading a stable prefix while the owner keeps appending —
+//! the snapshot-while-appending guarantee the store and the sharded
+//! checker rely on.
 
 use std::sync::Arc;
 
 /// An append-only log of `T`s stored in fixed-capacity segments.
 #[derive(Debug, Clone)]
-pub(crate) struct AppendLog<T> {
+pub struct AppendLog<T> {
     segments: Vec<Arc<Vec<T>>>,
     len: usize,
     segment_capacity: usize,
@@ -27,7 +32,11 @@ pub(crate) struct AppendLog<T> {
 
 impl<T: Clone> AppendLog<T> {
     /// An empty log with the given segment capacity (entries per segment).
-    pub(crate) fn new(segment_capacity: usize) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_capacity` is zero.
+    pub fn new(segment_capacity: usize) -> Self {
         assert!(segment_capacity > 0, "segment capacity must be positive");
         AppendLog {
             segments: Vec::new(),
@@ -37,12 +46,17 @@ impl<T: Clone> AppendLog<T> {
     }
 
     /// The number of entries appended so far.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Returns `true` if no entry has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Appends one entry. Amortized O(1); never moves a closed segment.
-    pub(crate) fn push(&mut self, item: T) {
+    pub fn push(&mut self, item: T) {
         let cap = self.segment_capacity;
         let needs_segment = self.segments.last().map_or(true, |seg| seg.len() == cap);
         if needs_segment {
@@ -67,14 +81,14 @@ impl<T: Clone> AppendLog<T> {
     /// # Panics
     ///
     /// Panics if `index >= len`.
-    pub(crate) fn get(&self, index: usize) -> &T {
+    pub fn get(&self, index: usize) -> &T {
         assert!(index < self.len, "AppendLog index {index} out of bounds");
         &self.segments[index / self.segment_capacity][index % self.segment_capacity]
     }
 
     /// An immutable snapshot of the current contents: O(#segments) `Arc`
     /// clones, no entry is copied.
-    pub(crate) fn snapshot(&self) -> LogView<T> {
+    pub fn snapshot(&self) -> LogView<T> {
         LogView {
             segments: self.segments.clone(),
             len: self.len,
@@ -84,7 +98,7 @@ impl<T: Clone> AppendLog<T> {
 
     /// Heap bytes held by the segments (capacity-based, excluding any
     /// per-entry heap allocations behind `T`).
-    pub(crate) fn segment_bytes(&self) -> usize {
+    pub fn segment_bytes(&self) -> usize {
         self.segments
             .iter()
             .map(|seg| seg.capacity() * std::mem::size_of::<T>())
@@ -97,7 +111,7 @@ impl<T: Clone> AppendLog<T> {
 /// Cloning is O(#segments); the entries themselves are shared with the
 /// live log (and with every other view).
 #[derive(Debug, Clone)]
-pub(crate) struct LogView<T> {
+pub struct LogView<T> {
     segments: Vec<Arc<Vec<T>>>,
     len: usize,
     segment_capacity: usize,
@@ -105,8 +119,13 @@ pub(crate) struct LogView<T> {
 
 impl<T> LogView<T> {
     /// The number of entries in the snapshot.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Returns `true` if the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// The entry at `index`.
@@ -114,13 +133,13 @@ impl<T> LogView<T> {
     /// # Panics
     ///
     /// Panics if `index >= len`.
-    pub(crate) fn get(&self, index: usize) -> &T {
+    pub fn get(&self, index: usize) -> &T {
         assert!(index < self.len, "LogView index {index} out of bounds");
         &self.segments[index / self.segment_capacity][index % self.segment_capacity]
     }
 
     /// Iterates the snapshot's entries in order.
-    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
 }
@@ -136,6 +155,7 @@ mod tests {
             log.push(i);
         }
         assert_eq!(log.len(), 11);
+        assert!(!log.is_empty());
         for i in 0..11usize {
             assert_eq!(*log.get(i), i);
         }
@@ -186,5 +206,27 @@ mod tests {
         let mut log: AppendLog<u64> = AppendLog::new(4);
         log.push(1);
         assert_eq!(log.segment_bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn snapshot_reads_concurrently_with_appends() {
+        // The snapshot-while-appending guarantee, cross-thread: a view
+        // handed to another thread keeps reading its stable prefix while
+        // the owner appends past it.
+        let mut log = AppendLog::new(16);
+        for i in 0..40u64 {
+            log.push(i);
+        }
+        let snap = log.snapshot();
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(move || {
+                (0..snap.len()).map(|i| *snap.get(i)).sum::<u64>()
+            });
+            for i in 40..400u64 {
+                log.push(i);
+            }
+            assert_eq!(reader.join().expect("reader thread"), (0..40).sum::<u64>());
+        });
+        assert_eq!(log.len(), 400);
     }
 }

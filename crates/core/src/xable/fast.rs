@@ -29,33 +29,41 @@
 //!    duplicate), so the checker deliberately applies this per-request,
 //!    effect-ordered reading; see DESIGN.md §4.3.
 //!
+//! The engine is **symbol-keyed**: action names and input values are
+//! interned to dense `u32` symbols ([`crate::intern::Interner`] — the same
+//! type the `xability-store` crate packs its events with), a group is the
+//! symbol pair `(name, input)`, and the per-group state lives in a dense
+//! `Vec<GroupCell>` indexed by a dense group symbol. The per-event hot path is
+//! therefore a hash probe and a `Vec` push — no per-event `ActionName` or
+//! `Value` clone, no ordered-map walk.
+//!
 //! The engine is shared by two frontends: [`super::FastChecker`] partitions
-//! a complete history and decides it in one shot, and
+//! a complete history and decides it in one shot (optionally deciding the
+//! groups on parallel worker threads — [`super::FastChecker::check_sharded`]
+//! — which is sound because reduction never crosses groups), and
 //! [`super::IncrementalChecker`] maintains the partition *online* — one
-//! `attribute` step per pushed event — and memoizes the per-group search
-//! outcomes in the (crate-private) `GroupCell`s so a verdict at any prefix
-//! re-searches only the groups that changed. Both call the same `decide`
-//! assembly, so they agree by construction.
+//! `Engine::observe` step per pushed event — and memoizes the per-group
+//! search outcomes in the (crate-private) `GroupCell`s so a verdict at any
+//! prefix re-searches only the groups that changed. Both assemble verdicts
+//! from the same per-group outcomes and the same message builders, so they
+//! agree by construction.
 //!
 //! Soundness is argued in the doc comments above each step and validated by
 //! property tests that compare this checker against the exhaustive one on
 //! randomly generated histories (`tests/checker_agreement.rs`,
 //! `tests/incremental_props.rs`).
-//!
-//! The free functions [`check`] and [`check_request_sequence`] are the
-//! crate's historical entry points, kept as thin deprecated shims over
-//! [`super::FastChecker`].
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use crate::action::{ActionId, ActionName, Request};
+use crate::action::{ActionId, ActionName};
 use crate::event::Event;
 use crate::failure_free::failure_free_output;
 use crate::history::{History, HistoryRead};
+use crate::intern::Interner;
 use crate::value::Value;
-use crate::xable::checker::{combine_r3_attempts, Checker, FastChecker, Witness};
+use crate::xable::checker::Witness;
 use crate::xable::search::{search_reduction, SearchBudget, SearchResult};
 
 /// The unified verdict type, re-exported here because this module's
@@ -63,11 +71,22 @@ use crate::xable::search::{search_reduction, SearchBudget, SearchResult};
 /// canonical path is [`crate::xable::Verdict`].
 pub use crate::xable::checker::Verdict;
 
-/// Group key: base action name plus input value.
-pub(crate) type GroupKey = (ActionName, Value);
+/// Dense index of a `(base action, input)` group in an [`Engine`].
+pub(crate) type GroupSym = u32;
 
-fn key_of(action: &ActionId, input: &Value) -> GroupKey {
-    (action.base_name().clone(), input.clone())
+/// Interned group key: `(action-name symbol, input-value symbol)`.
+pub(crate) type KeySyms = (u32, u32);
+
+const ROLE_BASE: u8 = 0;
+const ROLE_CANCEL: u8 = 1;
+const ROLE_COMMIT: u8 = 2;
+
+fn role_of(action: &ActionId) -> u8 {
+    match action {
+        ActionId::Base(_) => ROLE_BASE,
+        ActionId::Cancel(_) => ROLE_CANCEL,
+        ActionId::Commit(_) => ROLE_COMMIT,
+    }
 }
 
 /// Outcome of the per-group "reduces to a failure-free execution" search,
@@ -75,7 +94,7 @@ fn key_of(action: &ActionId, input: &Value) -> GroupKey {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum ExecOutcome {
     /// The group reduces to `eventsof(a, iv, output)`; `anchor` is the
-    /// index (into the full history) of the group's first surviving base
+    /// index (into the full history) of the group's surviving base
     /// completion — the moment its side-effect became observable.
     Reduced {
         /// Agreed output of the surviving execution.
@@ -101,13 +120,86 @@ pub(crate) enum EraseOutcome {
     Budget,
 }
 
+/// The per-group "reduces to a failure-free execution of `(name, input)`"
+/// search — a pure function of the group's sub-history, shared verbatim by
+/// the memoizing [`GroupCell::exec`] and the sharded worker threads, so
+/// sequential and parallel checks compute identical outcomes.
+pub(crate) fn run_exec_search<H: HistoryRead + ?Sized>(
+    h: &H,
+    indices: &[usize],
+    name: &ActionName,
+    input: &Value,
+    budget: SearchBudget,
+) -> ExecOutcome {
+    let action = ActionId::base(name.clone());
+    let sub = h.gather(indices);
+    let min_len = if name.is_undoable() { 4 } else { 2 };
+    let goal = |cand: &History| failure_free_output(&action, input, cand).is_some();
+    match search_reduction(&sub, goal, min_len, budget) {
+        SearchResult::Reached(witness) => {
+            let output = failure_free_output(&action, input, &witness)
+                .expect("goal predicate guarantees failure-free shape");
+            // The request's *effect anchor*: the completion of the
+            // *surviving* execution. For an undoable request, rule 19
+            // only ever erases the group's first remaining start (its
+            // side condition demands `(aᵘ, iv) ∉ h₁`), so cancelled
+            // attempts are erased strictly left-to-right and the
+            // execution that survives into the failure-free target is
+            // the *last* attempt: the anchor is the first base
+            // completion at or after the group's last base start. A
+            // cancelled-then-retried request therefore anchors at the
+            // retry's completion, not the undone original's. For an
+            // idempotent request (no cancellations) every completion
+            // is the same effect and the first one is when it became
+            // observable; later ones are deduplicated copies.
+            let is_base_completion = |&i: &usize| h.is_base_completion_at(i);
+            let surviving_from = if name.is_undoable() {
+                indices
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&i| h.is_base_start_at(i))
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let anchor = indices
+                .iter()
+                .copied()
+                .filter(|&i| i >= surviving_from)
+                .find(is_base_completion)
+                .or_else(|| indices.iter().copied().find(is_base_completion))
+                .unwrap_or(indices[0]);
+            ExecOutcome::Reduced { output, anchor }
+        }
+        SearchResult::Exhausted => ExecOutcome::Stuck,
+        SearchResult::BudgetExceeded => ExecOutcome::Budget,
+    }
+}
+
+/// The per-group "reduces to `Λ`" search — like [`run_exec_search`], the
+/// single source of truth for both the memoized and the sharded paths.
+pub(crate) fn run_erase_search<H: HistoryRead + ?Sized>(
+    h: &H,
+    indices: &[usize],
+    budget: SearchBudget,
+) -> EraseOutcome {
+    let sub = h.gather(indices);
+    match search_reduction(&sub, History::is_empty, 0, budget) {
+        SearchResult::Reached(_) => EraseOutcome::Erases,
+        SearchResult::Exhausted => EraseOutcome::Stuck,
+        SearchResult::BudgetExceeded => EraseOutcome::Budget,
+    }
+}
+
 /// One `(base action, input)` group: its event indices in the underlying
 /// history plus memoized per-group search outcomes.
 ///
-/// The memos use interior mutability because [`decide`] takes the group map
+/// The memos use interior mutability because [`decide`] takes the engine
 /// by shared reference: a batch check fills them once, the incremental
 /// checker keeps them warm across pushes (invalidating a cell whenever its
-/// group gains an event).
+/// group gains an event), and the sharded batch check primes them from
+/// worker threads before the sequential assembly reads them.
 #[derive(Debug, Default)]
 pub(crate) struct GroupCell {
     /// Indices into the full history, ascending.
@@ -128,119 +220,67 @@ impl GroupCell {
     }
 
     /// Whether the group's events reduce to `Λ`, memoized.
-    fn erases<H: HistoryRead + ?Sized>(&self, h: &H, budget: SearchBudget) -> EraseOutcome {
+    pub(crate) fn erases<H: HistoryRead + ?Sized>(
+        &self,
+        h: &H,
+        budget: SearchBudget,
+    ) -> EraseOutcome {
         if let Some(outcome) = *self.erase.borrow() {
             return outcome;
         }
-        let sub = h.gather(&self.indices);
-        let outcome = match search_reduction(&sub, History::is_empty, 0, budget) {
-            SearchResult::Reached(_) => EraseOutcome::Erases,
-            SearchResult::Exhausted => EraseOutcome::Stuck,
-            SearchResult::BudgetExceeded => EraseOutcome::Budget,
-        };
+        let outcome = run_erase_search(h, &self.indices, budget);
         *self.erase.borrow_mut() = Some(outcome);
         outcome
     }
 
     /// Whether the group's events reduce to a failure-free execution of its
     /// key's action/input, memoized. The target is fully determined by the
-    /// group key: the action is `Base(key.0)` and the input is `key.1`
-    /// (for round-stamped groups the stamped pair *is* the input, §5.4).
-    fn exec<H: HistoryRead + ?Sized>(
+    /// group key: the action is `Base(name)` and the input is the key's
+    /// value (for round-stamped groups the stamped pair *is* the input,
+    /// §5.4).
+    pub(crate) fn exec<H: HistoryRead + ?Sized>(
         &self,
         h: &H,
-        key: &GroupKey,
+        name: &ActionName,
+        input: &Value,
         budget: SearchBudget,
     ) -> ExecOutcome {
         if let Some(outcome) = self.exec.borrow().clone() {
             return outcome;
         }
-        let action = ActionId::base(key.0.clone());
-        let input = &key.1;
-        let sub = h.gather(&self.indices);
-        let min_len = if key.0.is_undoable() { 4 } else { 2 };
-        let goal = |cand: &History| failure_free_output(&action, input, cand).is_some();
-        let outcome = match search_reduction(&sub, goal, min_len, budget) {
-            SearchResult::Reached(witness) => {
-                let output = failure_free_output(&action, input, &witness)
-                    .expect("goal predicate guarantees failure-free shape");
-                // The request's *effect anchor*: the completion of the
-                // *surviving* execution. For an undoable request, rule 19
-                // only ever erases the group's first remaining start (its
-                // side condition demands `(aᵘ, iv) ∉ h₁`), so cancelled
-                // attempts are erased strictly left-to-right and the
-                // execution that survives into the failure-free target is
-                // the *last* attempt: the anchor is the first base
-                // completion at or after the group's last base start. A
-                // cancelled-then-retried request therefore anchors at the
-                // retry's completion, not the undone original's. For an
-                // idempotent request (no cancellations) every completion
-                // is the same effect and the first one is when it became
-                // observable; later ones are deduplicated copies.
-                let is_base_completion = |&i: &usize| h.is_base_completion_at(i);
-                let surviving_from = if key.0.is_undoable() {
-                    self.indices
-                        .iter()
-                        .rev()
-                        .copied()
-                        .find(|&i| h.is_base_start_at(i))
-                        .unwrap_or(0)
-                } else {
-                    0
-                };
-                let anchor = self
-                    .indices
-                    .iter()
-                    .copied()
-                    .filter(|&i| i >= surviving_from)
-                    .find(is_base_completion)
-                    .or_else(|| self.indices.iter().copied().find(is_base_completion))
-                    .unwrap_or(self.indices[0]);
-                ExecOutcome::Reduced { output, anchor }
-            }
-            SearchResult::Exhausted => ExecOutcome::Stuck,
-            SearchResult::BudgetExceeded => ExecOutcome::Budget,
-        };
+        let outcome = run_exec_search(h, &self.indices, name, input, budget);
         *self.exec.borrow_mut() = Some(outcome.clone());
         outcome
     }
+
+    /// Installs an exec outcome computed elsewhere (a sharded worker).
+    pub(crate) fn prime_exec(&self, outcome: ExecOutcome) {
+        *self.exec.borrow_mut() = Some(outcome);
+    }
+
+    /// Installs an erase outcome computed elsewhere (a sharded worker).
+    pub(crate) fn prime_erase(&self, outcome: EraseOutcome) {
+        *self.erase.borrow_mut() = Some(outcome);
+    }
 }
 
-/// Streaming attribution state: which starts of each action are still open,
-/// and the input of each action's most recent start.
-///
-/// A completion event does not carry the input value. We attribute each
-/// completion to the *nearest open start* of its action (the most recent
-/// start whose execution has not completed yet). For histories recorded by
-/// an atomic observer — such as the service ledger, where a completion
-/// immediately follows its start — this attribution is exact. When several
-/// distinct inputs are open at a completion the choice is heuristic; the
-/// caller remembers the ambiguity and later downgrades a `NotXable` verdict
-/// to `Unknown` (a different attribution might have succeeded), while an
-/// `Xable` verdict remains sound (it exhibits a concrete witness).
-#[derive(Debug, Default)]
-pub(crate) struct AttributionState {
-    open: BTreeMap<ActionId, OpenStarts>,
-    last_start_input: BTreeMap<ActionId, Value>,
-}
-
-/// The open starts of one action, with the number of *distinct* open
-/// inputs tracked incrementally so a completion's ambiguity test is O(log)
-/// instead of a scan over the whole stack (the streaming checker pays
-/// this on every completion).
+/// The open starts of one `(action, role)`, with the number of *distinct*
+/// open inputs tracked incrementally so a completion's ambiguity test is
+/// O(1) instead of a scan over the whole stack (the streaming checker pays
+/// this on every completion). Entries are input-value symbols.
 #[derive(Debug, Default)]
 struct OpenStarts {
-    stack: Vec<Value>,
-    multiplicity: BTreeMap<Value, usize>,
+    stack: Vec<u32>,
+    multiplicity: HashMap<u32, usize>,
 }
 
 impl OpenStarts {
-    fn push(&mut self, input: Value) {
-        *self.multiplicity.entry(input.clone()).or_insert(0) += 1;
+    fn push(&mut self, input: u32) {
+        *self.multiplicity.entry(input).or_insert(0) += 1;
         self.stack.push(input);
     }
 
-    fn pop(&mut self) -> Option<Value> {
+    fn pop(&mut self) -> Option<u32> {
         let input = self.stack.pop()?;
         if let Some(count) = self.multiplicity.get_mut(&input) {
             *count -= 1;
@@ -257,174 +297,352 @@ impl OpenStarts {
     }
 }
 
-/// Attributes one event to its group, updating the streaming state.
+/// Streaming attribution state: which starts of each action are still open,
+/// and the input of each action's most recent start — all symbol-keyed
+/// (`(name symbol, role)` for actions, value symbols for inputs), so one
+/// attribution step clones nothing.
 ///
-/// Returns the event's group key, or `Err(reason)` for a completion whose
-/// action has never started (a violation of the event axioms of §2.2 —
-/// definitely not x-able, independent of any ambiguity).
-pub(crate) fn attribute(
-    state: &mut AttributionState,
-    ambiguous: &mut bool,
-    event: &Event,
-    index: usize,
-) -> Result<GroupKey, String> {
-    match event {
-        Event::Start(a, iv) => {
-            state.open.entry(a.clone()).or_default().push(iv.clone());
-            state.last_start_input.insert(a.clone(), iv.clone());
-            Ok(key_of(a, iv))
-        }
-        Event::Complete(a, _) => {
-            let open = state.open.entry(a.clone()).or_default();
-            if open.distinct() > 1 {
-                *ambiguous = true;
-            }
-            match open.pop() {
-                Some(iv) => Ok(key_of(a, &iv)),
-                None => match state.last_start_input.get(a) {
-                    // Duplicate completion after all starts closed:
-                    // attribute to the most recent start.
-                    Some(iv) => {
-                        *ambiguous = true;
-                        Ok(key_of(a, iv))
-                    }
-                    None => Err(format!(
-                        "completion of {a} at index {index} has no start event (violates the event axioms of §2.2)"
-                    )),
-                },
-            }
-        }
-    }
+/// A completion event does not carry the input value. We attribute each
+/// completion to the *nearest open start* of its action (the most recent
+/// start whose execution has not completed yet). For histories recorded by
+/// an atomic observer — such as the service ledger, where a completion
+/// immediately follows its start — this attribution is exact. When several
+/// distinct inputs are open at a completion the choice is heuristic; the
+/// caller remembers the ambiguity and later downgrades a `NotXable` verdict
+/// to `Unknown` (a different attribution might have succeeded), while an
+/// `Xable` verdict remains sound (it exhibits a concrete witness).
+#[derive(Debug, Default)]
+struct AttributionState {
+    open: HashMap<(u32, u8), OpenStarts>,
+    last_start_input: HashMap<(u32, u8), u32>,
 }
 
-/// A complete history partitioned into per-`(action, input)` groups.
+/// What one [`Engine::observe`] step did — the hooks the incremental
+/// checker's dirty tracking needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Observed {
+    /// The group the event was attributed to.
+    pub(crate) group: GroupSym,
+    /// Whether this event created the group.
+    pub(crate) created: bool,
+    /// Whether this event flipped the group's `has_commit_completion`.
+    pub(crate) commit_completed: bool,
+}
+
+/// The symbol-keyed partition/attribution engine shared by the batch
+/// [`super::FastChecker`] and the online [`super::IncrementalChecker`]:
+/// the interner, the dense group table, and the streaming attribution
+/// state.
 #[derive(Debug, Default)]
-pub(crate) struct Partition {
-    /// The groups, keyed by `(base action name, input)`.
-    pub(crate) groups: BTreeMap<GroupKey, GroupCell>,
+pub(crate) struct Engine {
+    interner: Interner,
+    /// `(name symbol, input symbol)` → dense group index.
+    group_lookup: HashMap<KeySyms, GroupSym>,
+    /// Group index → its key symbols.
+    keys: Vec<KeySyms>,
+    /// Group index → the `(name, base input)` key symbols of its
+    /// round-stamped parent, when the group's name is undoable and its
+    /// input has the round-stamped shape `Pair(base input, round)` (§5.4).
+    /// The base input is interned when the group is created, so parent
+    /// lookups are symbol probes.
+    stamped_of: Vec<Option<KeySyms>>,
+    /// Group index → its event indices and memoized search outcomes.
+    pub(crate) cells: Vec<GroupCell>,
+    attribution: AttributionState,
     /// Whether any completion attribution was ambiguous.
     pub(crate) ambiguous: bool,
 }
 
-/// Partitions `h` into groups in one pass, or reports the first completion
-/// without a start (a definite `NotXable` reason).
-pub(crate) fn partition<H: HistoryRead + ?Sized>(h: &H) -> Result<Partition, String> {
-    let mut part = Partition::default();
-    let mut state = AttributionState::default();
-    let mut err: Option<String> = None;
-    h.scan_events(&mut |i, ev| {
-        match attribute(&mut state, &mut part.ambiguous, ev, i) {
-            Ok(key) => {
-                let is_commit_completion =
-                    matches!(ev, Event::Complete(a, _) if a.is_commit());
-                part.groups
-                    .entry(key)
-                    .or_default()
-                    .push_index(i, is_commit_completion);
-                true
-            }
+impl Engine {
+    /// Builds an engine over a complete source in one pass, or reports the
+    /// first completion without a start (a definite `NotXable` reason).
+    pub(crate) fn from_source<H: HistoryRead + ?Sized>(h: &H) -> Result<Engine, String> {
+        let mut eng = Engine::default();
+        let mut err: Option<String> = None;
+        h.scan_events(&mut |i, ev| match eng.observe(ev, i) {
+            Ok(_) => true,
             Err(reason) => {
                 err = Some(reason);
                 false
             }
+        });
+        match err {
+            Some(reason) => Err(reason),
+            None => Ok(eng),
         }
-    });
-    match err {
-        Some(reason) => Err(reason),
-        None => Ok(part),
+    }
+
+    /// Consumes one event: one streaming attribution step, one group-cell
+    /// append, one memo invalidation — amortized O(1), no name or value
+    /// clone (interning clones only on first sight of a distinct symbol).
+    ///
+    /// Returns what happened (for dirty tracking), or `Err(reason)` for a
+    /// completion whose action has never started (a violation of the event
+    /// axioms of §2.2 — definitely not x-able, independent of any
+    /// ambiguity).
+    pub(crate) fn observe(&mut self, event: &Event, index: usize) -> Result<Observed, String> {
+        let (key, is_commit_completion) = match event {
+            Event::Start(a, iv) => {
+                let ns = self.interner.intern_action(a.base_name());
+                let vs = self.interner.intern_value(iv);
+                let role = role_of(a);
+                self.attribution.open.entry((ns, role)).or_default().push(vs);
+                self.attribution.last_start_input.insert((ns, role), vs);
+                ((ns, vs), false)
+            }
+            Event::Complete(a, _) => {
+                let ns = self.interner.intern_action(a.base_name());
+                let role = role_of(a);
+                let open = self.attribution.open.entry((ns, role)).or_default();
+                if open.distinct() > 1 {
+                    self.ambiguous = true;
+                }
+                let vs = match open.pop() {
+                    Some(vs) => vs,
+                    None => match self.attribution.last_start_input.get(&(ns, role)) {
+                        // Duplicate completion after all starts closed:
+                        // attribute to the most recent start.
+                        Some(&vs) => {
+                            self.ambiguous = true;
+                            vs
+                        }
+                        None => {
+                            return Err(format!(
+                                "completion of {a} at index {index} has no start event (violates the event axioms of §2.2)"
+                            ));
+                        }
+                    },
+                };
+                ((ns, vs), a.is_commit())
+            }
+        };
+        let (group, created) = match self.group_lookup.get(&key) {
+            Some(&sym) => (sym, false),
+            None => {
+                let sym = u32::try_from(self.cells.len()).expect("more than u32::MAX groups");
+                // Round-stamped shape: intern the base input now so the
+                // parent key is a pure symbol probe from then on.
+                let stamped = if self.interner.action(key.0).is_undoable() {
+                    match self.interner.value(key.1) {
+                        Value::Pair(p) if matches!(p.1, Value::Int(_)) => {
+                            let base = p.0.clone();
+                            Some((key.0, self.interner.intern_value(&base)))
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                self.group_lookup.insert(key, sym);
+                self.keys.push(key);
+                self.stamped_of.push(stamped);
+                self.cells.push(GroupCell::default());
+                (sym, true)
+            }
+        };
+        let cell = &mut self.cells[group as usize];
+        let commit_completed = is_commit_completion && !cell.has_commit_completion;
+        cell.push_index(index, is_commit_completion);
+        Ok(Observed {
+            group,
+            created,
+            commit_completed,
+        })
+    }
+
+    /// The interner backing the engine's symbols.
+    pub(crate) fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable interner access (the incremental checker interns declared
+    /// request keys so later group probes are symbol comparisons).
+    pub(crate) fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// The number of groups.
+    pub(crate) fn group_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The key symbols of a group.
+    pub(crate) fn key(&self, sym: GroupSym) -> KeySyms {
+        self.keys[sym as usize]
+    }
+
+    /// The round-stamped parent key of a group, if it has the stamped
+    /// shape.
+    pub(crate) fn stamped_parent(&self, sym: GroupSym) -> Option<KeySyms> {
+        self.stamped_of[sym as usize]
+    }
+
+    /// The group with exactly the key `syms`, if any.
+    pub(crate) fn group_with_key(&self, syms: KeySyms) -> Option<GroupSym> {
+        self.group_lookup.get(&syms).copied()
+    }
+
+    /// The key symbols of `(name, input)` if both are already interned —
+    /// a pure probe; an un-interned key cannot match any group.
+    pub(crate) fn lookup_key(&self, name: &ActionName, input: &Value) -> Option<KeySyms> {
+        let ns = self.interner.lookup_action(name)?;
+        let vs = self.interner.lookup_value(input)?;
+        Some((ns, vs))
+    }
+
+    /// Resolves a group's key to its owned `(name, input)` (for search
+    /// targets and messages — off the per-event hot path).
+    pub(crate) fn resolve(&self, sym: GroupSym) -> (ActionName, Value) {
+        let (ns, vs) = self.keys[sym as usize];
+        (self.interner.action(ns).clone(), self.interner.value(vs).clone())
+    }
+
+    /// The round-stamped children of each parent key, in group-symbol
+    /// (first-seen) order — built in one pass over the group table.
+    pub(crate) fn stamped_children_index(&self) -> HashMap<KeySyms, Vec<GroupSym>> {
+        let mut index: HashMap<KeySyms, Vec<GroupSym>> = HashMap::new();
+        for (sym, parent) in self.stamped_of.iter().enumerate() {
+            if let Some(parent) = parent {
+                index.entry(*parent).or_default().push(sym as GroupSym);
+            }
+        }
+        index
     }
 }
 
-/// The assembly: decides x-ability of `h` — already partitioned into
-/// `groups` — with respect to the ordered request sequence `ops`,
+// ---------------------------------------------------------------------------
+// Verdict message builders, shared by the batch assembly (`decide`) and the
+// incremental aggregate so the two produce byte-identical reasons.
+
+pub(crate) fn msg_not_base(action: &ActionId) -> String {
+    format!("request action {action} is not a base action")
+}
+
+pub(crate) fn msg_duplicate(name: &ActionName, input: &Value) -> String {
+    format!("duplicate request identity {name}/{input}")
+}
+
+pub(crate) fn msg_plain_and_stamped(action: &ActionId, input: &Value) -> String {
+    format!("request ({action}, {input}) has both plain and round-stamped events")
+}
+
+pub(crate) fn msg_never_executed(action: &ActionId, input: &Value) -> String {
+    format!("request ({action}, {input}) was never executed")
+}
+
+pub(crate) fn msg_committed_rounds(action: &ActionId, input: &Value, rounds: usize) -> String {
+    format!("request ({action}, {input}) committed in {rounds} rounds (want exactly 1)")
+}
+
+pub(crate) fn msg_stuck(action: &ActionId, input: &Value) -> String {
+    format!("events of request ({action}, {input}) do not reduce to a failure-free execution")
+}
+
+pub(crate) fn msg_exec_budget(action: &ActionId, input: &Value) -> String {
+    format!("per-group search budget exceeded for request ({action}, {input})")
+}
+
+pub(crate) fn what_cancelled_round(round: &Value, action: &ActionId, input: &Value) -> String {
+    format!("cancelled round {round} of ({action}, {input})")
+}
+
+pub(crate) fn what_abandoned(action: &ActionId, input: &Value) -> String {
+    format!("abandoned request ({action}, {input})")
+}
+
+pub(crate) fn what_undeclared(name: &ActionName, input: &Value) -> String {
+    format!("undeclared request {name}/{input}")
+}
+
+pub(crate) fn msg_not_erasing(what: &dyn fmt::Display) -> String {
+    format!("{what} left events that do not erase")
+}
+
+pub(crate) fn msg_erase_budget(what: &dyn fmt::Display) -> String {
+    format!("per-group search budget exceeded erasing {what}")
+}
+
+pub(crate) const MSG_OUT_OF_ORDER: &str = "request effects occur out of submission order";
+
+/// Wraps a definite rejection into the verdict the attribution quality
+/// allows: when attribution was ambiguous, a negative verdict is
+/// unreliable (a different attribution might have succeeded), so it is
+/// downgraded to `Unknown`.
+pub(crate) fn fail_verdict(ambiguous: bool, reason: String) -> Verdict {
+    if ambiguous {
+        Verdict::Unknown {
+            reason: format!("(after ambiguous completion attribution) {reason}"),
+        }
+    } else {
+        Verdict::NotXable { reason }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batch assembly.
+
+/// The assembly: decides x-ability of `h` — already partitioned into the
+/// engine's groups — with respect to the ordered request sequence `ops`,
 /// additionally allowing the requests in `erasable` to have left events
 /// that reduce to nothing.
 ///
 /// Per-group searches go through the [`GroupCell`] memos, so a caller that
-/// keeps the cells warm (the incremental checker, or the two attempts of an
-/// R3 question) pays for each group search at most once.
+/// keeps the cells warm (the incremental checker, the two attempts of an
+/// R3 question, or a sharded pre-pass) pays for each group search at most
+/// once.
 pub(crate) fn decide<H: HistoryRead + ?Sized>(
     h: &H,
-    groups: &BTreeMap<GroupKey, GroupCell>,
-    ambiguous: bool,
+    eng: &Engine,
     budget: SearchBudget,
     ops: &[(ActionId, Value)],
     erasable: &[(ActionId, Value)],
 ) -> Verdict {
     // --- Validate the op list. ---
-    let mut op_keys: Vec<GroupKey> = Vec::with_capacity(ops.len());
-    let mut seen_keys: BTreeSet<GroupKey> = BTreeSet::new();
+    let mut seen: HashSet<(&ActionName, &Value)> = HashSet::new();
     for (action, input) in ops.iter().chain(erasable.iter()) {
         if !matches!(action, ActionId::Base(_)) {
             return Verdict::Unknown {
-                reason: format!("request action {action} is not a base action"),
+                reason: msg_not_base(action),
             };
         }
-        let key = key_of(action, input);
-        if !seen_keys.insert(key.clone()) {
+        if !seen.insert((action.base_name(), input)) {
             return Verdict::Unknown {
-                reason: format!("duplicate request identity {}/{}", key.0, key.1),
+                reason: msg_duplicate(action.base_name(), input),
             };
         }
-        op_keys.push(key);
     }
-    let erasable_keys: BTreeSet<GroupKey> = erasable
-        .iter()
-        .map(|(a, iv)| key_of(a, iv))
-        .collect();
 
-    // When attribution was ambiguous, a negative verdict is unreliable (a
-    // different attribution might have succeeded); downgrade it.
-    let fail = |reason: String| {
-        if ambiguous {
-            Verdict::Unknown {
-                reason: format!("(after ambiguous completion attribution) {reason}"),
-            }
-        } else {
-            Verdict::NotXable { reason }
-        }
-    };
+    let fail = |reason: String| fail_verdict(eng.ambiguous, reason);
+    let stamped_children = eng.stamped_children_index();
 
     // --- Every group must correspond to a declared request, directly or
     // as a round-stamped transaction of a declared undoable request
-    // (§5.4: the round number is part of the action's parameters). ---
-    let is_declared = |key: &GroupKey| -> bool {
-        if seen_keys.contains(key) {
-            return true;
-        }
-        if !key.0.is_undoable() {
-            return false;
-        }
-        match &key.1 {
-            Value::Pair(p) if matches!(p.1, Value::Int(_)) => {
-                seen_keys.contains(&(key.0.clone(), p.0.clone()))
-            }
-            _ => false,
-        }
-    };
+    // (§5.4: the round number is part of the action's parameters).
     // Undeclared groups are not automatically violations: a group that
     // reduces to Λ (say, a spurious cancellation that cancelled nothing) is
-    // invisible to the reduction target. They are collected here and
-    // checked for erasability below.
-    let undeclared: Vec<&GroupKey> = groups.keys().filter(|k| !is_declared(k)).collect();
+    // invisible to the reduction target; they are checked for erasability
+    // below. ---
+    let mut declared_groups: HashSet<GroupSym> = HashSet::new();
+    for (action, input) in ops.iter().chain(erasable.iter()) {
+        let Some(key) = eng.lookup_key(action.base_name(), input) else {
+            continue;
+        };
+        if let Some(sym) = eng.group_with_key(key) {
+            declared_groups.insert(sym);
+        }
+        if action.is_undoable_base() {
+            if let Some(children) = stamped_children.get(&key) {
+                declared_groups.extend(children.iter().copied());
+            }
+        }
+    }
 
-    // The round-stamped groups of an undoable request key.
-    let stamped_groups = |base: &ActionName, input: &Value| -> Vec<(&GroupKey, &GroupCell)> {
-        groups
-            .iter()
-            .filter(|(k, _)| {
-                &k.0 == base
-                    && matches!(&k.1, Value::Pair(p)
-                        if &p.0 == input && matches!(p.1, Value::Int(_)))
-            })
-            .collect()
-    };
     let erase_group = |cell: &GroupCell, what: &dyn fmt::Display| -> Option<Verdict> {
         match cell.erases(h, budget) {
             EraseOutcome::Erases => None,
-            EraseOutcome::Stuck => Some(fail(format!("{what} left events that do not erase"))),
+            EraseOutcome::Stuck => Some(fail(msg_not_erasing(what))),
             EraseOutcome::Budget => Some(Verdict::Unknown {
-                reason: format!("per-group search budget exceeded erasing {what}"),
+                reason: msg_erase_budget(what),
             }),
         }
     };
@@ -432,96 +650,95 @@ pub(crate) fn decide<H: HistoryRead + ?Sized>(
     // --- Decide each group. ---
     let mut outputs: Vec<Value> = Vec::with_capacity(ops.len());
     let mut anchors: Vec<usize> = Vec::with_capacity(ops.len());
-    for ((action, input), key) in ops.iter().zip(op_keys.iter()) {
-        let plain = groups.get(key);
-        let stamped = if action.is_undoable_base() {
-            stamped_groups(action.base_name(), input)
+    for (action, input) in ops.iter() {
+        let key = eng.lookup_key(action.base_name(), input);
+        let plain = key.and_then(|k| eng.group_with_key(k));
+        let stamped: &[GroupSym] = if action.is_undoable_base() {
+            key.and_then(|k| stamped_children.get(&k))
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
         } else {
-            Vec::new()
+            &[]
         };
-        let (exec_key, exec_cell): (&GroupKey, &GroupCell) = match (plain, stamped.is_empty()) {
+        let exec_sym: GroupSym = match (plain, stamped.is_empty()) {
             (Some(_), false) => {
                 return Verdict::Unknown {
-                    reason: format!(
-                        "request ({action}, {input}) has both plain and round-stamped events"
-                    ),
+                    reason: msg_plain_and_stamped(action, input),
                 };
             }
-            (Some(cell), true) => (key, cell),
+            (Some(sym), true) => sym,
             (None, true) => {
-                return fail(format!("request ({action}, {input}) was never executed"));
+                return fail(msg_never_executed(action, input));
             }
             (None, false) => {
                 // Round-stamped transactions: exactly one round commits and
                 // must reduce to a failure-free execution; every other round
                 // must erase (cancelled rounds).
-                let committed: Vec<&(&GroupKey, &GroupCell)> = stamped
+                let committed: Vec<GroupSym> = stamped
                     .iter()
-                    .filter(|(_, cell)| cell.has_commit_completion)
+                    .copied()
+                    .filter(|&sym| eng.cells[sym as usize].has_commit_completion)
                     .collect();
                 if committed.len() != 1 {
-                    return fail(format!(
-                        "request ({action}, {input}) committed in {} rounds (want exactly 1)",
-                        committed.len()
-                    ));
+                    return fail(msg_committed_rounds(action, input, committed.len()));
                 }
-                let &&(ckey, ccell) = committed.first().expect("length checked");
-                for (okey, ocell) in &stamped {
-                    if *okey == ckey {
+                let committed = committed[0];
+                for &sym in stamped {
+                    if sym == committed {
                         continue;
                     }
-                    let what = format!("cancelled round {} of ({action}, {input})", okey.1);
-                    if let Some(v) = erase_group(ocell, &what) {
+                    let round = eng.interner().value(eng.key(sym).1);
+                    let what = what_cancelled_round(round, action, input);
+                    if let Some(v) = erase_group(&eng.cells[sym as usize], &what) {
                         return v;
                     }
                 }
-                (ckey, ccell)
+                committed
             }
         };
-        match exec_cell.exec(h, exec_key, budget) {
+        let (exec_name, exec_input) = eng.resolve(exec_sym);
+        match eng.cells[exec_sym as usize].exec(h, &exec_name, &exec_input, budget) {
             ExecOutcome::Reduced { output, anchor } => {
                 outputs.push(output);
                 anchors.push(anchor);
             }
             ExecOutcome::Stuck => {
-                return fail(format!(
-                    "events of request ({action}, {input}) do not reduce to a failure-free execution"
-                ));
+                return fail(msg_stuck(action, input));
             }
             ExecOutcome::Budget => {
                 return Verdict::Unknown {
-                    reason: format!(
-                        "per-group search budget exceeded for request ({action}, {input})"
-                    ),
+                    reason: msg_exec_budget(action, input),
                 };
             }
         }
     }
 
     for (action, input) in erasable {
-        let key = key_of(action, input);
-        debug_assert!(erasable_keys.contains(&key));
-        let mut all_cells: Vec<&GroupCell> = Vec::new();
-        if let Some(cell) = groups.get(&key) {
-            all_cells.push(cell);
+        let key = eng.lookup_key(action.base_name(), input);
+        let mut all_cells: Vec<GroupSym> = Vec::new();
+        if let Some(sym) = key.and_then(|k| eng.group_with_key(k)) {
+            all_cells.push(sym);
         }
         if action.is_undoable_base() {
-            for (_, cell) in stamped_groups(action.base_name(), input) {
-                all_cells.push(cell);
+            if let Some(children) = key.and_then(|k| stamped_children.get(&k)) {
+                all_cells.extend(children.iter().copied());
             }
         }
-        for cell in all_cells {
-            let what = format!("abandoned request ({action}, {input})");
-            if let Some(v) = erase_group(cell, &what) {
+        for sym in all_cells {
+            let what = what_abandoned(action, input);
+            if let Some(v) = erase_group(&eng.cells[sym as usize], &what) {
                 return v;
             }
         }
     }
 
-    for key in &undeclared {
-        let cell = groups.get(*key).expect("collected from groups");
-        let what = format!("undeclared request {}/{}", key.0, key.1);
-        if let Some(v) = erase_group(cell, &what) {
+    for sym in 0..eng.group_count() as GroupSym {
+        if declared_groups.contains(&sym) {
+            continue;
+        }
+        let (ns, vs) = eng.key(sym);
+        let what = what_undeclared(eng.interner().action(ns), eng.interner().value(vs));
+        if let Some(v) = erase_group(&eng.cells[sym as usize], &what) {
             return v;
         }
     }
@@ -542,7 +759,7 @@ pub(crate) fn decide<H: HistoryRead + ?Sized>(
     // "appears to be executed exactly-once, in order".
     for w in anchors.windows(2) {
         if w[0] >= w[1] {
-            return fail("request effects occur out of submission order".to_owned());
+            return fail(MSG_OUT_OF_ORDER.to_owned());
         }
     }
 
@@ -551,90 +768,284 @@ pub(crate) fn decide<H: HistoryRead + ?Sized>(
     }
 }
 
-/// Decides x-ability of `h` with respect to the ordered request sequence
-/// `ops`, additionally allowing the requests in `erasable` to have left
-/// events that reduce to nothing (the R3 "last request may have been
-/// abandoned" case).
-///
-/// # Examples
-///
-/// ```
-/// use xability_core::xable::fast::check;
-/// use xability_core::{ActionId, ActionName, Event, History, Value};
-///
-/// let a = ActionId::base(ActionName::idempotent("get"));
-/// let h: History = [
-///     Event::start(a.clone(), Value::from(1)),
-///     Event::start(a.clone(), Value::from(1)),
-///     Event::complete(a.clone(), Value::from(5)),
-/// ]
-/// .into_iter()
-/// .collect();
-/// # #[allow(deprecated)]
-/// # {
-/// let verdict = check(&h, &[(a, Value::from(1))], &[]);
-/// assert!(verdict.is_xable());
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use `xable::FastChecker` (or `TieredChecker`) via the `Checker` trait"
-)]
-pub fn check(
-    h: &History,
-    ops: &[(ActionId, Value)],
-    erasable: &[(ActionId, Value)],
-) -> Verdict {
-    FastChecker::default().check(h, ops, erasable)
-}
-
-/// The R3 obligation (§4) for a sequence of client requests: the server-side
-/// history must be x-able with respect to `R₁…Rₙ` *or* `R₁…Rₙ₋₁` (the last
-/// request may have been abandoned if the client failed before retrying).
-///
-/// # Examples
-///
-/// ```
-/// use xability_core::xable::fast::check_request_sequence;
-/// use xability_core::{failure_free::eventsof, ActionId, ActionName, Request, Value};
-///
-/// let a = ActionId::base(ActionName::idempotent("get"));
-/// let h = eventsof(&a, &Value::from(1), &Value::from(5));
-/// let requests = vec![Request::new(a, Value::from(1))];
-/// # #[allow(deprecated)]
-/// # {
-/// assert!(check_request_sequence(&h, &requests).is_xable());
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Checker::check_requests` on `xable::FastChecker` or `TieredChecker`"
-)]
-pub fn check_request_sequence(h: &History, requests: &[Request]) -> Verdict {
-    FastChecker::default().check_requests(h, requests)
-}
-
-/// Batch entry point used by the `FastChecker` frontend and the shims: one
-/// partition, then the R3 combination over the shared memo cells.
+/// Batch entry point used by the `FastChecker` frontend: one partition,
+/// then the R3 combination over the shared memo cells.
 pub(crate) fn check_requests_batch<H: HistoryRead + ?Sized>(
     h: &H,
     budget: SearchBudget,
     ops: &[(ActionId, Value)],
 ) -> Verdict {
-    match partition(h) {
-        Ok(part) => combine_r3_attempts(ops, |ops, erasable| {
-            decide(h, &part.groups, part.ambiguous, budget, ops, erasable)
+    match Engine::from_source(h) {
+        Ok(eng) => crate::xable::checker::combine_r3_attempts(ops, |ops, erasable| {
+            decide(h, &eng, budget, ops, erasable)
         }),
         Err(reason) => Verdict::NotXable { reason },
     }
 }
 
+// ---------------------------------------------------------------------------
+// The sharded batch path.
+
+/// Which per-group search a sharded worker should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SearchKind {
+    Exec,
+    Erase,
+}
+
+/// One unit of sharded work: everything a worker needs to run one
+/// per-group search. The engine itself is not `Sync` (the memo cells use
+/// `RefCell`), but the borrowed indices/key data is — so jobs carry
+/// borrows for the duration of the scope instead of deep-cloning every
+/// group's index vector.
+#[derive(Debug, Clone, Copy)]
+struct ShardJob<'a> {
+    sym: GroupSym,
+    kind: SearchKind,
+    indices: &'a [usize],
+    /// The group's resolved key — the exec search target.
+    name: &'a ActionName,
+    input: &'a Value,
+}
+
+/// The outcome a worker hands back for one job.
+#[derive(Debug)]
+enum ShardOutcome {
+    Exec(ExecOutcome),
+    Erase(EraseOutcome),
+}
+
+/// Plans which searches `decide(h, eng, budget, ops, erasable)` could
+/// consult, as shard jobs. The plan may be a superset of what the
+/// sequential assembly actually reads (the assembly early-returns on the
+/// first failure); running the extras is harmless because every search is
+/// a pure, deterministic function of its group's sub-history.
+fn plan_searches<'a>(
+    eng: &'a Engine,
+    ops: &[(ActionId, Value)],
+    erasable: &[(ActionId, Value)],
+    jobs: &mut Vec<ShardJob<'a>>,
+    planned: &mut HashSet<(GroupSym, SearchKind)>,
+) {
+    let stamped_children = eng.stamped_children_index();
+    let mut declared_groups: HashSet<GroupSym> = HashSet::new();
+    let mut push = |sym: GroupSym, kind: SearchKind| {
+        if planned.insert((sym, kind)) {
+            let (ns, vs) = eng.key(sym);
+            jobs.push(ShardJob {
+                sym,
+                kind,
+                indices: &eng.cells[sym as usize].indices,
+                name: eng.interner().action(ns),
+                input: eng.interner().value(vs),
+            });
+        }
+    };
+    for (action, input) in ops.iter().chain(erasable.iter()) {
+        if !matches!(action, ActionId::Base(_)) {
+            continue;
+        }
+        let Some(key) = eng.lookup_key(action.base_name(), input) else {
+            continue;
+        };
+        if let Some(sym) = eng.group_with_key(key) {
+            declared_groups.insert(sym);
+        }
+        if action.is_undoable_base() {
+            if let Some(children) = stamped_children.get(&key) {
+                declared_groups.extend(children.iter().copied());
+            }
+        }
+    }
+    for (action, input) in ops {
+        if !matches!(action, ActionId::Base(_)) {
+            continue;
+        }
+        let Some(key) = eng.lookup_key(action.base_name(), input) else {
+            continue;
+        };
+        let plain = eng.group_with_key(key);
+        let stamped: &[GroupSym] = if action.is_undoable_base() {
+            stamped_children.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        } else {
+            &[]
+        };
+        match (plain, stamped.is_empty()) {
+            (Some(sym), true) => push(sym, SearchKind::Exec),
+            (None, false) => {
+                let committed: Vec<GroupSym> = stamped
+                    .iter()
+                    .copied()
+                    .filter(|&sym| eng.cells[sym as usize].has_commit_completion)
+                    .collect();
+                if committed.len() == 1 {
+                    for &sym in stamped {
+                        if sym == committed[0] {
+                            push(sym, SearchKind::Exec);
+                        } else {
+                            push(sym, SearchKind::Erase);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (action, input) in erasable {
+        if !matches!(action, ActionId::Base(_)) {
+            continue;
+        }
+        let Some(key) = eng.lookup_key(action.base_name(), input) else {
+            continue;
+        };
+        if let Some(sym) = eng.group_with_key(key) {
+            push(sym, SearchKind::Erase);
+        }
+        if action.is_undoable_base() {
+            if let Some(children) = stamped_children.get(&key) {
+                for &sym in children {
+                    push(sym, SearchKind::Erase);
+                }
+            }
+        }
+    }
+    for sym in 0..eng.group_count() as GroupSym {
+        if !declared_groups.contains(&sym) {
+            push(sym, SearchKind::Erase);
+        }
+    }
+}
+
+/// Runs the planned searches on `workers` (≥ 2) scoped threads and primes
+/// the engine's memo cells with the outcomes, so a subsequent [`decide`]
+/// is pure assembly. Jobs are split round-robin; since every search is a
+/// deterministic pure function, the merge is independent of scheduling and
+/// the final verdict is identical to the sequential one.
+fn run_sharded<H: HistoryRead + Sync + ?Sized>(
+    h: &H,
+    eng: &Engine,
+    budget: SearchBudget,
+    jobs: &[ShardJob<'_>],
+    workers: usize,
+) {
+    let workers = workers.min(jobs.len()).max(1);
+    let outcomes: Vec<(GroupSym, SearchKind, ShardOutcome)> = if workers <= 1 {
+        jobs.iter().map(|job| run_job(h, budget, job)).collect()
+    } else {
+        let mut results: Vec<Vec<(GroupSym, SearchKind, ShardOutcome)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                handles.push(scope.spawn(move || {
+                    jobs.iter()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|job| run_job(h, budget, job))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("shard worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    };
+    for (sym, kind, outcome) in outcomes {
+        let cell = &eng.cells[sym as usize];
+        match (kind, outcome) {
+            (SearchKind::Exec, ShardOutcome::Exec(o)) => cell.prime_exec(o),
+            (SearchKind::Erase, ShardOutcome::Erase(o)) => cell.prime_erase(o),
+            _ => unreachable!("job kind and outcome kind always match"),
+        }
+    }
+}
+
+fn run_job<H: HistoryRead + ?Sized>(
+    h: &H,
+    budget: SearchBudget,
+    job: &ShardJob<'_>,
+) -> (GroupSym, SearchKind, ShardOutcome) {
+    let outcome = match job.kind {
+        SearchKind::Exec => ShardOutcome::Exec(run_exec_search(
+            h,
+            job.indices,
+            job.name,
+            job.input,
+            budget,
+        )),
+        SearchKind::Erase => ShardOutcome::Erase(run_erase_search(h, job.indices, budget)),
+    };
+    (job.sym, job.kind, outcome)
+}
+
+/// The sharded batch check behind [`super::FastChecker::check_sharded`]:
+/// partition sequentially (one cheap pass), run the per-group searches on
+/// `workers` scoped threads, then assemble sequentially over the warm
+/// memos. Returns exactly what the sequential check returns; `workers <= 1`
+/// *is* the sequential check (no plan, no eager searches — the assembly's
+/// early returns skip whatever it never needs).
+pub(crate) fn check_sharded<H: HistoryRead + Sync + ?Sized>(
+    h: &H,
+    budget: SearchBudget,
+    ops: &[(ActionId, Value)],
+    erasable: &[(ActionId, Value)],
+    workers: usize,
+) -> Verdict {
+    let eng = match Engine::from_source(h) {
+        Ok(eng) => eng,
+        Err(reason) => return Verdict::NotXable { reason },
+    };
+    if workers > 1 {
+        let mut jobs = Vec::new();
+        let mut planned = HashSet::new();
+        plan_searches(&eng, ops, erasable, &mut jobs, &mut planned);
+        run_sharded(h, &eng, budget, &jobs, workers);
+    }
+    decide(h, &eng, budget, ops, erasable)
+}
+
+/// The sharded R3 check behind
+/// [`super::FastChecker::check_requests_sharded`]: the search plan is the
+/// union over both R3 attempts (full sequence; prefix with the last
+/// request erasable), so the whole question parallelizes in one wave.
+/// `workers <= 1` is the plain sequential R3 check.
+pub(crate) fn check_requests_sharded<H: HistoryRead + Sync + ?Sized>(
+    h: &H,
+    budget: SearchBudget,
+    ops: &[(ActionId, Value)],
+    workers: usize,
+) -> Verdict {
+    let eng = match Engine::from_source(h) {
+        Ok(eng) => eng,
+        Err(reason) => return Verdict::NotXable { reason },
+    };
+    if workers > 1 {
+        let mut jobs = Vec::new();
+        let mut planned = HashSet::new();
+        plan_searches(&eng, ops, &[], &mut jobs, &mut planned);
+        if let Some((last, prefix)) = ops.split_last() {
+            plan_searches(
+                &eng,
+                prefix,
+                std::slice::from_ref(last),
+                &mut jobs,
+                &mut planned,
+            );
+        }
+        run_sharded(h, &eng, budget, &jobs, workers);
+    }
+    crate::xable::checker::combine_r3_attempts(ops, |ops, erasable| {
+        decide(h, &eng, budget, ops, erasable)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::action::ActionName;
+    use crate::action::{ActionName, Request};
     use crate::event::Event;
     use crate::failure_free::eventsof;
+    use crate::xable::checker::{Checker, FastChecker};
 
     fn fast() -> FastChecker {
         FastChecker::default()
@@ -924,7 +1335,77 @@ mod tests {
         .collect();
         let ops = [(u, Value::from(1))];
         let owned = fast().check(&h, &ops, &[]);
-        let viewed = check_requests_batch(&h.window(0, h.len()), SearchBudget::small(), &ops);
+        let viewed = fast().check_source(&h.window(0, h.len()), &ops, &[]);
         assert_eq!(owned, viewed);
+    }
+
+    #[test]
+    fn round_stamped_rounds_decide_like_the_old_key_scheme() {
+        // One cancelled round, one committed round, stamped as
+        // Pair(input, round) — the §5.4 shape the protocol produces.
+        let u = undo("xfer");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let key = Value::from("r0");
+        let iv1 = Value::pair(key.clone(), Value::from(1));
+        let iv2 = Value::pair(key.clone(), Value::from(2));
+        let h: History = [
+            Event::start(u.clone(), iv1.clone()),
+            Event::start(cancel.clone(), iv1.clone()),
+            Event::complete(cancel.clone(), Value::Nil),
+            Event::start(u.clone(), iv2.clone()),
+            Event::complete(u.clone(), Value::from("ok")),
+            Event::start(commit.clone(), iv2.clone()),
+            Event::complete(commit.clone(), Value::Nil),
+        ]
+        .into_iter()
+        .collect();
+        let v = fast().check(&h, &[(u.clone(), key.clone())], &[]);
+        assert_eq!(v, Verdict::xable(vec![Value::from("ok")]));
+        // Declaring the request erasable erases both rounds… except the
+        // committed one cannot erase. (The cancelled round leaves an open
+        // base start, so attribution is ambiguous and the rejection is
+        // reported as `Unknown` rather than a definite negative.)
+        let v = fast().check(&h, &[], &[(u, key)]);
+        assert!(!v.is_xable());
+    }
+
+    #[test]
+    fn sharded_check_matches_sequential_for_any_worker_count() {
+        let u = undo("u");
+        let b = idem("b");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        // An x-able trace, a not-x-able one, and one undeclared tail.
+        let xable: History = [
+            s(&u, 1),
+            s(&cancel, 1),
+            cnil(&cancel),
+            s(&u, 1),
+            c(&u, 7),
+            s(&commit, 1),
+            cnil(&commit),
+            s(&b, 2),
+            c(&b, 6),
+        ]
+        .into_iter()
+        .collect();
+        let bad: History = [s(&b, 2), c(&b, 6), c(&b, 9)].into_iter().collect();
+        let undeclared: History =
+            [s(&b, 2), c(&b, 6), s(&idem("junk"), 3), c(&idem("junk"), 3)]
+                .into_iter()
+                .collect();
+        let checker = fast();
+        for h in [&xable, &bad, &undeclared] {
+            let ops = [(u.clone(), Value::from(1)), (b.clone(), Value::from(2))];
+            let sequential = checker.check(h, &ops, &[]);
+            for workers in [1, 2, 8] {
+                assert_eq!(
+                    checker.check_sharded(h, &ops, &[], workers),
+                    sequential,
+                    "workers={workers}"
+                );
+            }
+        }
     }
 }

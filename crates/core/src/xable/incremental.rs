@@ -7,29 +7,35 @@
 //! online:
 //!
 //! * [`push`](IncrementalChecker::push) consumes one event in amortized
-//!   O(1): a single streaming attribution step
-//!   ([`attribute`](super::fast)) appends the event's index to its
-//!   `(base action, input)` group and invalidates only that group's
-//!   memoized search outcomes.
+//!   O(1): a single streaming attribution step (`Engine::observe` in
+//!   [`super::fast`]) appends the event's index to its symbol-keyed
+//!   `(base action, input)` group, invalidates only that group's memoized
+//!   search outcomes, and marks the requests watching the group *dirty*.
 //! * [`declare`](IncrementalChecker::declare) appends an expected request
 //!   to the R3 sequence (requests arrive over time too: the client submits
 //!   `Rᵢ₊₁` only after `Rᵢ` succeeded).
 //! * [`verdict`](IncrementalChecker::verdict) answers the R3 question for
-//!   the *current prefix* at any moment. Per-group searches are memoized
-//!   in the group cells, so a verdict after `k` new events re-searches at
-//!   most the groups those `k` events touched; everything else is a memo
-//!   hit. The assembly itself is O(#groups).
+//!   the *current prefix* at any moment — in **O(dirty groups)**, not
+//!   O(all groups): the checker maintains an aggregate verdict (per-request
+//!   decisions, the first failing request, the set of undeclared groups
+//!   that fail to erase, and the effect-order violations between adjacent
+//!   requests) and a verdict call re-decides only the requests whose
+//!   groups were touched since the last call. In steady state — events
+//!   arriving for the newest request while earlier requests sit clean —
+//!   that is amortized O(1) bookkeeping per verdict plus the cost of
+//!   materializing the answer.
 //!
-//! Because push-side attribution and verdict-side assembly are the *same
-//! code* the batch [`super::FastChecker`] runs (`attribute` / `decide` in
-//! [`super::fast`]), the incremental verdict at any prefix equals
-//! `FastChecker::check_requests` on that prefix **by construction**; the
-//! property tests in `tests/incremental_props.rs` verify the equality
-//! prefix by prefix on random histories.
+//! Because push-side attribution, per-group searches, and the verdict
+//! messages are the *same code* the batch [`super::FastChecker`] runs
+//! (the engine and message builders in [`super::fast`]), the incremental
+//! verdict at any prefix equals `FastChecker::check_requests` on that
+//! prefix **by construction**; the property tests in
+//! `tests/incremental_props.rs` and `tests/checker_scaling.rs` verify the
+//! equality prefix by prefix on random and protocol-shaped histories.
 //!
-//! The per-group state carried online and the reason cross-group reduction
-//! never occurs (rules 18–20 relate events of one group only) are spelled
-//! out in DESIGN.md §4.3.
+//! The per-group state carried online, the dirty-set/aggregate invariant,
+//! and the reason cross-group reduction never occurs (rules 18–20 relate
+//! events of one group only) are spelled out in DESIGN.md §4.3.
 //!
 //! # Examples
 //!
@@ -48,20 +54,218 @@
 //! assert!(checker.verdict().is_xable()); // the prefix is now x-able
 //! ```
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::action::{ActionId, Request};
 use crate::event::Event;
 use crate::history::{History, HistoryRead};
 use crate::value::Value;
-use crate::xable::checker::{combine_r3_attempts, Verdict};
-use crate::xable::fast::{attribute, decide, AttributionState, GroupCell, GroupKey};
+use crate::xable::checker::{combine_r3_attempts, Verdict, Witness};
+use crate::xable::fast::{
+    fail_verdict, msg_committed_rounds, msg_duplicate, msg_erase_budget, msg_exec_budget,
+    msg_never_executed, msg_not_base, msg_not_erasing, msg_plain_and_stamped, msg_stuck,
+    what_abandoned, what_cancelled_round, what_undeclared, Engine, EraseOutcome, ExecOutcome,
+    GroupSym, KeySyms, MSG_OUT_OF_ORDER,
+};
 use crate::xable::search::SearchBudget;
 
-/// The storage-free core of the online checker: attribution state, the
-/// per-group partition with warm memo cells, and the declared request
-/// sequence — everything the incremental verdict needs *except* the
-/// events themselves.
+/// Which declared requests read a group's decision — the fan-out of one
+/// dirty group. A group is *plain* for the request whose key equals the
+/// group key, and/or a *round-stamped transaction* of the undoable request
+/// whose key equals the group's stamped parent; a group watched by neither
+/// is undeclared and must erase.
+#[derive(Debug, Default, Clone, Copy)]
+struct Watchers {
+    plain_op: Option<usize>,
+    stamped_op: Option<usize>,
+}
+
+impl Watchers {
+    fn is_undeclared(&self) -> bool {
+        self.plain_op.is_none() && self.stamped_op.is_none()
+    }
+}
+
+/// The cached decision of one declared request.
+#[derive(Debug, Default)]
+struct OpEntry {
+    /// The group whose key equals the request key, if it exists.
+    plain: Option<GroupSym>,
+    /// The round-stamped transaction groups of this (undoable) request,
+    /// in group-symbol (first-seen) order.
+    stamped: Vec<GroupSym>,
+    /// How many stamped transactions have a commit completion.
+    committed: usize,
+    /// The memoized decision (recomputed only while the request is dirty).
+    state: OpState,
+}
+
+#[derive(Debug, Default, Clone)]
+enum OpState {
+    /// Not yet computed (freshly declared).
+    #[default]
+    Pending,
+    /// The request's events reduce to a failure-free execution.
+    Ok {
+        output: Value,
+        anchor: usize,
+    },
+    /// The request fails (or is undecidable) for this reason; the message
+    /// is materialized lazily so clean verdicts never format strings.
+    Bad(OpFail),
+}
+
+impl OpState {
+    fn anchor(&self) -> Option<usize> {
+        match self {
+            OpState::Ok { anchor, .. } => Some(*anchor),
+            _ => None,
+        }
+    }
+}
+
+/// Why a request's decision is not `Ok` — enough to regenerate the exact
+/// message the batch assembly would produce.
+#[derive(Debug, Clone, Copy)]
+enum OpFail {
+    NeverExecuted,
+    /// Both plain and round-stamped events exist (→ `Unknown`).
+    PlainAndStamped,
+    /// `n != 1` rounds committed.
+    CommittedRounds(usize),
+    /// A cancelled round's events do not erase.
+    RoundNotErasing(GroupSym),
+    /// A cancelled round's erase search ran out of budget (→ `Unknown`).
+    RoundEraseBudget(GroupSym),
+    /// The executing group does not reduce to a failure-free execution.
+    Stuck,
+    /// The executing group's search ran out of budget (→ `Unknown`).
+    ExecBudget,
+}
+
+/// How an undeclared group fails to erase.
+#[derive(Debug, Clone, Copy)]
+enum EraseFail {
+    Stuck,
+    Budget,
+}
+
+/// The maintained aggregate behind O(dirty) verdicts. The invariant — the
+/// reason a verdict may skip every clean request — is:
+///
+/// > For every request not in `dirty_ops`, `entries[op].state` equals what
+/// > the batch assembly would compute for that request on the current
+/// > prefix; for every group not in `dirty_undeclared` that no request
+/// > watches, `undeclared_fail` records exactly whether (and how) its
+/// > erase search fails; and `order_bad` holds exactly the adjacent
+/// > request pairs whose effect anchors are out of submission order.
+///
+/// Pushing an event touches one group and therefore dirties at most two
+/// requests (its plain watcher and its stamped watcher) or one undeclared
+/// group; a verdict drains the dirty sets and re-decides only those.
+#[derive(Debug, Default)]
+struct Aggregate {
+    /// Per-request interned key (`None` for a non-base declared action).
+    op_keys: Vec<Option<KeySyms>>,
+    /// Request key → request index (first declarer; duplicates trip
+    /// `declare_invalid`).
+    op_lookup: HashMap<KeySyms, usize>,
+    /// Undoable request key → request index, for adopting round-stamped
+    /// transaction groups as they appear.
+    stamped_parents: HashMap<KeySyms, usize>,
+    /// Every round-stamped-shaped group per parent key (declared or not),
+    /// in group-symbol order — so a late-declared undoable request adopts
+    /// its existing rounds.
+    stamped_children: HashMap<KeySyms, Vec<GroupSym>>,
+    /// Per-request cached decisions, index-aligned with the declared
+    /// sequence.
+    entries: Vec<OpEntry>,
+    /// Sticky first declaration-validation failure (non-base action or
+    /// duplicate identity) — mirrors the batch op-list validation.
+    declare_invalid: Option<String>,
+    /// Per-group watcher fan-out, index-aligned with the engine's groups.
+    watchers: Vec<Watchers>,
+    /// Requests whose groups changed since the last verdict.
+    dirty_ops: BTreeSet<usize>,
+    /// Unwatched groups that changed since the last verdict.
+    dirty_undeclared: BTreeSet<GroupSym>,
+    /// Unwatched groups currently failing to erase (ascending symbol order
+    /// = the batch assembly's iteration order).
+    undeclared_fail: BTreeMap<GroupSym, EraseFail>,
+    /// Requests whose state is `Bad` (ascending = first failure wins, as
+    /// in the batch per-request loop).
+    failing_ops: BTreeSet<usize>,
+    /// Indices `i ≥ 1` where both anchors are defined and
+    /// `anchor[i-1] >= anchor[i]`.
+    order_bad: BTreeSet<usize>,
+}
+
+impl Aggregate {
+    /// Records what one observed event did to the partition.
+    fn track(&mut self, eng: &Engine, obs: crate::xable::fast::Observed) {
+        let sym = obs.group;
+        if obs.created {
+            let mut w = Watchers::default();
+            let key = eng.key(sym);
+            if let Some(&op) = self.op_lookup.get(&key) {
+                w.plain_op = Some(op);
+                self.entries[op].plain = Some(sym);
+            }
+            if let Some(parent) = eng.stamped_parent(sym) {
+                self.stamped_children.entry(parent).or_default().push(sym);
+                if let Some(&op) = self.stamped_parents.get(&parent) {
+                    w.stamped_op = Some(op);
+                    // New symbols are assigned in ascending order, so the
+                    // per-request round list stays sorted.
+                    self.entries[op].stamped.push(sym);
+                }
+            }
+            self.watchers.push(w);
+        }
+        let w = self.watchers[sym as usize];
+        if obs.commit_completed {
+            if let Some(op) = w.stamped_op {
+                self.entries[op].committed += 1;
+            }
+        }
+        if let Some(op) = w.plain_op {
+            self.dirty_ops.insert(op);
+        }
+        if let Some(op) = w.stamped_op {
+            self.dirty_ops.insert(op);
+        }
+        if w.is_undeclared() {
+            self.dirty_undeclared.insert(sym);
+        }
+    }
+
+    /// Re-derives the order-violation membership of the adjacent pairs
+    /// around `op` after its anchor may have changed.
+    fn refresh_order_pairs(&mut self, op: usize) {
+        for i in [op, op + 1] {
+            if i == 0 || i >= self.entries.len() {
+                continue;
+            }
+            let bad = match (self.entries[i - 1].state.anchor(), self.entries[i].state.anchor())
+            {
+                (Some(prev), Some(next)) => prev >= next,
+                _ => false,
+            };
+            if bad {
+                self.order_bad.insert(i);
+            } else {
+                self.order_bad.remove(&i);
+            }
+        }
+    }
+}
+
+/// The storage-free core of the online checker: the symbol-keyed engine
+/// (attribution state plus per-group partition with warm memo cells), the
+/// declared request sequence, and the dirty-tracked aggregate verdict —
+/// everything the incremental verdict needs *except* the events
+/// themselves.
 ///
 /// An `IncrementalState` is a **cursor** over an event stream that lives
 /// elsewhere: [`observe`](IncrementalState::observe) consumes the next
@@ -96,15 +300,17 @@ use crate::xable::search::SearchBudget;
 pub struct IncrementalState {
     budget: SearchBudget,
     requests: Vec<(ActionId, Value)>,
-    attribution: AttributionState,
-    ambiguous: bool,
+    engine: Engine,
     /// First completion observed without any start of its action — a
     /// permanent violation of the event axioms (§2.2).
     orphan: Option<String>,
-    groups: BTreeMap<GroupKey, GroupCell>,
     /// Cursor position: how many events of the underlying stream have
     /// been consumed.
     consumed: usize,
+    /// Interior mutability: a verdict drains the dirty sets and refreshes
+    /// the cached per-request decisions, which is logically a cache fill
+    /// behind the `&self` query API.
+    agg: RefCell<Aggregate>,
 }
 
 impl Default for IncrementalState {
@@ -124,16 +330,62 @@ impl IncrementalState {
         IncrementalState {
             budget,
             requests: Vec::new(),
-            attribution: AttributionState::default(),
-            ambiguous: false,
+            engine: Engine::default(),
             orphan: None,
-            groups: BTreeMap::new(),
             consumed: 0,
+            agg: RefCell::new(Aggregate::default()),
         }
     }
 
-    /// Appends an expected request to the declared R3 sequence.
+    /// Appends an expected request to the declared R3 sequence, wiring
+    /// any groups that already belong to it (a request may be declared
+    /// after its first events were observed) into the aggregate.
     pub fn declare(&mut self, action: ActionId, input: Value) {
+        let agg = self.agg.get_mut();
+        let idx = agg.entries.len();
+        agg.entries.push(OpEntry::default());
+        agg.dirty_ops.insert(idx);
+        if !matches!(action, ActionId::Base(_)) {
+            if agg.declare_invalid.is_none() {
+                agg.declare_invalid = Some(msg_not_base(&action));
+            }
+            agg.op_keys.push(None);
+            self.requests.push((action, input));
+            return;
+        }
+        let key = (
+            self.engine.interner_mut().intern_action(action.base_name()),
+            self.engine.interner_mut().intern_value(&input),
+        );
+        agg.op_keys.push(Some(key));
+        if agg.op_lookup.contains_key(&key) {
+            if agg.declare_invalid.is_none() {
+                agg.declare_invalid = Some(msg_duplicate(action.base_name(), &input));
+            }
+            self.requests.push((action, input));
+            return;
+        }
+        agg.op_lookup.insert(key, idx);
+        if let Some(sym) = self.engine.group_with_key(key) {
+            agg.entries[idx].plain = Some(sym);
+            agg.watchers[sym as usize].plain_op = Some(idx);
+            agg.dirty_undeclared.remove(&sym);
+            agg.undeclared_fail.remove(&sym);
+        }
+        if action.is_undoable_base() {
+            agg.stamped_parents.insert(key, idx);
+            if let Some(children) = agg.stamped_children.get(&key).cloned() {
+                for sym in children {
+                    agg.watchers[sym as usize].stamped_op = Some(idx);
+                    agg.entries[idx].stamped.push(sym);
+                    if self.engine.cells[sym as usize].has_commit_completion {
+                        agg.entries[idx].committed += 1;
+                    }
+                    agg.dirty_undeclared.remove(&sym);
+                    agg.undeclared_fail.remove(&sym);
+                }
+            }
+        }
         self.requests.push((action, input));
     }
 
@@ -143,19 +395,15 @@ impl IncrementalState {
     }
 
     /// Consumes the next event of the stream, in amortized O(1): one
-    /// attribution step, one group-cell append, one memo invalidation.
-    /// The event itself is not retained — only its index joins the
-    /// partition.
+    /// attribution step, one group-cell append, one memo invalidation,
+    /// one dirty mark. The event itself is not retained — only its index
+    /// joins the partition.
     pub fn observe(&mut self, event: &Event) {
         let index = self.consumed;
-        match attribute(&mut self.attribution, &mut self.ambiguous, event, index) {
-            Ok(key) => {
-                let is_commit_completion =
-                    matches!(event, Event::Complete(a, _) if a.is_commit());
-                self.groups
-                    .entry(key)
-                    .or_default()
-                    .push_index(index, is_commit_completion);
+        match self.engine.observe(event, index) {
+            Ok(obs) => {
+                let engine = &self.engine;
+                self.agg.get_mut().track(engine, obs);
             }
             Err(reason) => {
                 if self.orphan.is_none() {
@@ -181,13 +429,188 @@ impl IncrementalState {
         &self.requests
     }
 
+    /// Drains the dirty sets: re-runs the erase check of each touched
+    /// undeclared group and the decision of each touched request, all
+    /// through the warm memo cells. O(dirty), independent of the total
+    /// group count.
+    fn refresh<H: HistoryRead + ?Sized>(&self, h: &H) {
+        let mut agg = self.agg.borrow_mut();
+        let agg = &mut *agg;
+        while let Some(sym) = agg.dirty_undeclared.pop_first() {
+            match self.engine.cells[sym as usize].erases(h, self.budget) {
+                EraseOutcome::Erases => {
+                    agg.undeclared_fail.remove(&sym);
+                }
+                EraseOutcome::Stuck => {
+                    agg.undeclared_fail.insert(sym, EraseFail::Stuck);
+                }
+                EraseOutcome::Budget => {
+                    agg.undeclared_fail.insert(sym, EraseFail::Budget);
+                }
+            }
+        }
+        while let Some(op) = agg.dirty_ops.pop_first() {
+            let state = self.compute_op_state(&agg.entries[op], h);
+            let failing = matches!(state, OpState::Bad(_));
+            agg.entries[op].state = state;
+            if failing {
+                agg.failing_ops.insert(op);
+            } else {
+                agg.failing_ops.remove(&op);
+            }
+            agg.refresh_order_pairs(op);
+        }
+    }
+
+    /// One request's decision — the same case analysis, in the same
+    /// order, as the batch assembly's per-request loop.
+    fn compute_op_state<H: HistoryRead + ?Sized>(&self, entry: &OpEntry, h: &H) -> OpState {
+        let exec_sym = match (entry.plain, entry.stamped.is_empty()) {
+            (Some(_), false) => return OpState::Bad(OpFail::PlainAndStamped),
+            (Some(sym), true) => sym,
+            (None, true) => return OpState::Bad(OpFail::NeverExecuted),
+            (None, false) => {
+                // Round-stamped transactions: exactly one round commits
+                // and must reduce to a failure-free execution; every
+                // other round must erase (cancelled rounds).
+                if entry.committed != 1 {
+                    return OpState::Bad(OpFail::CommittedRounds(entry.committed));
+                }
+                let committed = entry
+                    .stamped
+                    .iter()
+                    .copied()
+                    .find(|&sym| self.engine.cells[sym as usize].has_commit_completion)
+                    .expect("committed count is 1");
+                for &sym in &entry.stamped {
+                    if sym == committed {
+                        continue;
+                    }
+                    match self.engine.cells[sym as usize].erases(h, self.budget) {
+                        EraseOutcome::Erases => {}
+                        EraseOutcome::Stuck => {
+                            return OpState::Bad(OpFail::RoundNotErasing(sym));
+                        }
+                        EraseOutcome::Budget => {
+                            return OpState::Bad(OpFail::RoundEraseBudget(sym));
+                        }
+                    }
+                }
+                committed
+            }
+        };
+        let (name, input) = self.engine.resolve(exec_sym);
+        match self.engine.cells[exec_sym as usize].exec(h, &name, &input, self.budget) {
+            ExecOutcome::Reduced { output, anchor } => OpState::Ok { output, anchor },
+            ExecOutcome::Stuck => OpState::Bad(OpFail::Stuck),
+            ExecOutcome::Budget => OpState::Bad(OpFail::ExecBudget),
+        }
+    }
+
+    /// Materializes the exact batch-assembly message for a failing
+    /// request.
+    fn op_fail_verdict(&self, agg: &Aggregate, op: usize) -> Verdict {
+        let (action, input) = &self.requests[op];
+        let fail = |reason: String| fail_verdict(self.engine.ambiguous, reason);
+        let round_of = |sym: GroupSym| {
+            let (_, vs) = self.engine.key(sym);
+            self.engine.interner().value(vs)
+        };
+        match &agg.entries[op].state {
+            OpState::Bad(OpFail::NeverExecuted) => fail(msg_never_executed(action, input)),
+            OpState::Bad(OpFail::PlainAndStamped) => Verdict::Unknown {
+                reason: msg_plain_and_stamped(action, input),
+            },
+            OpState::Bad(OpFail::CommittedRounds(rounds)) => {
+                fail(msg_committed_rounds(action, input, *rounds))
+            }
+            OpState::Bad(OpFail::RoundNotErasing(sym)) => fail(msg_not_erasing(
+                &what_cancelled_round(round_of(*sym), action, input),
+            )),
+            OpState::Bad(OpFail::RoundEraseBudget(sym)) => Verdict::Unknown {
+                reason: msg_erase_budget(&what_cancelled_round(round_of(*sym), action, input)),
+            },
+            OpState::Bad(OpFail::Stuck) => fail(msg_stuck(action, input)),
+            OpState::Bad(OpFail::ExecBudget) => Verdict::Unknown {
+                reason: msg_exec_budget(action, input),
+            },
+            OpState::Pending | OpState::Ok { .. } => {
+                unreachable!("only failing requests are materialized")
+            }
+        }
+    }
+
+    /// Assembles one R3 attempt from the aggregate: the first `ops_len`
+    /// requests must execute, and — for the second attempt —
+    /// `erasable_last`'s groups must erase instead. Mirrors the batch
+    /// assembly's evaluation order exactly: op-list validation, the
+    /// per-request loop (first failure wins), the erasable loop, the
+    /// undeclared loop, the effect-order check.
+    fn assemble<H: HistoryRead + ?Sized>(
+        &self,
+        agg: &Aggregate,
+        h: &H,
+        ops_len: usize,
+        erasable_last: Option<usize>,
+    ) -> Verdict {
+        if let Some(reason) = &agg.declare_invalid {
+            return Verdict::Unknown {
+                reason: reason.clone(),
+            };
+        }
+        let fail = |reason: String| fail_verdict(self.engine.ambiguous, reason);
+        if let Some(&op) = agg.failing_ops.range(..ops_len).next() {
+            return self.op_fail_verdict(agg, op);
+        }
+        if let Some(last) = erasable_last {
+            let (action, input) = &self.requests[last];
+            let entry = &agg.entries[last];
+            let what = what_abandoned(action, input);
+            for sym in entry.plain.iter().chain(entry.stamped.iter()).copied() {
+                match self.engine.cells[sym as usize].erases(h, self.budget) {
+                    EraseOutcome::Erases => {}
+                    EraseOutcome::Stuck => return fail(msg_not_erasing(&what)),
+                    EraseOutcome::Budget => {
+                        return Verdict::Unknown {
+                            reason: msg_erase_budget(&what),
+                        };
+                    }
+                }
+            }
+        }
+        if let Some((&sym, how)) = agg.undeclared_fail.iter().next() {
+            let (ns, vs) = self.engine.key(sym);
+            let what = what_undeclared(self.engine.interner().action(ns), self.engine.interner().value(vs));
+            return match how {
+                EraseFail::Stuck => fail(msg_not_erasing(&what)),
+                EraseFail::Budget => Verdict::Unknown {
+                    reason: msg_erase_budget(&what),
+                },
+            };
+        }
+        if ops_len > 1 && agg.order_bad.range(1..ops_len).next().is_some() {
+            return fail(MSG_OUT_OF_ORDER.to_owned());
+        }
+        let outputs = agg.entries[..ops_len]
+            .iter()
+            .map(|entry| match &entry.state {
+                OpState::Ok { output, .. } => output.clone(),
+                _ => unreachable!("non-Ok requests were handled above"),
+            })
+            .collect();
+        Verdict::Xable {
+            witness: Witness::from_outputs(outputs),
+        }
+    }
+
     /// The R3 verdict for the consumed prefix, read from `h` — the stream
     /// this state has been observing, which must hold exactly the
     /// [`consumed`](IncrementalState::consumed) events in order.
     ///
     /// Equals `FastChecker::new(budget).check_requests` on that prefix
     /// and [`requests()`](Self::requests), for the budget this state was
-    /// built with.
+    /// built with — but computed in O(groups touched since the last
+    /// verdict) instead of O(all groups).
     pub fn verdict_over<H: HistoryRead + ?Sized>(&self, h: &H) -> Verdict {
         debug_assert_eq!(
             h.len(),
@@ -199,15 +622,22 @@ impl IncrementalState {
                 reason: reason.clone(),
             };
         }
+        self.refresh(h);
+        let agg = self.agg.borrow();
         combine_r3_attempts(&self.requests, |ops, erasable| {
-            decide(h, &self.groups, self.ambiguous, self.budget, ops, erasable)
+            if erasable.is_empty() {
+                self.assemble(&agg, h, ops.len(), None)
+            } else {
+                self.assemble(&agg, h, ops.len(), Some(ops.len()))
+            }
         })
     }
 
     /// The verdict for an explicit `(ops, erasable)` question over the
     /// consumed prefix held by `h`, bypassing the declared sequence and
-    /// the R3 last-request fallback. Equals `FastChecker::new(budget).check`
-    /// on that prefix.
+    /// the R3 last-request fallback (and the maintained aggregate — an
+    /// ad-hoc question runs the batch assembly over the warm memo cells).
+    /// Equals `FastChecker::new(budget).check` on that prefix.
     pub fn verdict_for_over<H: HistoryRead + ?Sized>(
         &self,
         h: &H,
@@ -224,7 +654,7 @@ impl IncrementalState {
                 reason: reason.clone(),
             };
         }
-        decide(h, &self.groups, self.ambiguous, self.budget, ops, erasable)
+        crate::xable::fast::decide(h, &self.engine, self.budget, ops, erasable)
     }
 }
 
@@ -232,8 +662,9 @@ impl IncrementalState {
 /// requests as they are submitted, ask for a verdict at any prefix.
 ///
 /// Equivalent to running [`super::FastChecker`]'s `check_requests` on the
-/// full current prefix, but with the partition maintained incrementally
-/// and per-group search outcomes cached across pushes.
+/// full current prefix, but with the partition maintained incrementally,
+/// per-group search outcomes cached across pushes, and the verdict
+/// assembled from a dirty-tracked aggregate (O(dirty groups) per call).
 ///
 /// This is the self-contained flavour: it owns its copy of the consumed
 /// prefix. When the events already live in a shared store (the service
@@ -270,7 +701,8 @@ impl IncrementalChecker {
     }
 
     /// Consumes one observed event, in amortized O(1): one attribution
-    /// step, one group-cell append, one memo invalidation.
+    /// step, one group-cell append, one memo invalidation, one dirty
+    /// mark.
     pub fn push(&mut self, event: Event) {
         self.state.observe(&event);
         self.history.push(event);
@@ -309,7 +741,8 @@ impl IncrementalChecker {
     /// Equals `FastChecker::new(budget).check_requests` on
     /// ([`history()`](Self::history), [`requests()`](Self::requests)) for
     /// the budget this checker was built with (the default `FastChecker`
-    /// budget when built via [`IncrementalChecker::new`]).
+    /// budget when built via [`IncrementalChecker::new`]), computed in
+    /// O(groups touched since the last verdict).
     pub fn verdict(&self) -> Verdict {
         self.state.verdict_over(&self.history)
     }
@@ -466,6 +899,38 @@ mod tests {
     }
 
     #[test]
+    fn round_stamped_rounds_agree_with_batch_even_when_declared_late() {
+        // Round-stamped transactions land *before* their undoable request
+        // is declared: the aggregate must adopt the existing rounds at
+        // declaration time.
+        let u = undo("xfer");
+        let cancel = u.cancel().unwrap();
+        let commit = u.commit().unwrap();
+        let key = Value::from("r0");
+        let iv1 = Value::pair(key.clone(), Value::from(1));
+        let iv2 = Value::pair(key.clone(), Value::from(2));
+        let events = vec![
+            Event::start(u.clone(), iv1.clone()),
+            Event::start(cancel.clone(), iv1.clone()),
+            Event::complete(cancel.clone(), Value::Nil),
+            Event::start(u.clone(), iv2.clone()),
+            Event::complete(u.clone(), Value::from("ok")),
+            Event::start(commit.clone(), iv2.clone()),
+            Event::complete(commit.clone(), Value::Nil),
+        ];
+        let mut inc = IncrementalChecker::new();
+        for (k, ev) in events.into_iter().enumerate() {
+            if k == 4 {
+                // Declare mid-stream, after both rounds already exist.
+                inc.declare(u.clone(), key.clone());
+            }
+            inc.push(ev);
+            assert_eq!(inc.verdict(), batch(&inc), "prefix {}", inc.len());
+        }
+        assert!(inc.verdict().is_xable());
+    }
+
+    #[test]
     fn verdict_for_matches_fast_check() {
         let a = idem("a");
         let mut inc = IncrementalChecker::new();
@@ -525,5 +990,48 @@ mod tests {
         assert!(inc.verdict().is_xable()); // memoizes the group as reduced
         inc.push_all([s(&a, 1), c(&a, 6)]); // disagreeing retry
         assert!(inc.verdict().is_not_xable(), "stale memo would say x-able");
+    }
+
+    #[test]
+    fn duplicate_and_non_base_declarations_are_sticky_unknown() {
+        let a = idem("a");
+        let mut inc = IncrementalChecker::new();
+        inc.declare(a.clone(), Value::from(1));
+        inc.declare(a.clone(), Value::from(1)); // duplicate identity
+        inc.push_all([s(&a, 1), c(&a, 5)]);
+        let v = inc.verdict();
+        assert!(v.is_unknown(), "{v}");
+        assert_eq!(v, batch(&inc));
+
+        let mut inc = IncrementalChecker::new();
+        let cancel = undo("u").cancel().unwrap();
+        inc.declare(cancel, Value::from(1)); // not a base action
+        let v = inc.verdict();
+        assert!(v.is_unknown(), "{v}");
+        assert_eq!(v, batch(&inc));
+    }
+
+    #[test]
+    fn clean_groups_are_not_redecided() {
+        // Whitebox-ish: after a verdict, the dirty sets are empty; a new
+        // event dirties exactly one request.
+        let a = idem("a");
+        let b = idem("b");
+        let mut inc = IncrementalChecker::new();
+        inc.declare(a.clone(), Value::from(1));
+        inc.declare(b.clone(), Value::from(2));
+        inc.push_all([s(&a, 1), c(&a, 5)]);
+        let _ = inc.verdict();
+        assert!(inc.state.agg.borrow().dirty_ops.is_empty());
+        assert!(inc.state.agg.borrow().dirty_undeclared.is_empty());
+        inc.push(s(&b, 2));
+        assert_eq!(
+            inc.state.agg.borrow().dirty_ops.iter().copied().collect::<Vec<_>>(),
+            vec![1],
+            "only request b is dirty"
+        );
+        inc.push(c(&b, 6));
+        assert!(inc.verdict().is_xable());
+        assert_eq!(inc.verdict(), batch(&inc));
     }
 }

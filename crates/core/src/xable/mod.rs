@@ -27,8 +27,7 @@
 //!   someone else (a shared trace store), for monitoring without a
 //!   second copy of the trace.
 //!
-//! The submodules [`search`] and [`fast`] hold the respective engines; the
-//! free functions they historically exported remain as deprecated shims.
+//! The submodules [`search`] and [`fast`] hold the respective engines.
 
 pub mod checker;
 pub mod fast;
@@ -38,41 +37,3 @@ pub mod search;
 pub use checker::{Checker, FastChecker, SearchChecker, TieredChecker, Verdict, Witness};
 pub use incremental::{IncrementalChecker, IncrementalState};
 pub use search::{is_xable_search, search_reduction, SearchBudget, SearchResult};
-
-use crate::action::ActionId;
-use crate::history::History;
-use crate::value::Value;
-
-/// The single-action x-able predicate `x-able(a,iv)(h)` of eq. 23, decided
-/// by exhaustive search with a default budget.
-///
-/// # Examples
-///
-/// ```
-/// use xability_core::{xable, ActionId, ActionName, Event, History, Value};
-///
-/// let a = ActionId::base(ActionName::idempotent("ping"));
-/// // A failed attempt followed by a successful retry is x-able.
-/// let h: History = [
-///     Event::start(a.clone(), Value::Nil),
-///     Event::start(a.clone(), Value::Nil),
-///     Event::complete(a.clone(), Value::from("pong")),
-/// ]
-/// .into_iter()
-/// .collect();
-/// # #[allow(deprecated)]
-/// # {
-/// assert!(xable::is_xable(&h, &a, &Value::Nil));
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use `xable::TieredChecker::default().check(h, &[(action, input)], &[])`"
-)]
-pub fn is_xable(h: &History, action: &ActionId, input: &Value) -> bool {
-    let ops = [(action.clone(), input.clone())];
-    matches!(
-        is_xable_search(h, &ops, SearchBudget::default()),
-        SearchResult::Reached(_)
-    )
-}

@@ -6,6 +6,8 @@
 //! exactly-once accounting.
 //!
 //! * [`scenario`] — the scenario builder / runner / report.
+//! * [`fleet`] — seed-indexed scenario batches executed across worker
+//!   threads, with per-seed outcomes identical to a sequential loop.
 //! * [`experiments`] — one module per experiment of EXPERIMENTS.md
 //!   (figures F1–F7, claims C1–C3).
 //! * [`report`] — markdown rendering used by the `xreport` binary to
@@ -16,8 +18,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod report;
 pub mod scenario;
 pub mod three_tier;
 
+pub use fleet::{Fleet, FleetOutcome, FleetReport};
 pub use scenario::{RunReport, Scenario, Scheme, Workload};

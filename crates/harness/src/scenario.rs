@@ -10,7 +10,6 @@ use std::io;
 use std::path::Path;
 
 use xability_core::spec::{check_r3, IdentitySequencer, Violation};
-use xability_core::xable::IncrementalState;
 use xability_core::{ActionName, Value};
 use xability_store::write_trace_file;
 use xability_protocol::{
@@ -269,16 +268,14 @@ impl Scenario {
 
     /// Builds the world, runs it, and evaluates the outcome.
     pub fn run(&self) -> RunReport {
+        // Online R3: the ledger's default monitor observes every recorded
+        // event as the simulation emits it — a storage-free cursor over
+        // the ledger's shared trace store, so the per-group checker state
+        // (and its dirty-tracked aggregate verdict) is built *during* the
+        // run without a second copy of the event stream; evaluation then
+        // only has to declare the submitted requests and read the verdict
+        // off the already-digested prefix.
         let ledger = shared_ledger();
-        // Online R3: the ledger's monitor observes every recorded event as
-        // the simulation emits it — a storage-free cursor over the
-        // ledger's shared trace store, so the per-group checker state is
-        // built *during* the run without a second copy of the event
-        // stream; evaluation then only has to declare the submitted
-        // requests and read the verdict off the already-digested prefix.
-        ledger
-            .borrow_mut()
-            .attach_monitor(IncrementalState::new());
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
@@ -462,7 +459,8 @@ pub struct R3Outcome {
 
 /// Evaluates R3 for a submitted request sequence against a ledger.
 ///
-/// Prefers the ledger's online [`IncrementalState`] monitor — which
+/// Prefers the ledger's online [`IncrementalState`](xability_core::xable::IncrementalState)
+/// monitor — which
 /// observed every event during the run as a cursor over the ledger's
 /// shared trace store, so only the groups touched since the last verdict
 /// are re-searched — and falls back to the batch tiered checker

@@ -19,7 +19,6 @@
 use std::collections::BTreeMap;
 
 use xability_core::spec::Violation;
-use xability_core::xable::IncrementalState;
 use xability_core::{ActionId, ActionName, Event, Value};
 
 use crate::scenario::r3_violation_for;
@@ -324,15 +323,10 @@ impl ThreeTier {
 
     /// Builds and runs the three-tier system, returning the evaluation.
     pub fn run(&self) -> ThreeTierReport {
+        // Each tier's R3 obligation is tracked online, independently, by
+        // its ledger's default monitor.
         let backend_ledger = shared_ledger();
         let app_ledger = shared_ledger();
-        // Each tier's R3 obligation is tracked online, independently.
-        backend_ledger
-            .borrow_mut()
-            .attach_monitor(IncrementalState::new());
-        app_ledger
-            .borrow_mut()
-            .attach_monitor(IncrementalState::new());
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,

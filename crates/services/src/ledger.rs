@@ -84,6 +84,24 @@ struct EventMeta {
     service: u32,
 }
 
+/// The error [`Ledger::attach_monitor`] returns when a monitor is already
+/// attached: re-attaching would silently discard the previous monitor's
+/// declared request sequence and warm per-group state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorAlreadyAttached;
+
+impl fmt::Display for MonitorAlreadyAttached {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "the ledger already has an online monitor attached; replacing it would \
+             discard the previous monitor's declared requests and warm group state"
+        )
+    }
+}
+
+impl std::error::Error for MonitorAlreadyAttached {}
+
 /// The global ledger of events, effects, and detected service-level protocol
 /// violations.
 ///
@@ -94,7 +112,14 @@ struct EventMeta {
 /// The formal event stream is stored once, interned and packed, in a
 /// [`TraceStore`]; the attached monitor and every reader work over views
 /// of that store.
-#[derive(Debug, Default)]
+///
+/// A ledger carries an online R3 monitor **by default**: the incremental
+/// checker's dirty-tracked aggregate makes a per-event observation (and a
+/// verdict at any moment) cheap enough to be always on. Use
+/// [`Ledger::without_monitor`] for a bare ledger and
+/// [`Ledger::attach_monitor`] to install a custom (e.g. pre-declared or
+/// custom-budget) monitor on one.
+#[derive(Debug)]
 pub struct Ledger {
     store: TraceStore,
     meta: Vec<EventMeta>,
@@ -104,10 +129,32 @@ pub struct Ledger {
     monitor: Option<IncrementalState>,
 }
 
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger::new()
+    }
+}
+
 impl Ledger {
-    /// Creates an empty ledger.
+    /// Creates an empty ledger with a default online monitor attached.
     pub fn new() -> Self {
-        Ledger::default()
+        Ledger {
+            monitor: Some(IncrementalState::new()),
+            ..Ledger::without_monitor()
+        }
+    }
+
+    /// Creates an empty ledger with no online monitor (batch-only R3
+    /// evaluation, or a custom monitor attached later).
+    pub fn without_monitor() -> Self {
+        Ledger {
+            store: TraceStore::default(),
+            meta: Vec::new(),
+            service_names: Vec::new(),
+            effects: Vec::new(),
+            violations: Vec::new(),
+            monitor: None,
+        }
     }
 
     /// Records a formal event observation. When an online monitor is
@@ -138,21 +185,25 @@ impl Ledger {
     /// into it from the store (via a cursor), so attaching mid-run observes
     /// the same prefix a monitor attached at creation would have.
     ///
-    /// At most one monitor may ever be attached: re-attaching would
-    /// silently discard the previous monitor's declared request sequence
-    /// and warm per-group state (debug builds assert against it; release
-    /// builds keep the replacement semantics).
-    pub fn attach_monitor(&mut self, mut monitor: IncrementalState) {
-        debug_assert!(
-            self.monitor.is_none(),
-            "attach_monitor called on a ledger that already has a monitor; \
-             the previous monitor's declared requests and warm group state \
-             would be discarded"
-        );
+    /// # Errors
+    ///
+    /// Returns [`MonitorAlreadyAttached`] when the ledger already has a
+    /// monitor (including the default one [`Ledger::new`] installs):
+    /// replacing it would silently discard the previous monitor's declared
+    /// request sequence and warm per-group state. Build the ledger with
+    /// [`Ledger::without_monitor`] to control attachment explicitly.
+    pub fn attach_monitor(
+        &mut self,
+        mut monitor: IncrementalState,
+    ) -> Result<(), MonitorAlreadyAttached> {
+        if self.monitor.is_some() {
+            return Err(MonitorAlreadyAttached);
+        }
         for event in self.store.cursor_at(monitor.consumed()) {
             monitor.observe(&event);
         }
         self.monitor = Some(monitor);
+        Ok(())
     }
 
     /// The attached online monitor, if any.
@@ -407,11 +458,11 @@ mod tests {
 
     #[test]
     fn store_is_shared_not_copied() {
-        // The monitor consumes events as a cursor over the ledger's store;
-        // the ledger's view and the snapshot read the same segments.
+        // The (default) monitor consumes events as a cursor over the
+        // ledger's store; the ledger's view and the snapshot read the same
+        // segments.
         let mut ledger = Ledger::new();
         let a = ActionId::base(ActionName::idempotent("a"));
-        ledger.attach_monitor(IncrementalState::new());
         ledger.record_event(Event::start(a.clone(), Value::from(1)), t(1), "svc");
         ledger.record_event(Event::complete(a, Value::from(2)), t(2), "svc");
         assert_eq!(ledger.monitor().unwrap().consumed(), ledger.event_count());
@@ -468,13 +519,13 @@ mod tests {
 
     #[test]
     fn monitor_tracks_events_online_and_replays_on_late_attach() {
-        let mut ledger = Ledger::new();
+        let mut ledger = Ledger::without_monitor();
         let a = ActionId::base(ActionName::idempotent("a"));
         // One event recorded *before* the monitor exists…
         ledger.record_event(Event::start(a.clone(), Value::from(1)), t(1), "svc");
         let mut monitor = IncrementalState::new();
         monitor.declare(a.clone(), Value::from(1));
-        ledger.attach_monitor(monitor);
+        ledger.attach_monitor(monitor).expect("no monitor yet");
         // …and one after: the monitor must see both.
         ledger.record_event(Event::complete(a.clone(), Value::from(2)), t(2), "svc");
         let m = ledger.monitor().expect("attached");
@@ -484,11 +535,31 @@ mod tests {
     }
 
     #[test]
-    fn declare_requests_skips_already_declared_prefix() {
+    fn double_attach_is_a_proper_error() {
+        // A default ledger already carries a monitor…
         let mut ledger = Ledger::new();
+        let err = ledger
+            .attach_monitor(IncrementalState::new())
+            .expect_err("default monitor already attached");
+        assert_eq!(err, MonitorAlreadyAttached);
+        assert!(format!("{err}").contains("already has an online monitor"));
+        // …and the refusal really did preserve the original monitor's
+        // state (here: its consumed prefix).
+        let a = ActionId::base(ActionName::idempotent("a"));
+        ledger.record_event(Event::start(a, Value::from(1)), t(1), "svc");
+        assert_eq!(ledger.monitor().expect("original").consumed(), 1);
+        // A bare ledger accepts exactly one attachment.
+        let mut bare = Ledger::without_monitor();
+        bare.attach_monitor(IncrementalState::new()).expect("first");
+        bare.attach_monitor(IncrementalState::new())
+            .expect_err("second");
+    }
+
+    #[test]
+    fn declare_requests_skips_already_declared_prefix() {
+        let mut ledger = Ledger::new(); // default monitor
         let a = ActionId::base(ActionName::idempotent("a"));
         let b = ActionId::base(ActionName::idempotent("b"));
-        ledger.attach_monitor(IncrementalState::new());
         let first = vec![Request::new(a.clone(), Value::from(1))];
         ledger.declare_requests(&first);
         let both = vec![
@@ -498,7 +569,7 @@ mod tests {
         ledger.declare_requests(&both);
         assert_eq!(ledger.monitor().unwrap().requests().len(), 2);
         // Without a monitor, declaring is a no-op.
-        let mut bare = Ledger::new();
+        let mut bare = Ledger::without_monitor();
         bare.declare_requests(&both);
         assert!(bare.monitor_verdict().is_none());
     }

@@ -58,7 +58,10 @@ pub mod ledger;
 pub mod logic;
 
 pub use core::{FailurePlan, InvokeOutcome, OpKind, ServiceConfig, ServiceCore, ServiceRequest};
-pub use ledger::{shared_ledger, EffectKind, EffectRecord, Ledger, RecordedEvent, SharedLedger};
+pub use ledger::{
+    shared_ledger, EffectKind, EffectRecord, Ledger, MonitorAlreadyAttached, RecordedEvent,
+    SharedLedger,
+};
 pub use logic::BusinessLogic;
 
 #[cfg(test)]

@@ -51,12 +51,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod log;
-
-pub mod intern;
 pub mod store;
 pub mod trace;
 
-pub use intern::{value_heap_bytes, Interner};
+// The symbol-interning layer lives in `xability_core::intern` since the
+// checker engine keys its per-request groups by the same symbols; the
+// store threads that one `Interner` type through its packed events and
+// snapshots. Re-exported here so store users keep one import path.
+pub use xability_core::intern::{value_heap_bytes, Interner, InternerReader};
 pub use store::{EventRepr, HistoryView, TraceCursor, TraceSnapshot, TraceStore};
 pub use trace::{read_trace, write_trace, write_trace_file, RecordedTrace, TRACE_FORMAT_VERSION};

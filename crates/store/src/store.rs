@@ -10,10 +10,8 @@
 
 use std::fmt;
 
-use xability_core::{ActionId, Event, History, HistoryRead, Value};
-
-use crate::intern::Interner;
-use crate::log::{AppendLog, LogView};
+use xability_core::seglog::{AppendLog, LogView};
+use xability_core::{ActionId, Event, History, HistoryRead, Interner, InternerReader, Value};
 
 /// Events per store segment. 64k × 12 bytes ≈ 768 KiB per segment: large
 /// enough that a million-event trace is ~16 segments, small enough that
@@ -205,12 +203,12 @@ impl TraceStore {
     /// An immutable snapshot of the current stream: O(#segments) `Arc`
     /// clones, no event or symbol is copied. Later appends to the store
     /// are invisible to the snapshot (at most one open segment is copied
-    /// on the next append, bounded by the segment size).
+    /// on the next append, bounded by the segment size) — so a snapshot
+    /// handed to another thread keeps reading a stable prefix while this
+    /// store keeps appending.
     pub fn snapshot(&self) -> TraceSnapshot {
-        let (actions, values) = self.interner.snapshot();
         TraceSnapshot {
-            actions,
-            values,
+            interner: self.interner.reader(),
             events: self.events.snapshot(),
         }
     }
@@ -303,8 +301,7 @@ fn decode(repr: EventRepr, name: xability_core::ActionName, value: Value) -> Eve
 /// store and every other snapshot.
 #[derive(Debug, Clone)]
 pub struct TraceSnapshot {
-    pub(crate) actions: LogView<xability_core::ActionName>,
-    pub(crate) values: LogView<Value>,
+    pub(crate) interner: InternerReader,
     pub(crate) events: LogView<EventRepr>,
 }
 
@@ -328,14 +325,20 @@ impl TraceSnapshot {
         let repr = *self.events.get(index);
         decode(
             repr,
-            self.actions.get(repr.action_symbol() as usize).clone(),
-            self.values.get(repr.value_symbol() as usize).clone(),
+            self.interner.action(repr.action_symbol()).clone(),
+            self.interner.value(repr.value_symbol()).clone(),
         )
     }
 
     /// The packed repr at `index` (no decode).
     pub fn repr(&self, index: usize) -> EventRepr {
         *self.events.get(index)
+    }
+
+    /// The shared read handle over the symbol tables this snapshot
+    /// resolves events against.
+    pub fn interner(&self) -> &InternerReader {
+        &self.interner
     }
 
     /// A zero-copy view over the whole snapshot.

@@ -269,14 +269,14 @@ pub fn write_trace<W: Write>(
     w.write_all(&TRACE_MAGIC)?;
     write_u32(w, TRACE_FORMAT_VERSION)?;
 
-    write_len(w, snapshot.actions.len(), "action symbol")?;
-    for name in snapshot.actions.iter() {
+    write_len(w, snapshot.interner().action_count(), "action symbol")?;
+    for name in snapshot.interner().actions() {
         w.write_all(&[u8::from(name.is_undoable())])?;
         write_str(w, name.name())?;
     }
 
-    write_len(w, snapshot.values.len(), "value symbol")?;
-    for value in snapshot.values.iter() {
+    write_len(w, snapshot.interner().value_count(), "value symbol")?;
+    for value in snapshot.interner().values() {
         write_value(w, value)?;
     }
 

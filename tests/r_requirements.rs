@@ -108,15 +108,13 @@ fn r2_submit_eventually_succeeds() {
 }
 
 /// R3 — the server-side history is x-able with respect to the submitted
-/// sequence, validated twice: *online* by an incremental monitor attached
-/// to the ledger before the run (fed event by event as the simulation
-/// emits them), and *batch* by the tiered checker over the final history.
+/// sequence, validated twice: *online* by the ledger's default incremental
+/// monitor (fed event by event as the simulation emits them), and *batch*
+/// by the tiered checker over the final history.
 #[test]
 fn r3_history_is_xable() {
     use xability::core::spec::{check_r3, IdentitySequencer};
-    use xability::core::xable::IncrementalState;
     let (mut world, replicas, service, ledger) = build_world(3);
-    ledger.borrow_mut().attach_monitor(IncrementalState::new());
     let reqs = vec![issue_request(service)];
     let client = world.add_process(
         "client",
