@@ -134,7 +134,12 @@ fn bench_sharded_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental, bench_batch_recheck, bench_sharded_batch);
+criterion_group!(
+    benches,
+    bench_incremental,
+    bench_batch_recheck,
+    bench_sharded_batch
+);
 
 /// Measures the headline comparisons on 10k-event traces and writes
 /// `BENCH_checker.json`. Skipped in `cargo test` smoke mode so the

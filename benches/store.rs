@@ -140,8 +140,7 @@ fn emit_bench_json() {
     let n = h.len() as f64;
     let store_bpe = store.approx_bytes() as f64 / n;
     let vec_heap: usize = vec_events.iter().map(|e| value_heap_bytes(e.value())).sum();
-    let vec_bpe =
-        (vec_events.capacity() * std::mem::size_of::<Event>() + vec_heap) as f64 / n;
+    let vec_bpe = (vec_events.capacity() * std::mem::size_of::<Event>() + vec_heap) as f64 / n;
     let ingest_events_per_sec = n / store_ingest.as_secs_f64();
 
     // The historical posture kept two full owned copies of the stream
@@ -171,9 +170,7 @@ fn emit_bench_json() {
     std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
     println!(
         "bench store: wrote BENCH_store.json ({:.1} vs {:.1} bytes/event, {:.0} events/s ingest)",
-        store_bpe,
-        vec_bpe,
-        ingest_events_per_sec
+        store_bpe, vec_bpe, ingest_events_per_sec
     );
 }
 

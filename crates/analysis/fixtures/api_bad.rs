@@ -1,0 +1,18 @@
+//! Lint fixture: seeded API-hygiene violation (NOT compiled; consumed by
+//! `include_str!` in the rule's self-tests). The Verdict enum is not
+//! `#[must_use]`, so the bare-returning pub fn must carry the attribute —
+//! and doesn't.
+
+pub enum Verdict {
+    Xable,
+    NotXable,
+}
+
+pub fn check() -> Verdict {
+    Verdict::Xable
+}
+
+#[must_use]
+pub fn check_attributed() -> Verdict {
+    Verdict::NotXable
+}

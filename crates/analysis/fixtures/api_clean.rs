@@ -1,0 +1,17 @@
+//! Lint fixture: API-hygiene-clean code — the enum is not `#[must_use]`,
+//! but every public Verdict-returning fn carries the attribute itself.
+
+pub enum Verdict {
+    Xable,
+    NotXable,
+}
+
+#[must_use]
+pub fn check() -> Verdict {
+    Verdict::Xable
+}
+
+/// Wrapped returns ride the wrapper's must_use.
+pub fn try_check() -> Result<Verdict, String> {
+    Ok(Verdict::Xable)
+}

@@ -1,0 +1,30 @@
+//! Lint fixture: seeded determinism violations. NOT compiled — consumed
+//! by `include_str!` in the determinism rule's self-tests, which assert
+//! that every seeded violation below is flagged.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Demo {
+    index: HashMap<String, u32>,
+    set: HashSet<u32>,
+}
+
+impl Demo {
+    pub fn timing(&self, d: std::time::Duration) {
+        let t = Instant::now(); // seeded: wall clock
+        let s = SystemTime::now(); // seeded: wall clock
+        std::thread::sleep(d); // seeded: wall-clock delay
+        std::process::exit(1); // seeded: process control
+    }
+
+    pub fn leak_order(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for k in &self.index {
+            // seeded: hash iteration feeding ordered output
+            out.push(format!("{k:?}"));
+        }
+        let _keys: Vec<&String> = self.index.keys().collect(); // seeded: hash iteration
+        let _vals: Vec<&u32> = self.set.iter().collect(); // seeded: hash iteration
+        out
+    }
+}

@@ -1,0 +1,26 @@
+//! Lint fixture: determinism-clean code the rule must stay quiet on.
+//! Hash maps are fine as *probe* structures; ordered output comes from
+//! BTree collections or explicit sorts.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Demo {
+    index: HashMap<String, u32>,
+    ordered: BTreeMap<String, u32>,
+}
+
+impl Demo {
+    pub fn probe(&self, key: &str) -> Option<u32> {
+        // Key probes are order-free and allowed.
+        self.index.get(key).copied()
+    }
+
+    pub fn ordered_output(&self) -> Vec<String> {
+        // BTreeMap iteration is deterministic.
+        let mut out: Vec<String> = self.ordered.keys().cloned().collect();
+        // An "Instant" in a string literal or comment is not a finding.
+        out.push("no Instant here".to_owned());
+        out.sort();
+        out
+    }
+}

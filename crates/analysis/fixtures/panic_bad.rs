@@ -1,0 +1,9 @@
+//! Lint fixture: seeded panic-hygiene violations (NOT compiled; consumed
+//! by `include_str!` in the rule's self-tests).
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    let a = map.get(&1).unwrap(); // seeded: bare unwrap in library code
+    let b = map.get(&2).copied().unwrap(); // seeded: bare unwrap
+    let c = map.get(&3).expect(""); // seeded: expect without a message
+    a + b + c
+}

@@ -1,0 +1,24 @@
+//! Lint fixture: panic-hygiene-clean code the rule must stay quiet on.
+
+/// Fallible paths return errors; `unwrap()` in a doc example is fine:
+///
+/// ```
+/// let x = lookup(&map).unwrap();
+/// ```
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>) -> Result<u32, String> {
+    map.get(&1).copied().ok_or_else(|| "missing key 1".to_owned())
+}
+
+pub fn invariant(map: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    // A documented expect states the invariant that makes it unreachable.
+    *map.get(&0).expect("slot 0 is inserted at construction")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Lint fixture: seeded unsafe-hygiene violations (NOT compiled; consumed
+//! by `include_str!` in the rule's self-tests).
+
+pub unsafe fn danger(p: *const u32) -> u32 {
+    *p
+}
+
+pub fn call(p: *const u32) -> u32 {
+    let _ = p;
+
+    unsafe { danger(p) }
+}

@@ -1,0 +1,15 @@
+//! Lint fixture: unsafe-hygiene-clean code the rule must stay quiet on.
+
+/// # Safety
+///
+/// `p` must be valid for reads.
+// SAFETY: the caller guarantees `p` is valid for reads (documented above).
+pub unsafe fn danger(p: *const u32) -> u32 {
+    *p
+}
+
+pub fn call(x: &u32) -> u32 {
+    // SAFETY: the pointer comes from a live reference, valid by
+    // construction for the duration of the call.
+    unsafe { danger(x as *const u32) }
+}

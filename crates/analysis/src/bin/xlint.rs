@@ -1,0 +1,49 @@
+//! The `xlint` driver: lint the workspace, print findings, exit nonzero
+//! on any.
+//!
+//! ```text
+//! cargo run -p xability-analysis --bin xlint [workspace-root]
+//! cargo run -p xability-analysis --bin xlint -- --rules   # print the catalog
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xability_analysis::lint;
+use xability_analysis::source::Workspace;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--rules") {
+        for rule in lint::rules() {
+            println!("{:28} {}", rule.name(), rule.explain());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = arg.map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!("xlint: cannot load workspace at {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = lint::run(&ws);
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for finding in &report.waived {
+        println!("waived: {finding}");
+    }
+    println!(
+        "xlint: {} file(s), {} finding(s), {} waived",
+        report.files_scanned,
+        report.findings.len(),
+        report.waived.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

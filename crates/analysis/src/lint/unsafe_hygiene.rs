@@ -1,0 +1,96 @@
+//! Unsafe hygiene: every `unsafe` block or function carries a
+//! `// SAFETY:` comment stating why the compiler's proof obligation is
+//! discharged.
+//!
+//! Today the workspace needs no `unsafe` at all — every crate declares
+//! `#![forbid(unsafe_code)]` and the workspace lints forbid it globally
+//! (the PR 6 audit confirmed zero blocks outside `vendor/`). This rule is
+//! the backstop for the day that changes: the ROADMAP's disk tier (mmap)
+//! and accelerator items are exactly the kind of work that arrives with a
+//! targeted `#![allow(unsafe_code)]`, and when it does, each site must
+//! argue its safety where reviewers will read it.
+
+use super::{has_token, Finding, Rule};
+use crate::source::SourceFile;
+
+/// Flags `unsafe` occurrences without a nearby `SAFETY:` comment.
+pub struct UnsafeHygiene;
+
+/// How many lines above the `unsafe` token the `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+impl Rule for UnsafeHygiene {
+    fn name(&self) -> &'static str {
+        "unsafe-hygiene"
+    }
+
+    fn explain(&self) -> &'static str {
+        "every `unsafe` block or fn must carry a `// SAFETY:` comment within the preceding 3 lines"
+    }
+
+    fn check_file(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (idx, line) in file.lines.iter().enumerate() {
+            if !has_token(&line.code, "unsafe") {
+                continue;
+            }
+            let documented = (idx.saturating_sub(SAFETY_WINDOW)..=idx)
+                .any(|i| file.lines[i].comment.contains("SAFETY:"));
+            if !documented {
+                out.push(Finding {
+                    rule: self.name(),
+                    file: file.rel.clone(),
+                    line: line.number,
+                    message: "`unsafe` without a `// SAFETY:` comment — state why the obligation is discharged".to_owned(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(
+            "crates/core/src/demo.rs",
+            Some("core".into()),
+            FileKind::Library,
+            src,
+        )
+    }
+
+    #[test]
+    fn fixture_violations_are_flagged() {
+        let f = file(include_str!("../../fixtures/unsafe_bad.rs"));
+        let findings = UnsafeHygiene.check_file(&f);
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+    }
+
+    #[test]
+    fn fixture_clean_file_is_quiet() {
+        let f = file(include_str!("../../fixtures/unsafe_clean.rs"));
+        let findings = UnsafeHygiene.check_file(&f);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let f = file("// unsafe in a comment\nlet s = \"unsafe in a string\";\n");
+        assert!(UnsafeHygiene.check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn applies_to_tests_and_benches_too() {
+        let f = SourceFile::parse(
+            "tests/demo.rs",
+            None,
+            FileKind::Tests,
+            "unsafe { hack() }\n",
+        );
+        assert_eq!(UnsafeHygiene.check_file(&f).len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! The acceptance gate behind the CI `analysis` job: the *real*
+//! workspace lints clean under every xlint rule. A new finding here
+//! means either fix the code or add an explicit `// xlint: allow(...)`
+//! waiver with a reason — never weaken the rule.
+
+use std::path::Path;
+
+use xability_analysis::lint;
+use xability_analysis::source::Workspace;
+
+fn workspace_root() -> &'static Path {
+    // crates/analysis -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("analysis crate lives two levels under the workspace root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let ws = Workspace::load(workspace_root()).expect("workspace sources load");
+    assert!(
+        ws.files.len() > 50,
+        "walker found only {} files — the scan is not covering the tree",
+        ws.files.len()
+    );
+    let report = lint::run(&ws);
+    assert!(
+        report.is_clean(),
+        "xlint findings on the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_is_exercised_by_a_fixture() {
+    // Keep the rule catalog honest: each rule must prove it can fire.
+    // (The per-rule fixture tests live next to the rules; this pins the
+    // catalog against silently adding an untested rule.)
+    let fixture_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let fixtures: Vec<String> = std::fs::read_dir(&fixture_dir)
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    for prefix in ["determinism", "panic", "unsafe", "api"] {
+        assert!(
+            fixtures
+                .iter()
+                .any(|f| f.starts_with(prefix) && f.ends_with("_bad.rs")),
+            "no `{prefix}*_bad.rs` fixture proving those rules fire"
+        );
+        assert!(
+            fixtures
+                .iter()
+                .any(|f| f.starts_with(prefix) && f.ends_with("_clean.rs")),
+            "no `{prefix}*_clean.rs` fixture proving those rules stay quiet"
+        );
+    }
+}

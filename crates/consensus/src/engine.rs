@@ -396,7 +396,13 @@ impl<V: Clone + Eq + fmt::Debug> ConsensusEngine<V> {
             let suspected = coord != self.me && net.suspects(coord);
             if timed_out || suspected {
                 let round = inst.round;
-                net.send(coord, ConsensusMsg::Nack { instance: id.clone(), round });
+                net.send(
+                    coord,
+                    ConsensusMsg::Nack {
+                        instance: id.clone(),
+                        round,
+                    },
+                );
                 self.advance_to(net, &id, round + 1);
             }
         }

@@ -105,11 +105,7 @@ mod tests {
     }
 
     impl Participant {
-        fn new(
-            me: ProcessId,
-            peers: Vec<ProcessId>,
-            proposals: Vec<(InstanceId, u64)>,
-        ) -> Self {
+        fn new(me: ProcessId, peers: Vec<ProcessId>, proposals: Vec<(InstanceId, u64)>) -> Self {
             Participant {
                 engine: ConsensusEngine::new(me, peers, SimDuration::from_millis(60)),
                 proposals,
@@ -226,8 +222,7 @@ mod tests {
     fn agreement_under_partial_synchrony() {
         let inst = InstanceId::new("ps");
         let mut config = SimConfig::with_seed(4);
-        config.latency =
-            LatencyModel::partially_synchronous(0.3, SimTime::from_millis(500));
+        config.latency = LatencyModel::partially_synchronous(0.3, SimTime::from_millis(500));
         let (mut world, ids) = build(5, |i| vec![(inst.clone(), i as u64)], config);
         world.run_until(SimTime::from_secs(5));
         let d: Vec<Option<u64>> = ids
@@ -302,7 +297,10 @@ mod tests {
     #[test]
     fn read_returns_none_before_any_decision() {
         let (world, ids) = build(3, |_| vec![], SimConfig::with_seed(7));
-        assert_eq!(decisions_of(&world, ids[0], &InstanceId::new("never")), None);
+        assert_eq!(
+            decisions_of(&world, ids[0], &InstanceId::new("never")),
+            None
+        );
     }
 
     #[test]

@@ -86,10 +86,7 @@ pub fn failure_free_output(action: &ActionId, input: &Value, h: &History) -> Opt
 ///
 /// This is the generalization used by requirement R3 (§4) for request
 /// sequences. Returns the output values when the history is failure-free.
-pub fn failure_free_sequence_outputs(
-    ops: &[(ActionId, Value)],
-    h: &History,
-) -> Option<Vec<Value>> {
+pub fn failure_free_sequence_outputs(ops: &[(ActionId, Value)], h: &History) -> Option<Vec<Value>> {
     let mut outputs = Vec::with_capacity(ops.len());
     let mut pos = 0usize;
     for (action, input) in ops {
@@ -172,7 +169,10 @@ mod tests {
     fn failure_free_output_rejects_wrong_shapes() {
         let a = idem("a");
         let u = undo("u");
-        assert_eq!(failure_free_output(&a, &Value::from(1), &History::empty()), None);
+        assert_eq!(
+            failure_free_output(&a, &Value::from(1), &History::empty()),
+            None
+        );
         // Wrong input.
         let h = eventsof(&a, &Value::from(2), &Value::from(9));
         assert_eq!(failure_free_output(&a, &Value::from(1), &h), None);
@@ -189,22 +189,28 @@ mod tests {
     fn sequence_membership() {
         let a = idem("a");
         let u = undo("u");
-        let ops = vec![
-            (a.clone(), Value::from(1)),
-            (u.clone(), Value::from(2)),
-        ];
-        let h = eventsof(&a, &Value::from(1), &Value::from(10))
-            .concat(&eventsof(&u, &Value::from(2), &Value::from(20)));
+        let ops = vec![(a.clone(), Value::from(1)), (u.clone(), Value::from(2))];
+        let h = eventsof(&a, &Value::from(1), &Value::from(10)).concat(&eventsof(
+            &u,
+            &Value::from(2),
+            &Value::from(20),
+        ));
         assert_eq!(
             failure_free_sequence_outputs(&ops, &h),
             Some(vec![Value::from(10), Value::from(20)])
         );
         // Order matters.
-        let swapped = eventsof(&u, &Value::from(2), &Value::from(20))
-            .concat(&eventsof(&a, &Value::from(1), &Value::from(10)));
+        let swapped = eventsof(&u, &Value::from(2), &Value::from(20)).concat(&eventsof(
+            &a,
+            &Value::from(1),
+            &Value::from(10),
+        ));
         assert_eq!(failure_free_sequence_outputs(&ops, &swapped), None);
         // Empty op list matches only the empty history.
-        assert_eq!(failure_free_sequence_outputs(&[], &History::empty()), Some(vec![]));
+        assert_eq!(
+            failure_free_sequence_outputs(&[], &History::empty()),
+            Some(vec![])
+        );
         assert_eq!(failure_free_sequence_outputs(&[], &h), None);
     }
 }

@@ -619,10 +619,18 @@ mod tests {
     fn borrowed_first_and_second_match_owned() {
         let e1 = s(a(), 1);
         let e2 = c(a(), 2);
-        for events in [vec![], vec![e1.clone()], vec![e1.clone(), e2.clone()], vec![e1.clone(), e2, e1]] {
+        for events in [
+            vec![],
+            vec![e1.clone()],
+            vec![e1.clone(), e2.clone()],
+            vec![e1.clone(), e2, e1],
+        ] {
             let h = History::from_events(events);
             assert_eq!(h.first().events(), h.first_event().cloned().as_slice_opt());
-            assert_eq!(h.second().events(), h.second_event().cloned().as_slice_opt());
+            assert_eq!(
+                h.second().events(),
+                h.second_event().cloned().as_slice_opt()
+            );
         }
     }
 

@@ -84,7 +84,12 @@ impl Interner {
     ///
     /// Panics if more than `u32::MAX` distinct names are interned.
     pub fn intern_action(&mut self, name: &ActionName) -> u32 {
-        intern(&self.hasher, &mut self.actions, &mut self.action_index, name)
+        intern(
+            &self.hasher,
+            &mut self.actions,
+            &mut self.action_index,
+            name,
+        )
     }
 
     /// The symbol of `value`, interning it on first sight.
@@ -163,7 +168,10 @@ impl Interner {
             .sum();
         let index_entries = (self.actions.len() + self.values.len())
             * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
-        self.actions.segment_bytes() + self.values.segment_bytes() + name_heap + value_heap
+        self.actions.segment_bytes()
+            + self.values.segment_bytes()
+            + name_heap
+            + value_heap
             + index_entries
     }
 }

@@ -84,9 +84,9 @@ pub mod value;
 pub mod xable;
 
 pub use action::{ActionId, ActionKind, ActionName, Request};
-pub use intern::{Interner, InternerReader};
 pub use event::Event;
 pub use history::{History, HistoryRead, HistoryWindow};
+pub use intern::{Interner, InternerReader};
 pub use pattern::{InterleavedWitness, Pattern, SimplePattern};
 pub use value::Value;
 

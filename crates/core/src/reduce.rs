@@ -108,7 +108,10 @@ pub fn reduction_steps(h: &History) -> Vec<ReductionStep> {
     seen.insert(h.clone());
     let n = h.len();
 
-    let mut push = |rule: ReductionRule, removed: Vec<usize>, result: History, seen: &mut BTreeSet<History>| {
+    let mut push = |rule: ReductionRule,
+                    removed: Vec<usize>,
+                    result: History,
+                    seen: &mut BTreeSet<History>| {
         if seen.insert(result.clone()) {
             steps.push(ReductionStep {
                 rule,
@@ -168,10 +171,7 @@ pub fn reduction_steps(h: &History) -> Vec<ReductionStep> {
                     Event::Start(a, iv) if a == &action => iv.clone(),
                     _ => continue,
                 };
-                let commit_start = Event::start(
-                    ActionId::Commit(base.clone()),
-                    iv.clone(),
-                );
+                let commit_start = Event::start(ActionId::Commit(base.clone()), iv.clone());
                 let au_start = Event::start(au.clone(), iv.clone());
 
                 let first_au_start = (0..n).find(|&q| h[q] == au_start);
@@ -205,8 +205,7 @@ pub fn reduction_steps(h: &History) -> Vec<ReductionStep> {
                     }
                     // Side condition (aᶜ, iv) ∉ h′: no commit start strictly
                     // inside the window (exclusive of matched positions).
-                    let commit_in_junk = ((l0 + 1)..j)
-                        .any(|q| q != r0 && h[q] == commit_start);
+                    let commit_in_junk = ((l0 + 1)..j).any(|q| q != r0 && h[q] == commit_start);
                     if commit_in_junk {
                         continue;
                     }
@@ -251,8 +250,9 @@ pub fn reduction_steps(h: &History) -> Vec<ReductionStep> {
                 // feasible iff some window start i ≤ r0 puts all starts of
                 // (aᵘ, iv) at positions ≤ j into the prefix.
                 {
-                    let last_au_start_le_j =
-                        (0..=j).rev().find(|&q| q != r0 && q != j && h[q] == au_start);
+                    let last_au_start_le_j = (0..=j)
+                        .rev()
+                        .find(|&q| q != r0 && q != j && h[q] == au_start);
                     let i_min = last_au_start_le_j.map_or(0, |q| q + 1);
                     if i_min <= r0 {
                         let result = compact(h, &[], r0, j, &s_ev, &c_ev);
@@ -544,9 +544,10 @@ mod tests {
             cnil(&commit),
         ]);
         for succ in successors(&h) {
-            assert!(succ.count_starts(&commit, &Value::from(1)) >= 2
-                || succ.len() == h.len(),
-                "commit dedup happened across an overlapping action: {succ}");
+            assert!(
+                succ.count_starts(&commit, &Value::from(1)) >= 2 || succ.len() == h.len(),
+                "commit dedup happened across an overlapping action: {succ}"
+            );
         }
     }
 

@@ -172,7 +172,10 @@ mod tests {
             log.push(i);
         }
         assert_eq!(snap.len(), 6);
-        assert_eq!(snap.iter().copied().collect::<Vec<_>>(), (0..6).collect::<Vec<_>>());
+        assert_eq!(
+            snap.iter().copied().collect::<Vec<_>>(),
+            (0..6).collect::<Vec<_>>()
+        );
         // The live log has everything.
         assert_eq!(*log.get(19), 19);
     }
@@ -186,7 +189,10 @@ mod tests {
         log.push(3); // appends privately, no further copy observable
         assert_eq!(snap.len(), 1);
         assert_eq!(*snap.get(0), 1);
-        assert_eq!((0..log.len()).map(|i| *log.get(i)).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            (0..log.len()).map(|i| *log.get(i)).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -219,9 +225,7 @@ mod tests {
         }
         let snap = log.snapshot();
         std::thread::scope(|scope| {
-            let reader = scope.spawn(move || {
-                (0..snap.len()).map(|i| *snap.get(i)).sum::<u64>()
-            });
+            let reader = scope.spawn(move || (0..snap.len()).map(|i| *snap.get(i)).sum::<u64>());
             for i in 40..400u64 {
                 log.push(i);
             }

@@ -158,7 +158,12 @@ pub fn check_r3<S: Sequencer>(
     requests: &[Request],
     server_history: &dyn HistoryRead,
 ) -> Option<Violation> {
-    check_r3_with(&TieredChecker::default(), sequencer, requests, server_history)
+    check_r3_with(
+        &TieredChecker::default(),
+        sequencer,
+        requests,
+        server_history,
+    )
 }
 
 /// [`check_r3`] with an explicit decision procedure — any [`Checker`],
@@ -223,8 +228,11 @@ mod tests {
         let a = idem("a");
         let reqs = vec![Request::new(a.clone(), Value::from(1))];
         // Two completions with different outputs: irreducible duplicate.
-        let h = eventsof(&a, &Value::from(1), &Value::from(5))
-            .concat(&eventsof(&a, &Value::from(1), &Value::from(6)));
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&eventsof(
+            &a,
+            &Value::from(1),
+            &Value::from(6),
+        ));
         let v = check_r3(&IdentitySequencer, &reqs, &h).expect("violation");
         assert_eq!(v.requirement, Requirement::R3);
     }

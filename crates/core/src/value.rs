@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(Value::from(7).as_int(), Some(7));
         assert_eq!(Value::from("x").as_str(), Some("x"));
         assert_eq!(Value::from(true).as_bool(), Some(true));
-        assert_eq!(Value::from(("k", 1)).as_pair().unwrap().0, &Value::from("k"));
+        assert_eq!(
+            Value::from(("k", 1)).as_pair().unwrap().0,
+            &Value::from("k")
+        );
     }
 
     #[test]

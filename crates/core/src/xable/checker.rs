@@ -497,7 +497,9 @@ impl TieredChecker {
             };
         }
         match search_tier(&self.search) {
-            Verdict::Unknown { reason: search_reason } => Verdict::Unknown {
+            Verdict::Unknown {
+                reason: search_reason,
+            } => Verdict::Unknown {
                 reason: format!("fast tier: {reason}; search tier: {search_reason}"),
             },
             definite => definite,
@@ -594,7 +596,9 @@ mod tests {
     #[test]
     fn all_checkers_reject_disagreeing_outputs() {
         let a = idem("a");
-        let h: History = [s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 6)].into_iter().collect();
+        let h: History = [s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 6)]
+            .into_iter()
+            .collect();
         let ops = [(a, Value::from(1))];
         for checker in [
             &SearchChecker::default() as &dyn Checker,
@@ -636,7 +640,10 @@ mod tests {
         .collect();
         let ops = [(a.clone(), Value::from(1)), (a, Value::from(2))];
         let fast = FastChecker::default().check(&h, &ops, &[]);
-        assert!(fast.is_unknown(), "precondition: fast tier undecided ({fast})");
+        assert!(
+            fast.is_unknown(),
+            "precondition: fast tier undecided ({fast})"
+        );
         let tiered = TieredChecker::default().check(&h, &ops, &[]);
         assert!(!tiered.is_unknown(), "escalation must decide: {tiered}");
     }

@@ -386,7 +386,11 @@ impl Engine {
                 let ns = self.interner.intern_action(a.base_name());
                 let vs = self.interner.intern_value(iv);
                 let role = role_of(a);
-                self.attribution.open.entry((ns, role)).or_default().push(vs);
+                self.attribution
+                    .open
+                    .entry((ns, role))
+                    .or_default()
+                    .push(vs);
                 self.attribution.last_start_input.insert((ns, role), vs);
                 ((ns, vs), false)
             }
@@ -494,7 +498,10 @@ impl Engine {
     /// targets and messages — off the per-event hot path).
     pub(crate) fn resolve(&self, sym: GroupSym) -> (ActionName, Value) {
         let (ns, vs) = self.keys[sym as usize];
-        (self.interner.action(ns).clone(), self.interner.value(vs).clone())
+        (
+            self.interner.action(ns).clone(),
+            self.interner.value(vs).clone(),
+        )
     }
 
     /// The round-stamped children of each parent key, in group-symbol
@@ -966,13 +973,9 @@ fn run_job<H: HistoryRead + ?Sized>(
     job: &ShardJob<'_>,
 ) -> (GroupSym, SearchKind, ShardOutcome) {
     let outcome = match job.kind {
-        SearchKind::Exec => ShardOutcome::Exec(run_exec_search(
-            h,
-            job.indices,
-            job.name,
-            job.input,
-            budget,
-        )),
+        SearchKind::Exec => {
+            ShardOutcome::Exec(run_exec_search(h, job.indices, job.name, job.input, budget))
+        }
         SearchKind::Erase => ShardOutcome::Erase(run_erase_search(h, job.indices, budget)),
     };
     (job.sym, job.kind, outcome)
@@ -1091,7 +1094,9 @@ mod tests {
     #[test]
     fn rejects_disagreeing_outputs() {
         let a = idem("a");
-        let h: History = [s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 6)].into_iter().collect();
+        let h: History = [s(&a, 1), c(&a, 5), s(&a, 1), c(&a, 6)]
+            .into_iter()
+            .collect();
         assert!(fast().check(&h, &[(a, Value::from(1))], &[]).is_not_xable());
     }
 
@@ -1106,8 +1111,11 @@ mod tests {
     fn rejects_undeclared_events() {
         let a = idem("a");
         let b = idem("b");
-        let h = eventsof(&a, &Value::from(1), &Value::from(5))
-            .concat(&eventsof(&b, &Value::from(2), &Value::from(6)));
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&eventsof(
+            &b,
+            &Value::from(2),
+            &Value::from(6),
+        ));
         let v = fast().check(&h, &[(a, Value::from(1))], &[]);
         assert!(v.is_not_xable());
     }
@@ -1125,12 +1133,10 @@ mod tests {
         let a = idem("a");
         // Two different inputs for the same action plus a completion:
         // attribution is ambiguous.
-        let h: History = [s(&a, 1), s(&a, 2), c(&a, 5), c(&a, 5)].into_iter().collect();
-        let v = fast().check(
-            &h,
-            &[(a.clone(), Value::from(1)), (a, Value::from(2))],
-            &[],
-        );
+        let h: History = [s(&a, 1), s(&a, 2), c(&a, 5), c(&a, 5)]
+            .into_iter()
+            .collect();
+        let v = fast().check(&h, &[(a.clone(), Value::from(1)), (a, Value::from(2))], &[]);
         assert!(matches!(v, Verdict::Unknown { .. }));
     }
 
@@ -1158,8 +1164,11 @@ mod tests {
     fn sequence_in_order_is_xable() {
         let a = idem("a");
         let b = undo("b");
-        let h = eventsof(&a, &Value::from(1), &Value::from(5))
-            .concat(&eventsof(&b, &Value::from(2), &Value::from(6)));
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&eventsof(
+            &b,
+            &Value::from(2),
+            &Value::from(6),
+        ));
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
         let v = fast().check(&h, &ops, &[]);
         assert_eq!(v, Verdict::xable(vec![Value::from(5), Value::from(6)]));
@@ -1169,8 +1178,11 @@ mod tests {
     fn sequence_out_of_order_is_rejected() {
         let a = idem("a");
         let b = idem("b");
-        let h = eventsof(&b, &Value::from(2), &Value::from(6))
-            .concat(&eventsof(&a, &Value::from(1), &Value::from(5)));
+        let h = eventsof(&b, &Value::from(2), &Value::from(6)).concat(&eventsof(
+            &a,
+            &Value::from(1),
+            &Value::from(5),
+        ));
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
         assert!(fast().check(&h, &ops, &[]).is_not_xable());
     }
@@ -1182,7 +1194,9 @@ mod tests {
         // anchors (C(a) before C(b)) agree.
         let a = idem("a");
         let b = idem("b");
-        let h: History = [s(&a, 1), s(&b, 2), c(&a, 5), c(&b, 6)].into_iter().collect();
+        let h: History = [s(&a, 1), s(&b, 2), c(&a, 5), c(&b, 6)]
+            .into_iter()
+            .collect();
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
         assert!(fast().check(&h, &ops, &[]).is_xable());
     }
@@ -1249,16 +1263,9 @@ mod tests {
         // effects still happened exactly once and in order.
         let a = idem("a");
         let b = idem("b");
-        let h: History = [
-            s(&a, 1),
-            c(&a, 5),
-            s(&b, 2),
-            c(&b, 6),
-            s(&a, 1),
-            c(&a, 5),
-        ]
-        .into_iter()
-        .collect();
+        let h: History = [s(&a, 1), c(&a, 5), s(&b, 2), c(&b, 6), s(&a, 1), c(&a, 5)]
+            .into_iter()
+            .collect();
         let ops = [(a, Value::from(1)), (b, Value::from(2))];
         assert!(fast().check(&h, &ops, &[]).is_xable());
     }
@@ -1268,9 +1275,11 @@ mod tests {
         let a = idem("a");
         let u = undo("u");
         let cancel = u.cancel().unwrap();
-        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(
-            vec![s(&u, 2), s(&cancel, 2), cnil(&cancel)],
-        ));
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(vec![
+            s(&u, 2),
+            s(&cancel, 2),
+            cnil(&cancel),
+        ]));
         let v = fast().check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
         assert_eq!(v, Verdict::xable(vec![Value::from(5)]));
     }
@@ -1279,8 +1288,11 @@ mod tests {
     fn erasable_group_that_committed_is_rejected() {
         let a = idem("a");
         let u = undo("u");
-        let h = eventsof(&a, &Value::from(1), &Value::from(5))
-            .concat(&eventsof(&u, &Value::from(2), &Value::from(7)));
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&eventsof(
+            &u,
+            &Value::from(2),
+            &Value::from(7),
+        ));
         // u committed, so its events cannot erase.
         let v = fast().check(&h, &[(a, Value::from(1))], &[(u, Value::from(2))]);
         assert!(v.is_not_xable());
@@ -1297,9 +1309,11 @@ mod tests {
         ];
         // Last request started but was cancelled and never retried: x-able
         // via the R1…Rₙ₋₁ case.
-        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(
-            vec![s(&u, 2), s(&cancel, 2), cnil(&cancel)],
-        ));
+        let h = eventsof(&a, &Value::from(1), &Value::from(5)).concat(&History::from_events(vec![
+            s(&u, 2),
+            s(&cancel, 2),
+            cnil(&cancel),
+        ]));
         assert!(fast().check_requests(&h, &requests).is_xable());
         // But a *middle* request cannot be abandoned.
         let requests_rev = vec![
@@ -1391,10 +1405,9 @@ mod tests {
         .into_iter()
         .collect();
         let bad: History = [s(&b, 2), c(&b, 6), c(&b, 9)].into_iter().collect();
-        let undeclared: History =
-            [s(&b, 2), c(&b, 6), s(&idem("junk"), 3), c(&idem("junk"), 3)]
-                .into_iter()
-                .collect();
+        let undeclared: History = [s(&b, 2), c(&b, 6), s(&idem("junk"), 3), c(&idem("junk"), 3)]
+            .into_iter()
+            .collect();
         let checker = fast();
         for h in [&xable, &bad, &undeclared] {
             let ops = [(u.clone(), Value::from(1)), (b.clone(), Value::from(2))];

@@ -107,10 +107,7 @@ enum OpState {
     #[default]
     Pending,
     /// The request's events reduce to a failure-free execution.
-    Ok {
-        output: Value,
-        anchor: usize,
-    },
+    Ok { output: Value, anchor: usize },
     /// The request fails (or is undecidable) for this reason; the message
     /// is materialized lazily so clean verdicts never format strings.
     Bad(OpFail),
@@ -247,8 +244,10 @@ impl Aggregate {
             if i == 0 || i >= self.entries.len() {
                 continue;
             }
-            let bad = match (self.entries[i - 1].state.anchor(), self.entries[i].state.anchor())
-            {
+            let bad = match (
+                self.entries[i - 1].state.anchor(),
+                self.entries[i].state.anchor(),
+            ) {
                 (Some(prev), Some(next)) => prev >= next,
                 _ => false,
             };
@@ -580,7 +579,10 @@ impl IncrementalState {
         }
         if let Some((&sym, how)) = agg.undeclared_fail.iter().next() {
             let (ns, vs) = self.engine.key(sym);
-            let what = what_undeclared(self.engine.interner().action(ns), self.engine.interner().value(vs));
+            let what = what_undeclared(
+                self.engine.interner().action(ns),
+                self.engine.interner().value(vs),
+            );
             return match how {
                 EraseFail::Stuck => fail(msg_not_erasing(&what)),
                 EraseFail::Budget => Verdict::Unknown {
@@ -812,10 +814,16 @@ mod tests {
         // Strictly (no abandonment fallback), an unexecuted request is not
         // x-able; under R3 the last request may always be abandoned.
         assert!(!inc.verdict_for(&ops, &[]).is_xable());
-        assert!(inc.verdict().is_xable(), "R3 allows an unsubmitted last request");
+        assert!(
+            inc.verdict().is_xable(),
+            "R3 allows an unsubmitted last request"
+        );
 
         inc.push(s(&a, 1));
-        assert!(!inc.verdict_for(&ops, &[]).is_xable(), "started, not completed");
+        assert!(
+            !inc.verdict_for(&ops, &[]).is_xable(),
+            "started, not completed"
+        );
 
         inc.push(s(&a, 1));
         inc.push(c(&a, 5));
@@ -1026,7 +1034,13 @@ mod tests {
         assert!(inc.state.agg.borrow().dirty_undeclared.is_empty());
         inc.push(s(&b, 2));
         assert_eq!(
-            inc.state.agg.borrow().dirty_ops.iter().copied().collect::<Vec<_>>(),
+            inc.state
+                .agg
+                .borrow()
+                .dirty_ops
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![1],
             "only request b is dirty"
         );

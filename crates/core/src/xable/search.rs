@@ -67,7 +67,12 @@ impl SearchResult {
 /// `min_len` prunes branches whose length is already below the shortest
 /// possible goal (reduction never lengthens a history); pass `0` to disable
 /// pruning.
-pub fn search_reduction<F>(h: &History, goal: F, min_len: usize, budget: SearchBudget) -> SearchResult
+pub fn search_reduction<F>(
+    h: &History,
+    goal: F,
+    min_len: usize,
+    budget: SearchBudget,
+) -> SearchResult
 where
     F: Fn(&History) -> bool,
 {
@@ -195,7 +200,9 @@ mod tests {
     #[test]
     fn retried_idempotent_action_is_xable() {
         let a = idem("a");
-        let h: History = [s(&a, 1), s(&a, 1), s(&a, 1), c(&a, 2)].into_iter().collect();
+        let h: History = [s(&a, 1), s(&a, 1), s(&a, 1), c(&a, 2)]
+            .into_iter()
+            .collect();
         let ops = [(a, Value::from(1))];
         assert!(is_xable_search(&h, &ops, SearchBudget::default()).is_reached());
     }
@@ -203,7 +210,9 @@ mod tests {
     #[test]
     fn duplicated_completions_with_same_output_are_xable() {
         let a = idem("a");
-        let h: History = [s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 2)].into_iter().collect();
+        let h: History = [s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 2)]
+            .into_iter()
+            .collect();
         let ops = [(a, Value::from(1))];
         assert!(is_xable_search(&h, &ops, SearchBudget::default()).is_reached());
     }
@@ -211,7 +220,9 @@ mod tests {
     #[test]
     fn disagreeing_outputs_are_not_xable() {
         let a = idem("a");
-        let h: History = [s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 3)].into_iter().collect();
+        let h: History = [s(&a, 1), c(&a, 2), s(&a, 1), c(&a, 3)]
+            .into_iter()
+            .collect();
         let ops = [(a, Value::from(1))];
         assert_eq!(
             is_xable_search(&h, &ops, SearchBudget::default()),
@@ -284,15 +295,9 @@ mod tests {
         let a = idem("a");
         let b = idem("b");
         // b's retry interleaves with a's success; final order a then b.
-        let h: History = [
-            s(&a, 1),
-            s(&b, 2),
-            c(&a, 10),
-            s(&b, 2),
-            c(&b, 20),
-        ]
-        .into_iter()
-        .collect();
+        let h: History = [s(&a, 1), s(&b, 2), c(&a, 10), s(&b, 2), c(&b, 20)]
+            .into_iter()
+            .collect();
         let ops = [(a.clone(), Value::from(1)), (b.clone(), Value::from(2))];
         assert!(is_xable_search(&h, &ops, SearchBudget::default()).is_reached());
         // The reversed op order is not satisfiable.
@@ -344,7 +349,10 @@ mod tests {
             max_visited: 2,
         };
         let ops = [(idem("zzz"), Value::from(1))];
-        assert_eq!(is_xable_search(&h, &ops, tiny), SearchResult::BudgetExceeded);
+        assert_eq!(
+            is_xable_search(&h, &ops, tiny),
+            SearchResult::BudgetExceeded
+        );
     }
 
     #[test]

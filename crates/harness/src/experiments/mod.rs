@@ -390,11 +390,15 @@ pub fn c3_three_tier() -> Table {
         ("crash-free", ThreeTier::new(3).seed(31)),
         (
             "app replica crash",
-            ThreeTier::new(3).seed(32).crash(0, 0, SimTime::from_millis(5)),
+            ThreeTier::new(3)
+                .seed(32)
+                .crash(0, 0, SimTime::from_millis(5)),
         ),
         (
             "backend replica crash",
-            ThreeTier::new(3).seed(33).crash(1, 0, SimTime::from_millis(5)),
+            ThreeTier::new(3)
+                .seed(33)
+                .crash(1, 0, SimTime::from_millis(5)),
         ),
         (
             "crashes in both tiers",
@@ -415,8 +419,7 @@ pub fn c3_three_tier() -> Table {
         ]);
     }
     Table {
-        title: "C3 — composition: replicated app tier over replicated back-end (§4, fn. 1)"
-            .into(),
+        title: "C3 — composition: replicated app tier over replicated back-end (§4, fn. 1)".into(),
         paper_claim: "x-ability is local: a replicated service that invokes an x-able \
                       replicated service can treat the invocation as an idempotent action, \
                       so correctness composes tier by tier"
@@ -458,7 +461,6 @@ pub fn f3_eventsof_demo() -> (History, History) {
         eventsof(&u, &Value::from(2), &Value::from("ok")),
     )
 }
-
 
 /// A1 — ablation: failure-detector timeout. The central tuning knob of the
 /// protocol trades failover speed against false-suspicion overhead.
@@ -505,8 +507,9 @@ pub fn a1_fd_timeout_ablation(seeds: u64) -> Table {
         ]);
     }
     Table {
-        title: "A1 — ablation: failure-detector timeout (with a crash at 5 ms and 15% pre-GST spikes)"
-            .into(),
+        title:
+            "A1 — ablation: failure-detector timeout (with a crash at 5 ms and 15% pre-GST spikes)"
+                .into(),
         paper_claim: "the protocol tolerates *unreliable* failure detection: timeout tuning \
                       affects performance only, never safety (§5.2)"
             .into(),

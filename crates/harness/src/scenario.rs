@@ -11,7 +11,6 @@ use std::path::Path;
 
 use xability_core::spec::{check_r3, IdentitySequencer, Violation};
 use xability_core::{ActionName, Value};
-use xability_store::write_trace_file;
 use xability_protocol::{
     ActiveReplica, Client, ClientMetrics, LogicalRequest, PbReplica, ProtoMsg, ReplicaMetrics,
     ServiceActor, XReplica, XReplicaConfig,
@@ -24,6 +23,7 @@ use xability_sim::{
     FdConfig, LatencyModel, Metrics as SimMetrics, ProcessId, SimConfig, SimDuration, SimTime,
     World,
 };
+use xability_store::write_trace_file;
 
 /// Which replication scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -351,14 +351,11 @@ impl Scenario {
         client_id: ProcessId,
         replica_ids: &[ProcessId],
     ) -> RunReport {
-        let client = world
-            .actor_as::<Client>(client_id)
-            .expect("client exists");
+        let client = world.actor_as::<Client>(client_id).expect("client exists");
         let finished = client.is_done();
         let completed = client.completed_requests().to_vec();
         let client_metrics = *client.metrics();
-        let latencies: Vec<SimDuration> =
-            client.latencies().iter().map(|(_, d)| *d).collect();
+        let latencies: Vec<SimDuration> = client.latencies().iter().map(|(_, d)| *d).collect();
         let results: Vec<(String, Value)> = client
             .results()
             .iter()
@@ -371,9 +368,7 @@ impl Scenario {
             .iter()
             .map(|r| (r.action.clone(), r.key()))
             .collect();
-        let exactly_once_violations = ledger
-            .borrow()
-            .exactly_once_violations(&completed_keys);
+        let exactly_once_violations = ledger.borrow().exactly_once_violations(&completed_keys);
 
         // R3: the server-side history must be x-able w.r.t. the submitted
         // sequence (the last submitted request may be unfinished).
@@ -472,10 +467,7 @@ pub struct R3Outcome {
 /// Idempotent across calls on the same ledger as long as `submitted` only
 /// ever *extends* the previously evaluated sequence: already-declared
 /// requests are not re-declared into the monitor.
-pub fn r3_violation_for(
-    ledger: &SharedLedger,
-    submitted: &[xability_core::Request],
-) -> R3Outcome {
+pub fn r3_violation_for(ledger: &SharedLedger, submitted: &[xability_core::Request]) -> R3Outcome {
     let online = {
         let mut guard = ledger.borrow_mut();
         guard.declare_requests(submitted);
@@ -558,12 +550,15 @@ impl RunReport {
         if self.latencies.is_empty() {
             return 0;
         }
-        self.latencies.iter().map(|d| d.as_micros()).sum::<u64>()
-            / self.latencies.len() as u64
+        self.latencies.iter().map(|d| d.as_micros()).sum::<u64>() / self.latencies.len() as u64
     }
 
     /// Maximum latency in microseconds.
     pub fn max_latency_micros(&self) -> u64 {
-        self.latencies.iter().map(|d| d.as_micros()).max().unwrap_or(0)
+        self.latencies
+            .iter()
+            .map(|d| d.as_micros())
+            .max()
+            .unwrap_or(0)
     }
 }

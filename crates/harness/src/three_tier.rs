@@ -25,9 +25,7 @@ use crate::scenario::r3_violation_for;
 use xability_protocol::{Client, LogicalRequest, ProtoMsg, XReplica, XReplicaConfig};
 use xability_services::catalog::Bank;
 use xability_services::{shared_ledger, ServiceConfig, ServiceCore, SharedLedger};
-use xability_sim::{
-    Actor, Context, ProcessId, SimConfig, SimDuration, SimTime, TimerId, World,
-};
+use xability_sim::{Actor, Context, ProcessId, SimConfig, SimDuration, SimTime, TimerId, World};
 
 #[derive(Debug)]
 struct CallState {
@@ -224,10 +222,7 @@ impl Actor<ProtoMsg> for Gateway {
                     // One completion per outstanding app-tier attempt; equal
                     // outputs, so the history deduplicates under rule 18.
                     self.app_ledger.borrow_mut().record_event(
-                        Event::complete(
-                            ActionId::base(self.app_action.clone()),
-                            result.clone(),
-                        ),
+                        Event::complete(ActionId::base(self.app_action.clone()), result.clone()),
                         ctx.now(),
                         "gateway",
                     );
@@ -346,7 +341,11 @@ impl ThreeTier {
         for &id in &app_ids {
             world.add_process(
                 format!("app{}", id.0),
-                Box::new(XReplica::new(id, app_ids.clone(), XReplicaConfig::default())),
+                Box::new(XReplica::new(
+                    id,
+                    app_ids.clone(),
+                    XReplicaConfig::default(),
+                )),
             );
         }
         for &id in &backend_ids {
@@ -367,10 +366,7 @@ impl ThreeTier {
             ServiceConfig::default(),
             backend_ledger.clone(),
         );
-        world.add_process(
-            "bank",
-            Box::new(xability_protocol::ServiceActor::new(bank)),
-        );
+        world.add_process("bank", Box::new(xability_protocol::ServiceActor::new(bank)));
         world.add_process(
             "gateway",
             Box::new(

@@ -319,7 +319,7 @@ fn run_trace_dumps_and_replays_to_the_same_verdict() {
         report.ledger.borrow().history().to_history(),
         "replayed events diverge from the ledger's stream"
     );
-    let verdict = FastChecker::default()
-        .check_requests_source(&replayed.store.view(), &replayed.requests);
+    let verdict =
+        FastChecker::default().check_requests_source(&replayed.store.view(), &replayed.requests);
     assert!(verdict.is_xable(), "replayed re-check: {verdict}");
 }

@@ -1,0 +1,41 @@
+//! Satellite of the xability-analysis PR: the fleet's determinism claim,
+//! asserted at its strongest — the *serialized* outcomes of the same seed
+//! batch are byte-identical across worker counts, not merely `==`. A
+//! field that derives `PartialEq` loosely (or a worker-dependent value
+//! smuggled into an outcome) fails here even if structural equality
+//! happens to hold.
+
+use xability_harness::{Fleet, Scenario, Scheme, Workload};
+
+fn serialized_outcomes(workers: usize) -> String {
+    let base = Scenario::new(
+        Scheme::XAble,
+        Workload::BankTransfers {
+            count: 4,
+            amount: 5,
+        },
+    );
+    let report = Fleet::new(base).seed_range(0..8).workers(workers).run();
+    assert_eq!(report.workers, workers.max(1));
+    assert_eq!(report.outcomes.len(), 8);
+    // `workers` itself differs by construction; the determinism claim is
+    // about the outcomes.
+    format!("{:#?}", report.outcomes)
+}
+
+#[test]
+fn same_batch_is_byte_identical_across_worker_counts() {
+    let sequential = serialized_outcomes(1);
+    for workers in [2, 4] {
+        let parallel = serialized_outcomes(workers);
+        assert_eq!(
+            sequential.as_bytes(),
+            parallel.as_bytes(),
+            "serialized fleet outcomes differ between 1 and {workers} workers"
+        );
+    }
+    // The serialization covers the interesting payload, not a stub.
+    for field in ["seed", "correct", "history_len", "mean_latency_micros"] {
+        assert!(sequential.contains(field), "outcome Debug lost `{field}`");
+    }
+}

@@ -151,7 +151,10 @@ impl ExecCore {
             };
             entry.phase = ReqPhase::Committing;
             let round = Self::round_for(rank, entry.attempt);
-            (entry.req.service, entry.req.service_request(round).to_commit())
+            (
+                entry.req.service,
+                entry.req.service_request(round).to_commit(),
+            )
         };
         let invocation = self.next_invocation;
         self.next_invocation += 1;
@@ -221,7 +224,9 @@ impl ExecCore {
             },
             PendingKind::Commit(v) => match outcome {
                 InvokeOutcome::Success(_) => self.finish(ctx, &req_id, v),
-                InvokeOutcome::Failure { terminal: false, .. } => {
+                InvokeOutcome::Failure {
+                    terminal: false, ..
+                } => {
                     self.send_commit(ctx, &req_id, v);
                 }
                 InvokeOutcome::Failure { terminal: true, .. } => {}
@@ -351,7 +356,12 @@ impl Actor<ProtoMsg> for PbReplica {
         ctx.set_timer(self.tick);
     }
 
-    fn on_suspicion(&mut self, ctx: &mut Context<'_, ProtoMsg>, _subject: ProcessId, suspected: bool) {
+    fn on_suspicion(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        _subject: ProcessId,
+        suspected: bool,
+    ) {
         if suspected {
             self.maybe_take_over(ctx);
         }

@@ -199,7 +199,12 @@ impl Actor<ProtoMsg> for Client {
         ctx.set_timer(self.tick);
     }
 
-    fn on_suspicion(&mut self, ctx: &mut Context<'_, ProtoMsg>, subject: ProcessId, suspected: bool) {
+    fn on_suspicion(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        subject: ProcessId,
+        suspected: bool,
+    ) {
         if suspected && self.waiting_on == Some(subject) {
             self.resubmit_to_next(ctx);
         }

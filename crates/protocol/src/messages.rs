@@ -180,12 +180,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must not contain")]
     fn request_ids_must_not_contain_slash() {
-        let _ = LogicalRequest::new(
-            "a/b",
-            ActionName::idempotent("x"),
-            Value::Nil,
-            ProcessId(0),
-        );
+        let _ = LogicalRequest::new("a/b", ActionName::idempotent("x"), Value::Nil, ProcessId(0));
     }
 
     #[test]

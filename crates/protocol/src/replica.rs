@@ -251,7 +251,9 @@ impl XReplica {
                 }
             }
             None => {
-                self.orphan_results.entry(req_id.to_owned()).or_insert(value);
+                self.orphan_results
+                    .entry(req_id.to_owned())
+                    .or_insert(value);
             }
         }
     }
@@ -643,7 +645,9 @@ impl XReplica {
                 InvokeOutcome::Success(_) => {
                     self.start_next_round(ctx, &req_id, round + 1);
                 }
-                InvokeOutcome::Failure { terminal: false, .. } => {
+                InvokeOutcome::Failure {
+                    terminal: false, ..
+                } => {
                     self.metrics.transient_failures += 1;
                     self.start_cancel(ctx, &req_id, round);
                 }
@@ -667,7 +671,9 @@ impl XReplica {
                         self.record_result(&req_id, value);
                     }
                 }
-                InvokeOutcome::Failure { terminal: false, .. } => {
+                InvokeOutcome::Failure {
+                    terminal: false, ..
+                } => {
                     self.metrics.transient_failures += 1;
                     self.start_commit(ctx, &req_id, round, value, deliver);
                 }
@@ -745,7 +751,12 @@ impl Actor<ProtoMsg> for XReplica {
         ctx.set_timer(self.config.tick);
     }
 
-    fn on_suspicion(&mut self, ctx: &mut Context<'_, ProtoMsg>, _subject: ProcessId, suspected: bool) {
+    fn on_suspicion(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        _subject: ProcessId,
+        suspected: bool,
+    ) {
         if suspected {
             self.cleaning_scan(ctx);
         }

@@ -35,6 +35,12 @@ impl Actor<ProtoMsg> for ServiceActor {
         };
         let now = ctx.now();
         let outcome = self.core.handle(&sreq, now, ctx.rng());
-        ctx.send(from, ProtoMsg::InvokeReply { invocation, outcome });
+        ctx.send(
+            from,
+            ProtoMsg::InvokeReply {
+                invocation,
+                outcome,
+            },
+        );
     }
 }

@@ -32,7 +32,9 @@ fn field<'v>(payload: &'v Value, key: &str) -> Option<&'v Value> {
 }
 
 fn str_field(payload: &Value, key: &str) -> Option<String> {
-    field(payload, key).and_then(|v| v.as_str()).map(str::to_owned)
+    field(payload, key)
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
 }
 
 fn int_field(payload: &Value, key: &str) -> Option<i64> {
@@ -103,7 +105,13 @@ impl BusinessLogic for Bank {
         ]
     }
 
-    fn apply(&mut self, action: &ActionName, key: &Value, payload: &Value, rng: &mut StdRng) -> Value {
+    fn apply(
+        &mut self,
+        action: &ActionName,
+        key: &Value,
+        payload: &Value,
+        rng: &mut StdRng,
+    ) -> Value {
         match action.name() {
             "transfer" => {
                 let Some((from, to, amount)) = Bank::transfer_parts(key, payload) else {
@@ -206,13 +214,16 @@ impl BusinessLogic for KvStore {
     }
 
     fn actions(&self) -> Vec<ActionName> {
-        vec![
-            ActionName::idempotent("put"),
-            ActionName::idempotent("get"),
-        ]
+        vec![ActionName::idempotent("put"), ActionName::idempotent("get")]
     }
 
-    fn apply(&mut self, action: &ActionName, _key: &Value, payload: &Value, _rng: &mut StdRng) -> Value {
+    fn apply(
+        &mut self,
+        action: &ActionName,
+        _key: &Value,
+        payload: &Value,
+        _rng: &mut StdRng,
+    ) -> Value {
         match action.name() {
             "put" => {
                 if let (Some(k), Some(v)) = (str_field(payload, "k"), field(payload, "v")) {
@@ -257,7 +268,13 @@ impl BusinessLogic for TokenIssuer {
         vec![ActionName::idempotent("issue")]
     }
 
-    fn apply(&mut self, _action: &ActionName, _key: &Value, _payload: &Value, rng: &mut StdRng) -> Value {
+    fn apply(
+        &mut self,
+        _action: &ActionName,
+        _key: &Value,
+        _payload: &Value,
+        rng: &mut StdRng,
+    ) -> Value {
         self.issued += 1;
         let token: u64 = rng.random_range(0..u64::MAX);
         Value::from(format!("tok-{token:016x}"))
@@ -313,7 +330,13 @@ impl BusinessLogic for Reservation {
         vec![ActionName::undoable("reserve")]
     }
 
-    fn apply(&mut self, _action: &ActionName, key: &Value, payload: &Value, _rng: &mut StdRng) -> Value {
+    fn apply(
+        &mut self,
+        _action: &ActionName,
+        key: &Value,
+        payload: &Value,
+        _rng: &mut StdRng,
+    ) -> Value {
         let seats = int_field(payload, "seats").unwrap_or(1);
         if seats <= 0 || self.free() < seats {
             return Value::from("rejected");
@@ -366,7 +389,13 @@ impl BusinessLogic for NakedCounter {
         vec![ActionName::idempotent("bump")]
     }
 
-    fn apply(&mut self, _action: &ActionName, _key: &Value, payload: &Value, _rng: &mut StdRng) -> Value {
+    fn apply(
+        &mut self,
+        _action: &ActionName,
+        _key: &Value,
+        payload: &Value,
+        _rng: &mut StdRng,
+    ) -> Value {
         let by = int_field(payload, "by").unwrap_or(1);
         self.value += by;
         Value::from(self.value)
@@ -470,7 +499,10 @@ mod tests {
             Value::pair(Value::from("k"), Value::from("name")),
             Value::pair(Value::from("v"), Value::from("ada")),
         ]);
-        assert_eq!(kv.apply(&put, &Value::from("w1"), &p, &mut rng()), Value::Nil);
+        assert_eq!(
+            kv.apply(&put, &Value::from("w1"), &p, &mut rng()),
+            Value::Nil
+        );
         let g = Value::list([Value::pair(Value::from("k"), Value::from("name"))]);
         assert_eq!(
             kv.apply(&get, &Value::from("r1"), &g, &mut rng()),
@@ -486,7 +518,10 @@ mod tests {
         let mut kv = KvStore::new();
         let get = ActionName::idempotent("get");
         let g = Value::list([Value::pair(Value::from("k"), Value::from("none"))]);
-        assert_eq!(kv.apply(&get, &Value::from("r"), &g, &mut rng()), Value::Nil);
+        assert_eq!(
+            kv.apply(&get, &Value::from("r"), &g, &mut rng()),
+            Value::Nil
+        );
     }
 
     #[test]
@@ -526,7 +561,10 @@ mod tests {
         let mut r = Reservation::new(3);
         let a = ActionName::undoable("reserve");
         let p = Value::list([Value::pair(Value::from("seats"), Value::from(5))]);
-        assert_eq!(r.apply(&a, &Value::from("r"), &p, &mut rng()), Value::from("rejected"));
+        assert_eq!(
+            r.apply(&a, &Value::from("r"), &p, &mut rng()),
+            Value::from("rejected")
+        );
         assert_eq!(r.free(), 3);
     }
 
@@ -535,8 +573,14 @@ mod tests {
         let mut c = NakedCounter::new();
         let a = ActionName::idempotent("bump");
         let p = Value::list([Value::pair(Value::from("by"), Value::from(2))]);
-        assert_eq!(c.apply(&a, &Value::from("r"), &p, &mut rng()), Value::from(2));
-        assert_eq!(c.apply(&a, &Value::from("r"), &p, &mut rng()), Value::from(4));
+        assert_eq!(
+            c.apply(&a, &Value::from("r"), &p, &mut rng()),
+            Value::from(2)
+        );
+        assert_eq!(
+            c.apply(&a, &Value::from("r"), &p, &mut rng()),
+            Value::from(4)
+        );
         assert_eq!(c.value(), 4);
     }
 }

@@ -311,7 +311,12 @@ impl ServiceCore {
     ///
     /// This is the only entry point; it implements the semantics described
     /// in the module docs and records events/effects in the ledger.
-    pub fn handle(&mut self, req: &ServiceRequest, now: SimTime, rng: &mut StdRng) -> InvokeOutcome {
+    pub fn handle(
+        &mut self,
+        req: &ServiceRequest,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> InvokeOutcome {
         self.invocations += 1;
         let injected = self.sample_failure(rng);
         match req.op {
@@ -332,8 +337,7 @@ impl ServiceCore {
         if self.invocations <= self.config.failures.fail_first_n {
             return Some(self.invocations % 2 == 1);
         }
-        if self.config.failures.fail_prob > 0.0 && rng.random_bool(self.config.failures.fail_prob)
-        {
+        if self.config.failures.fail_prob > 0.0 && rng.random_bool(self.config.failures.fail_prob) {
             let before = rng.random_bool(self.config.failures.before_effect_ratio);
             return Some(before);
         }
@@ -424,9 +428,7 @@ impl ServiceCore {
                 // stored value (and record the observation).
                 self.ledger.borrow_mut().record_violation(format!(
                     "execute after commit on ({}, {}, round {})",
-                    req.action,
-                    req.key,
-                    req.round
+                    req.action, req.key, req.round
                 ));
                 let v = v.clone();
                 self.record_event(Event::start(action_id.clone(), formal_iv.clone()), now);
@@ -455,7 +457,8 @@ impl ServiceCore {
             EffectKind::Tentative,
             now,
         );
-        self.undo_state.insert(key.clone(), UndoState::Tentative(value.clone()));
+        self.undo_state
+            .insert(key.clone(), UndoState::Tentative(value.clone()));
         self.undo_payloads.insert(key, req.payload.clone());
         if injected == Some(false) {
             return InvokeOutcome::transient("injected fault (after effect)");
@@ -464,7 +467,12 @@ impl ServiceCore {
         InvokeOutcome::Success(value)
     }
 
-    fn cancel(&mut self, req: &ServiceRequest, now: SimTime, injected: Option<bool>) -> InvokeOutcome {
+    fn cancel(
+        &mut self,
+        req: &ServiceRequest,
+        now: SimTime,
+        injected: Option<bool>,
+    ) -> InvokeOutcome {
         let action_id = ActionId::Cancel(req.action.clone());
         let formal_iv = Self::stamped_input(req);
         if injected == Some(true) {
@@ -478,9 +486,7 @@ impl ServiceCore {
                 self.record_event(Event::start(action_id, formal_iv.clone()), now);
                 self.ledger.borrow_mut().record_violation(format!(
                     "cancel after commit on ({}, {}, round {})",
-                    req.action,
-                    req.key,
-                    req.round
+                    req.action, req.key, req.round
                 ));
                 InvokeOutcome::terminal("cannot cancel a committed round")
             }
@@ -495,11 +501,7 @@ impl ServiceCore {
             }
             Some(UndoState::Tentative(_)) => {
                 self.record_event(Event::start(action_id.clone(), formal_iv.clone()), now);
-                let payload = self
-                    .undo_payloads
-                    .get(&key)
-                    .cloned()
-                    .unwrap_or(Value::Nil);
+                let payload = self.undo_payloads.get(&key).cloned().unwrap_or(Value::Nil);
                 self.logic.revert(&req.action, &req.key, &payload);
                 self.ledger.borrow_mut().record_effect(
                     req.action.clone(),
@@ -529,7 +531,12 @@ impl ServiceCore {
         }
     }
 
-    fn commit(&mut self, req: &ServiceRequest, now: SimTime, injected: Option<bool>) -> InvokeOutcome {
+    fn commit(
+        &mut self,
+        req: &ServiceRequest,
+        now: SimTime,
+        injected: Option<bool>,
+    ) -> InvokeOutcome {
         let action_id = ActionId::Commit(req.action.clone());
         let formal_iv = Self::stamped_input(req);
         if injected == Some(true) {
@@ -541,9 +548,7 @@ impl ServiceCore {
                 self.record_event(Event::start(action_id, formal_iv.clone()), now);
                 self.ledger.borrow_mut().record_violation(format!(
                     "commit after cancel on ({}, {}, round {})",
-                    req.action,
-                    req.key,
-                    req.round
+                    req.action, req.key, req.round
                 ));
                 InvokeOutcome::terminal("cannot commit a cancelled round")
             }
@@ -558,11 +563,7 @@ impl ServiceCore {
             }
             Some(UndoState::Tentative(v)) => {
                 self.record_event(Event::start(action_id.clone(), formal_iv.clone()), now);
-                let payload = self
-                    .undo_payloads
-                    .get(&key)
-                    .cloned()
-                    .unwrap_or(Value::Nil);
+                let payload = self.undo_payloads.get(&key).cloned().unwrap_or(Value::Nil);
                 self.logic.finalize(&req.action, &req.key, &payload);
                 self.ledger.borrow_mut().record_effect(
                     req.action.clone(),
@@ -582,9 +583,7 @@ impl ServiceCore {
                 self.record_event(Event::start(action_id, formal_iv.clone()), now);
                 self.ledger.borrow_mut().record_violation(format!(
                     "commit of never-executed round ({}, {}, round {})",
-                    req.action,
-                    req.key,
-                    req.round
+                    req.action, req.key, req.round
                 ));
                 InvokeOutcome::terminal("cannot commit a round that never executed")
             }

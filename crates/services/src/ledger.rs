@@ -341,9 +341,7 @@ impl Ledger {
     pub fn applied_count(&self, action: &ActionName, key: &Value) -> usize {
         self.effects
             .iter()
-            .filter(|e| {
-                e.kind == EffectKind::Applied && &e.action == action && &e.key == key
-            })
+            .filter(|e| e.kind == EffectKind::Applied && &e.action == action && &e.key == key)
             .count()
     }
 
@@ -353,9 +351,7 @@ impl Ledger {
     pub fn committed_count(&self, action: &ActionName, key: &Value) -> usize {
         self.effects
             .iter()
-            .filter(|e| {
-                e.kind == EffectKind::Committed && &e.action == action && &e.key == key
-            })
+            .filter(|e| e.kind == EffectKind::Committed && &e.action == action && &e.key == key)
             .count()
     }
 
@@ -508,10 +504,8 @@ mod tests {
         ledger.record_effect(undo.clone(), Value::from(2), 1, EffectKind::Tentative, t(3));
         ledger.record_effect(undo.clone(), Value::from(2), 1, EffectKind::Committed, t(4));
         ledger.record_violation("commit after cancel on xfer/7");
-        let violations = ledger.exactly_once_violations(&[
-            (idem, Value::from(1)),
-            (undo, Value::from(2)),
-        ]);
+        let violations =
+            ledger.exactly_once_violations(&[(idem, Value::from(1)), (undo, Value::from(2))]);
         assert_eq!(violations.len(), 2);
         assert!(violations[0].contains("2 times"));
         assert!(violations[1].contains("commit after cancel"));

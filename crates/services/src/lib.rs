@@ -144,14 +144,20 @@ mod tests {
         let req1 = transfer_req("t1", 1, 25);
         // Round 1: execute fails (invocation 1: before effect), retry the
         // execution (invocation 2: after effect) — still a failure.
-        assert!(!svc.handle(&req1, SimTime::from_millis(1), &mut r).is_success());
-        assert!(!svc.handle(&req1, SimTime::from_millis(2), &mut r).is_success());
+        assert!(!svc
+            .handle(&req1, SimTime::from_millis(1), &mut r)
+            .is_success());
+        assert!(!svc
+            .handle(&req1, SimTime::from_millis(2), &mut r)
+            .is_success());
         // Cancel round 1, then run round 2 to completion.
         assert!(svc
             .handle(&req1.to_cancel(), SimTime::from_millis(3), &mut r)
             .is_success());
         let req2 = transfer_req("t1", 2, 25);
-        assert!(svc.handle(&req2, SimTime::from_millis(4), &mut r).is_success());
+        assert!(svc
+            .handle(&req2, SimTime::from_millis(4), &mut r)
+            .is_success());
         assert!(svc
             .handle(&req2.to_commit(), SimTime::from_millis(5), &mut r)
             .is_success());
@@ -166,10 +172,9 @@ mod tests {
             is_xable_search(&h, &ops, SearchBudget::default()).is_reached(),
             "history not x-able: {h}"
         );
-        let violations = ledger.borrow().exactly_once_violations(&[(
-            ActionName::undoable("transfer"),
-            Value::from("t1"),
-        )]);
+        let violations = ledger
+            .borrow()
+            .exactly_once_violations(&[(ActionName::undoable("transfer"), Value::from("t1"))]);
         assert!(violations.is_empty(), "{violations:?}");
     }
 
@@ -244,8 +249,12 @@ mod tests {
             0,
             Value::Nil,
         );
-        assert!(!svc.handle(&req, SimTime::from_millis(1), &mut r).is_success());
-        assert!(!svc.handle(&req, SimTime::from_millis(2), &mut r).is_success());
+        assert!(!svc
+            .handle(&req, SimTime::from_millis(1), &mut r)
+            .is_success());
+        assert!(!svc
+            .handle(&req, SimTime::from_millis(2), &mut r)
+            .is_success());
         let out = svc.handle(&req, SimTime::from_millis(3), &mut r);
         assert!(out.is_success());
         let h = ledger.borrow().history().to_history();
@@ -302,7 +311,9 @@ mod tests {
         let mut svc = bank_core(&ledger, FailurePlan::none());
         let mut r = rng();
         let req = transfer_req("t", 3, 10);
-        assert!(svc.handle(&req, SimTime::from_millis(1), &mut r).is_success());
+        assert!(svc
+            .handle(&req, SimTime::from_millis(1), &mut r)
+            .is_success());
         assert!(svc
             .handle(&req.to_cancel(), SimTime::from_millis(2), &mut r)
             .is_success());
@@ -317,7 +328,9 @@ mod tests {
         let mut svc = bank_core(&ledger, FailurePlan::none());
         let mut r = rng();
         let req = transfer_req("t", 1, 10);
-        assert!(svc.handle(&req, SimTime::from_millis(1), &mut r).is_success());
+        assert!(svc
+            .handle(&req, SimTime::from_millis(1), &mut r)
+            .is_success());
         assert!(svc
             .handle(&req.to_commit(), SimTime::from_millis(2), &mut r)
             .is_success());
@@ -343,7 +356,9 @@ mod tests {
         let round1 = transfer_req("t", 1, 10);
         let round2 = transfer_req("t", 2, 10);
         // Round 2 executes; a stale cancel for round 1 arrives.
-        assert!(svc.handle(&round2, SimTime::from_millis(1), &mut r).is_success());
+        assert!(svc
+            .handle(&round2, SimTime::from_millis(1), &mut r)
+            .is_success());
         assert!(svc
             .handle(&round1.to_cancel(), SimTime::from_millis(2), &mut r)
             .is_success());

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a simulated process.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcessId(pub usize);
 
 impl fmt::Display for ProcessId {

@@ -399,7 +399,11 @@ impl<M: std::fmt::Debug + 'static> World<M> {
                     return;
                 }
                 self.metrics.heartbeats_delivered += 1;
-                let entry = self.slots[to.0].fd.last_heard.entry(from).or_insert(self.now);
+                let entry = self.slots[to.0]
+                    .fd
+                    .last_heard
+                    .entry(from)
+                    .or_insert(self.now);
                 if *entry < self.now {
                     *entry = self.now;
                 }
@@ -643,10 +647,8 @@ mod tests {
         let mut flips_before_gst = 0;
         for seed in 0..8 {
             let mut config = SimConfig::with_seed(seed);
-            config.latency = crate::config::LatencyModel::partially_synchronous(
-                0.4,
-                SimTime::from_millis(400),
-            );
+            config.latency =
+                crate::config::LatencyModel::partially_synchronous(0.4, SimTime::from_millis(400));
             let mut world: World<Msg> = World::new(config);
             let a = world.add_process("a", Box::new(Responder { pings: 0 }));
             let b = world.add_process(

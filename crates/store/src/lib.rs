@@ -58,6 +58,6 @@ pub mod trace;
 // checker engine keys its per-request groups by the same symbols; the
 // store threads that one `Interner` type through its packed events and
 // snapshots. Re-exported here so store users keep one import path.
-pub use xability_core::intern::{value_heap_bytes, Interner, InternerReader};
 pub use store::{EventRepr, HistoryView, TraceCursor, TraceSnapshot, TraceStore};
 pub use trace::{read_trace, write_trace, write_trace_file, RecordedTrace, TRACE_FORMAT_VERSION};
+pub use xability_core::intern::{value_heap_bytes, Interner, InternerReader};

@@ -399,7 +399,10 @@ impl HistoryView {
     ///
     /// Panics if `index` is out of bounds.
     pub fn event(&self, index: usize) -> Event {
-        assert!(index < self.len(), "HistoryView index {index} out of bounds");
+        assert!(
+            index < self.len(),
+            "HistoryView index {index} out of bounds"
+        );
         self.snap.event(self.start + index)
     }
 

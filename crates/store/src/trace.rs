@@ -379,14 +379,20 @@ mod tests {
             Event::complete(u.clone(), Value::from(7)),
             Event::start(u.commit().unwrap(), Value::from(1)),
             Event::complete(u.commit().unwrap(), Value::Nil),
-            Event::start(b.clone(), Value::list([Value::pair(Value::from("k"), Value::from(2))])),
+            Event::start(
+                b.clone(),
+                Value::list([Value::pair(Value::from("k"), Value::from(2))]),
+            ),
             Event::complete(b.clone(), Value::from("ok")),
         ]
         .into_iter()
         .collect();
         let requests = vec![
             Request::new(u, Value::from(1)),
-            Request::new(b, Value::list([Value::pair(Value::from("k"), Value::from(2))])),
+            Request::new(
+                b,
+                Value::list([Value::pair(Value::from("k"), Value::from(2))]),
+            ),
         ];
         (requests, TraceStore::from_history(&h))
     }
@@ -407,7 +413,10 @@ mod tests {
             replayed.store.interner().value_count(),
             store.interner().value_count()
         );
-        assert_eq!(replayed.store.view().to_history(), store.view().to_history());
+        assert_eq!(
+            replayed.store.view().to_history(),
+            store.view().to_history()
+        );
     }
 
     #[test]
@@ -543,7 +552,10 @@ mod tests {
         recorded.write_to_file(&path).unwrap();
         let replayed = RecordedTrace::read_from_file(&path).unwrap();
         assert_eq!(replayed.requests, requests);
-        assert_eq!(replayed.store.view().to_history(), store.view().to_history());
+        assert_eq!(
+            replayed.store.view().to_history(),
+            store.view().to_history()
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -69,10 +69,10 @@ fn main() {
     let cancel = xfer.cancel().expect("undoable");
     let commit = xfer.commit().expect("undoable");
     let h: History = [
-        Event::start(xfer.clone(), Value::from(9)),   // attempt 1 (failed)
+        Event::start(xfer.clone(), Value::from(9)), // attempt 1 (failed)
         Event::start(cancel.clone(), Value::from(9)), // cancelled
         Event::complete(cancel.clone(), Value::Nil),
-        Event::start(xfer.clone(), Value::from(9)),   // attempt 2
+        Event::start(xfer.clone(), Value::from(9)), // attempt 2
         Event::complete(xfer.clone(), Value::from("ok")),
         Event::start(commit.clone(), Value::from(9)), // committed
         Event::complete(commit.clone(), Value::Nil),

@@ -29,7 +29,10 @@ fn main() {
         "submit invocations: {} ({} returned failure and were retried)",
         report.client.submissions, report.client.failures
     );
-    println!("mean request latency: {} ms", report.mean_latency_micros() / 1000);
+    println!(
+        "mean request latency: {} ms",
+        report.mean_latency_micros() / 1000
+    );
     println!(
         "replica work: {} rounds owned, {} executions, {} cleanings",
         report.replica_metrics.rounds_owned,
@@ -52,7 +55,10 @@ fn main() {
             Some(v) => format!("VIOLATED: {v}"),
         }
     );
-    println!("  R4 (possible replies)   : {}", if report.r4_ok { "holds" } else { "VIOLATED" });
+    println!(
+        "  R4 (possible replies)   : {}",
+        if report.r4_ok { "holds" } else { "VIOLATED" }
+    );
     println!(
         "\nobserved formal history: {} events, all reducible to failure-free executions",
         report.history_len

@@ -44,7 +44,10 @@ fn assert_no_contradiction(
 ) -> Result<(), TestCaseError> {
     match (search, fast) {
         (Verdict::Xable { .. }, Verdict::NotXable { reason }) => {
-            prop_assert!(false, "fast says NotXable ({reason}) but search reduced: {h}");
+            prop_assert!(
+                false,
+                "fast says NotXable ({reason}) but search reduced: {h}"
+            );
         }
         (Verdict::NotXable { .. }, Verdict::Xable { .. }) => {
             prop_assert!(false, "fast says Xable but search exhausted: {h}");
@@ -180,7 +183,10 @@ fn cancel_then_retry_after_later_request_rejected_by_every_tier() {
 
     let search = SearchChecker::default().check(&h, &ops, &[]);
     assert!(search.is_not_xable(), "search reference: {search}");
-    for checker in [&FastChecker::default() as &dyn Checker, &TieredChecker::default()] {
+    for checker in [
+        &FastChecker::default() as &dyn Checker,
+        &TieredChecker::default(),
+    ] {
         let v = checker.check(&h, &ops, &[]);
         assert!(v.is_not_xable(), "{}: {v}", checker.name());
     }

@@ -17,9 +17,9 @@
 
 use proptest::prelude::*;
 
-use xability_bench::{n_requests_with_cancelled_rounds, n_retried_requests};
 use xability::core::xable::{Checker, FastChecker, IncrementalChecker, Verdict};
 use xability::core::{ActionId, ActionName, Event, History, Request, Value};
+use xability_bench::{n_requests_with_cancelled_rounds, n_retried_requests};
 
 fn requests_of(ops: &[(ActionId, Value)]) -> Vec<Request> {
     ops.iter()
@@ -47,10 +47,22 @@ enum ReqSpec {
 
 fn arb_spec() -> impl Strategy<Value = ReqSpec> {
     prop_oneof![
-        (0u8..3).prop_map(|retries| ReqSpec::Idem { retries, disagree: false }),
-        (0u8..3).prop_map(|retries| ReqSpec::Idem { retries, disagree: true }),
-        (0u8..3).prop_map(|cancelled_rounds| ReqSpec::Undo { cancelled_rounds, commit: true }),
-        (0u8..3).prop_map(|cancelled_rounds| ReqSpec::Undo { cancelled_rounds, commit: false }),
+        (0u8..3).prop_map(|retries| ReqSpec::Idem {
+            retries,
+            disagree: false
+        }),
+        (0u8..3).prop_map(|retries| ReqSpec::Idem {
+            retries,
+            disagree: true
+        }),
+        (0u8..3).prop_map(|cancelled_rounds| ReqSpec::Undo {
+            cancelled_rounds,
+            commit: true
+        }),
+        (0u8..3).prop_map(|cancelled_rounds| ReqSpec::Undo {
+            cancelled_rounds,
+            commit: false
+        }),
     ]
 }
 
@@ -76,7 +88,10 @@ fn events_for(i: usize, spec: &ReqSpec) -> (Vec<Event>, (ActionId, Value)) {
             }
             (events, (a, key))
         }
-        ReqSpec::Undo { cancelled_rounds, commit } => {
+        ReqSpec::Undo {
+            cancelled_rounds,
+            commit,
+        } => {
             let base = ActionName::undoable("xfer");
             let a = ActionId::base(base.clone());
             let cancel = ActionId::Cancel(base.clone());
@@ -265,7 +280,10 @@ fn sharded_verdicts_are_byte_identical_across_worker_counts() {
     .collect();
     let fog_ops = [(a.clone(), Value::from(1)), (a, Value::from(2))];
     let fog_sequential = checker.check(&fog, &fog_ops, &[]);
-    assert!(matches!(fog_sequential, Verdict::Unknown { .. }), "{fog_sequential}");
+    assert!(
+        matches!(fog_sequential, Verdict::Unknown { .. }),
+        "{fog_sequential}"
+    );
 
     for workers in [1usize, 2, 8] {
         assert_eq!(

@@ -6,9 +6,7 @@
 
 use proptest::prelude::*;
 
-use xability::core::xable::{
-    Checker, FastChecker, IncrementalChecker, SearchChecker, Verdict,
-};
+use xability::core::xable::{Checker, FastChecker, IncrementalChecker, SearchChecker, Verdict};
 use xability::core::{ActionId, ActionName, Event, History, Request, Value};
 
 fn idem() -> ActionId {

@@ -3,7 +3,9 @@
 //! validated at its own level.
 
 use xability::core::{ActionName, Value};
-use xability::protocol::{Client, LogicalRequest, ProtoMsg, ServiceActor, XReplica, XReplicaConfig};
+use xability::protocol::{
+    Client, LogicalRequest, ProtoMsg, ServiceActor, XReplica, XReplicaConfig,
+};
 use xability::services::catalog::TokenIssuer;
 use xability::services::{shared_ledger, ServiceConfig, ServiceCore};
 use xability::sim::{ProcessId, SimConfig, SimTime, World};
@@ -22,7 +24,11 @@ fn build_world(
     for &id in &replicas {
         world.add_process(
             format!("r{}", id.0),
-            Box::new(XReplica::new(id, replicas.clone(), XReplicaConfig::default())),
+            Box::new(XReplica::new(
+                id,
+                replicas.clone(),
+                XReplicaConfig::default(),
+            )),
         );
     }
     let service = world.add_process(
@@ -129,10 +135,7 @@ fn r3_history_is_xable() {
     let submitted: Vec<xability::core::Request> = reqs
         .iter()
         .map(|r| {
-            xability::core::Request::new(
-                xability::core::ActionId::base(r.action.clone()),
-                r.key(),
-            )
+            xability::core::Request::new(xability::core::ActionId::base(r.action.clone()), r.key())
         })
         .collect();
     // Online: the monitor digested the run's events as they happened,
@@ -140,7 +143,9 @@ fn r3_history_is_xable() {
     let online = {
         let mut guard = ledger.borrow_mut();
         guard.declare_requests(&submitted);
-        guard.monitor_verdict().expect("monitor attached before the run")
+        guard
+            .monitor_verdict()
+            .expect("monitor attached before the run")
     };
     assert!(online.is_xable(), "online R3 verdict: {online}");
     // Batch: the tiered checker over the final history (a zero-copy view

@@ -28,8 +28,9 @@ fn alphabet() -> Vec<Event> {
 
 fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
     let alpha = alphabet();
-    prop::collection::vec(0..alpha.len(), 0..max_len)
-        .prop_map(move |idx| History::from_events(idx.into_iter().map(|i| alpha[i].clone()).collect()))
+    prop::collection::vec(0..alpha.len(), 0..max_len).prop_map(move |idx| {
+        History::from_events(idx.into_iter().map(|i| alpha[i].clone()).collect())
+    })
 }
 
 proptest! {

@@ -114,7 +114,12 @@ fn corpus_replays_and_rechecks() {
         let path = Path::new(CORPUS_DIR).join(entry.file);
         let replayed = RecordedTrace::read_from_file(&path)
             .unwrap_or_else(|e| panic!("corpus entry {} failed to replay: {e}", entry.file));
-        assert_eq!(replayed.store.len(), entry.events, "{}: event count", entry.file);
+        assert_eq!(
+            replayed.store.len(),
+            entry.events,
+            "{}: event count",
+            entry.file
+        );
         assert_eq!(
             replayed.requests.len(),
             entry.requests,
@@ -124,7 +129,11 @@ fn corpus_replays_and_rechecks() {
 
         // The recorded bytes decode to exactly the generator's history…
         let (expected_requests, expected_history) = (entry.build)();
-        assert_eq!(replayed.requests, expected_requests, "{}: requests", entry.file);
+        assert_eq!(
+            replayed.requests, expected_requests,
+            "{}: requests",
+            entry.file
+        );
         assert_eq!(
             replayed.store.view().to_history(),
             expected_history,

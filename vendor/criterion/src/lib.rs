@@ -223,7 +223,10 @@ fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, sample_size: usize, label: &str, 
         Mode::Test => println!("bench {label}: ok (smoke)"),
         Mode::Measure => {
             let mean = bencher.elapsed.as_secs_f64() / iters.max(1) as f64;
-            println!("bench {label}: mean {:>12.3} µs over {iters} iters", mean * 1e6);
+            println!(
+                "bench {label}: mean {:>12.3} µs over {iters} iters",
+                mean * 1e6
+            );
         }
     }
 }

@@ -65,10 +65,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;
-            let result = s0
-                .wrapping_add(s3)
-                .rotate_left(23)
-                .wrapping_add(s0);
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
             let t = s1 << 17;
             let mut s = [s0, s1, s2, s3];
             s[2] ^= s[0];
@@ -187,7 +184,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0u64..=u64::MAX - 1), b.random_range(0u64..=u64::MAX - 1));
+            assert_eq!(
+                a.random_range(0u64..=u64::MAX - 1),
+                b.random_range(0u64..=u64::MAX - 1)
+            );
         }
     }
 
