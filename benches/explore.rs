@@ -1,0 +1,141 @@
+//! Explorer throughput and coverage growth: how fast the coverage-guided
+//! fault-scenario explorer (`harness::explore`) executes seeded runs, and
+//! how its coverage-signature corpus grows over a fixed budget.
+//!
+//! The headline numbers — explorer runs/second, the coverage curve, and
+//! the weakened-protocol time-to-discovery plus shrink cost — are
+//! measured directly (not through criterion) and written to
+//! `BENCH_explore.json` at the workspace root when the `EMIT_BENCH_JSON`
+//! environment variable is set, mirroring `benches/store.rs`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use xability::harness::{Explorer, ExplorerConfig, Scenario, Scheme, Shrinker, Workload};
+use xability::sim::SimTime;
+
+const MASTER_SEED: u64 = 0xC0FFEE;
+
+fn sound_base() -> Scenario {
+    Scenario::new(Scheme::XAble, Workload::Reservations { count: 2, seats: 1 })
+        .horizon(SimTime::from_secs(5))
+}
+
+fn weakened_base() -> Scenario {
+    sound_base().weaken_retry()
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("sound_runs", 20), &20usize, |b, &runs| {
+        b.iter(|| {
+            let report = Explorer::new(ExplorerConfig::new(sound_base(), MASTER_SEED, runs)).run();
+            black_box(report.signatures)
+        });
+    });
+    group.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    // Delta-debugging a discovered violation down to the 1-minimal
+    // reproducer: the per-violation cost of growing the trace corpus.
+    let report = Explorer::new(ExplorerConfig::new(weakened_base(), MASTER_SEED, 60)).run();
+    let violation = *report
+        .distinct_violations()
+        .first()
+        .expect("the pinned seed discovers the planted weakness");
+    let mut group = c.benchmark_group("explore_shrink");
+    group.sample_size(10);
+    group.bench_function("weakened_violation", |b| {
+        let shrinker = Shrinker::new(weakened_base());
+        b.iter(|| black_box(shrinker.shrink(violation).is_some()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_shrink);
+
+/// Downsamples the coverage curve to at most `max` evenly spaced points
+/// (always keeping the last) for the committed JSON artifact.
+fn curve_json(curve: &[xability::harness::CoveragePoint], max: usize) -> String {
+    let step = curve.len().div_ceil(max).max(1);
+    let points: Vec<String> = curve
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % step == 0 || *i == curve.len() - 1)
+        .map(|(_, p)| format!("{{ \"run\": {}, \"signatures\": {} }}", p.run, p.signatures))
+        .collect();
+    format!("[ {} ]", points.join(", "))
+}
+
+/// Measures the headline explorer numbers and writes `BENCH_explore.json`.
+/// Skipped in `cargo test` smoke mode so the committed artifact only ever
+/// holds real `cargo bench` numbers.
+fn emit_bench_json() {
+    const SOUND_RUNS: usize = 120;
+    const WEAK_RUNS: usize = 60;
+
+    // Sound protocol: pure exploration throughput + coverage growth.
+    let start = Instant::now();
+    let sound = Explorer::new(ExplorerConfig::new(sound_base(), MASTER_SEED, SOUND_RUNS)).run();
+    let sound_elapsed = start.elapsed();
+    assert!(sound.violations.is_empty());
+    let runs_per_sec = SOUND_RUNS as f64 / sound_elapsed.as_secs_f64();
+
+    // Weakened protocol: budget spent until the planted violation is first
+    // discovered, then the cost of shrinking it to the minimal reproducer.
+    let start = Instant::now();
+    let weak = Explorer::new(ExplorerConfig::new(weakened_base(), MASTER_SEED, WEAK_RUNS)).run();
+    let weak_elapsed = start.elapsed();
+    let violation = *weak
+        .distinct_violations()
+        .first()
+        .expect("the pinned seed discovers the planted weakness");
+    let start = Instant::now();
+    let shrunk = Shrinker::new(weakened_base())
+        .shrink(violation)
+        .expect("the discovery shrinks");
+    let shrink_ms = start.elapsed().as_millis();
+
+    let json = format!(
+        "{{\n  \"bench\": \"explore\",\n  \"master_seed\": \"0xC0FFEE\",\n  \
+         \"sound\": {{ \"runs\": {}, \"runs_per_sec\": {:.1}, \"signatures\": {}, \
+         \"violations\": 0,\n    \"coverage_curve\": {} }},\n  \
+         \"weakened\": {{ \"runs\": {}, \"runs_per_sec\": {:.1}, \"signatures\": {}, \
+         \"distinct_violations\": {}, \"first_violation_run\": {}, \
+         \"shrink_ms\": {}, \"shrunk_events\": {}, \"shrunk_class\": \"{:?}/{:?}\" }}\n}}\n",
+        SOUND_RUNS,
+        runs_per_sec,
+        sound.signatures,
+        curve_json(&sound.curve, 20),
+        WEAK_RUNS,
+        WEAK_RUNS as f64 / weak_elapsed.as_secs_f64(),
+        weak.signatures,
+        weak.distinct_violations().len(),
+        violation.run_index,
+        shrink_ms,
+        shrunk.history.len(),
+        shrunk.class.kind,
+        shrunk.class.reason,
+    );
+    std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
+    println!(
+        "bench explore: wrote BENCH_explore.json ({runs_per_sec:.1} runs/s, {} signatures, \
+         shrunk to {} events)",
+        sound.signatures,
+        shrunk.history.len()
+    );
+}
+
+fn main() {
+    benches();
+    // Re-running the explorer sweeps rewrites the committed
+    // BENCH_explore.json with machine-local numbers, so it only runs on
+    // explicit request.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode && std::env::var_os("EMIT_BENCH_JSON").is_some() {
+        emit_bench_json();
+    }
+}

@@ -473,15 +473,33 @@ impl Default for TieredChecker {
     }
 }
 
+/// `true` when the history contains a §5.4 round-stamped event: a start
+/// of an undoable base action whose input has the `Pair(base input,
+/// round)` shape the fast tier adopts into its parent request. The strict
+/// search tier has no adoption rule — it reads each stamped round as an
+/// unrelated request and condemns histories the fast tier merely finds
+/// ambiguous — so escalation must not cross this language boundary.
+fn contains_round_stamped(h: &dyn HistoryRead) -> bool {
+    let mut found = false;
+    h.scan_events(&mut |_, e| {
+        found = e.action().is_undoable_base()
+            && e.is_start()
+            && matches!(e.value(), Value::Pair(p) if matches!(p.1, Value::Int(_)));
+        !found
+    });
+    found
+}
+
 impl TieredChecker {
     /// The escalation policy shared by both entry points: pass a definite
-    /// fast-tier verdict through, refuse to escalate long histories, and
-    /// otherwise consult the search tier, combining reasons if it is
-    /// undecided too.
+    /// fast-tier verdict through, refuse to escalate long or round-stamped
+    /// histories, and otherwise consult the search tier, combining reasons
+    /// if it is undecided too.
     fn escalate(
         &self,
         history_len: usize,
         fast: Verdict,
+        stamped: impl FnOnce() -> bool,
         search_tier: impl FnOnce(&SearchChecker) -> Verdict,
     ) -> Verdict {
         let Verdict::Unknown { reason } = fast else {
@@ -493,6 +511,15 @@ impl TieredChecker {
                     "{reason}; history too long to escalate to exhaustive search \
                      ({history_len} > {} events)",
                     self.max_search_events
+                ),
+            };
+        }
+        if stamped() {
+            return Verdict::Unknown {
+                reason: format!(
+                    "{reason}; history contains round-stamped events outside the \
+                     search tier's language (§5.4 adoption is a fast-tier rule), \
+                     not escalating"
                 ),
             };
         }
@@ -519,7 +546,12 @@ impl Checker for TieredChecker {
         erasable: &[(ActionId, Value)],
     ) -> Verdict {
         let fast = self.fast.check(h, ops, erasable);
-        self.escalate(h.len(), fast, |search| search.check(h, ops, erasable))
+        self.escalate(
+            h.len(),
+            fast,
+            || contains_round_stamped(h),
+            |search| search.check(h, ops, erasable),
+        )
     }
 
     /// Overridden so the fast tier partitions once and shares its
@@ -529,7 +561,12 @@ impl Checker for TieredChecker {
     /// enough to escalate).
     fn check_requests(&self, h: &History, requests: &[Request]) -> Verdict {
         let fast = self.fast.check_requests(h, requests);
-        self.escalate(h.len(), fast, |search| search.check_requests(h, requests))
+        self.escalate(
+            h.len(),
+            fast,
+            || contains_round_stamped(h),
+            |search| search.check_requests(h, requests),
+        )
     }
 
     /// Overridden so the fast tier runs zero-copy over the view; the
@@ -542,9 +579,12 @@ impl Checker for TieredChecker {
         erasable: &[(ActionId, Value)],
     ) -> Verdict {
         let fast = self.fast.check_source(h, ops, erasable);
-        self.escalate(h.len(), fast, |search| {
-            search.check(&h.to_history(), ops, erasable)
-        })
+        self.escalate(
+            h.len(),
+            fast,
+            || contains_round_stamped(h),
+            |search| search.check(&h.to_history(), ops, erasable),
+        )
     }
 
     /// Overridden so the fast tier runs zero-copy over the view; the
@@ -552,9 +592,12 @@ impl Checker for TieredChecker {
     /// escalates to the search tier.
     fn check_requests_source(&self, h: &dyn HistoryRead, requests: &[Request]) -> Verdict {
         let fast = self.fast.check_requests_source(h, requests);
-        self.escalate(h.len(), fast, |search| {
-            search.check_requests(&h.to_history(), requests)
-        })
+        self.escalate(
+            h.len(),
+            fast,
+            || contains_round_stamped(h),
+            |search| search.check_requests(&h.to_history(), requests),
+        )
     }
 }
 
@@ -670,6 +713,46 @@ mod tests {
             panic!("expected Unknown, got {v}");
         };
         assert!(reason.contains("too long"), "{reason}");
+    }
+
+    #[test]
+    fn tiered_checker_refuses_to_escalate_round_stamped_histories() {
+        // A §5.4 round-stamped round that started but never resolved. The
+        // fast tier adopts the stamped group into its parent request and
+        // answers Unknown (the run is still in flight); the raw search
+        // tier has no adoption rule, reads the stamped identity as an
+        // unrelated request, and would condemn the same events. Escalating
+        // would launder that category error into a definite NotXable.
+        let reserve = ActionId::base(ActionName::undoable("reserve"));
+        let round1 = Value::pair(Value::from("req-0"), Value::from(1));
+        let round2 = Value::pair(Value::from("req-0"), Value::from(2));
+        let h: History = [
+            Event::start(reserve.clone(), round1),
+            Event::start(reserve.clone(), round2),
+            Event::complete(reserve.clone(), Value::from("ok")),
+        ]
+        .into_iter()
+        .collect();
+        let requests = [Request::new(reserve, Value::from("req-0"))];
+
+        let tiered = TieredChecker::default();
+        let fast = tiered.fast.check_requests(&h, &requests);
+        assert!(fast.is_unknown(), "precondition: fast undecided ({fast})");
+        let search = tiered.search.check_requests(&h, &requests);
+        assert!(
+            search.is_not_xable(),
+            "precondition: raw search misreads stamping ({search})"
+        );
+
+        for v in [
+            tiered.check_requests(&h, &requests),
+            tiered.check_requests_source(&h, &requests),
+        ] {
+            let Verdict::Unknown { reason } = v else {
+                panic!("stamped history must not escalate, got {v}");
+            };
+            assert!(reason.contains("round-stamped"), "{reason}");
+        }
     }
 
     #[test]

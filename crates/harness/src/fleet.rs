@@ -52,6 +52,8 @@ pub struct FleetOutcome {
     pub completed_requests: usize,
     /// Whether the client finished before the horizon.
     pub finished: bool,
+    /// Whether every live replica resolved all external invocations.
+    pub quiescent: bool,
     /// Whether the run satisfied every checked obligation.
     pub correct: bool,
     /// Exactly-once violations found in the ledger.
@@ -86,6 +88,7 @@ impl From<&RunReport> for FleetOutcome {
             total_requests: report.total_requests,
             completed_requests: report.completed_requests,
             finished: report.finished,
+            quiescent: report.quiescent,
             correct: report.is_correct(),
             exactly_once_violations: report.exactly_once_violations.clone(),
             r3_violation: report.r3_violation.clone(),
@@ -261,5 +264,34 @@ mod tests {
         assert!(report.outcomes.is_empty());
         assert!(report.all_correct());
         assert_eq!(report.workers, 1, "no seeds, no spawned workers");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let fleet = Fleet::new(base()).seed_range(0..3);
+        let report = fleet.clone().workers(0).run();
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.outcomes, fleet.workers(1).run().outcomes);
+    }
+
+    #[test]
+    fn more_workers_than_seeds_clamps_to_seed_count() {
+        let fleet = Fleet::new(base()).seed_range(0..2);
+        let report = fleet.clone().workers(16).run();
+        assert_eq!(
+            report.workers, 2,
+            "a fleet never spawns more workers than it has seeds"
+        );
+        assert_eq!(report.outcomes, fleet.workers(1).run().outcomes);
+    }
+
+    #[test]
+    fn empty_seed_range_runs_nothing() {
+        let report = Fleet::new(base()).seed_range(5..5).workers(0).run();
+        assert!(report.outcomes.is_empty());
+        assert!(report.all_correct());
+        assert_eq!(report.decided_online(), 0);
+        assert_eq!(report.workers, 1);
     }
 }

@@ -8,6 +8,8 @@
 //! * [`scenario`] — the scenario builder / runner / report.
 //! * [`fleet`] — seed-indexed scenario batches executed across worker
 //!   threads, with per-seed outcomes identical to a sequential loop.
+//! * [`explore`] — coverage-guided fault-scenario exploration, violation
+//!   shrinking, and the machine-grown trace corpus.
 //! * [`experiments`] — one module per experiment of EXPERIMENTS.md
 //!   (figures F1–F7, claims C1–C3).
 //! * [`report`] — markdown rendering used by the `xreport` binary to
@@ -18,10 +20,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod explore;
 pub mod fleet;
 pub mod report;
 pub mod scenario;
 pub mod three_tier;
 
+pub use explore::{
+    dangling_round_violation, CoveragePoint, CoverageSignature, ExploreReport, Explorer,
+    ExplorerConfig, FaultPlan, ReasonClass, Shrinker, ShrunkViolation, ViolationClass,
+    ViolationKind,
+};
 pub use fleet::{Fleet, FleetOutcome, FleetReport};
 pub use scenario::{RunReport, Scenario, Scheme, Workload};

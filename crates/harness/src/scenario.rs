@@ -20,8 +20,8 @@ use xability_services::{
     shared_ledger, BusinessLogic, FailurePlan, ServiceConfig, ServiceCore, SharedLedger,
 };
 use xability_sim::{
-    FdConfig, LatencyModel, Metrics as SimMetrics, ProcessId, SimConfig, SimDuration, SimTime,
-    World,
+    FdConfig, LatencyModel, Metrics as SimMetrics, NetFaultConfig, ProcessId, SimConfig,
+    SimDuration, SimTime, World,
 };
 use xability_store::write_trace_file;
 
@@ -190,6 +190,19 @@ pub struct Scenario {
     pub client_crash: Option<SimTime>,
     /// Give up after this much simulated time.
     pub horizon: SimTime,
+    /// Message-level network faults (loss / duplication / reordering).
+    pub net_faults: NetFaultConfig,
+    /// Partition windows: (process indices on one side, from, until).
+    /// Indices address the scenario's process layout — replicas are
+    /// `0..replicas`, the service is `replicas`, the client `replicas + 1`.
+    pub partitions: Vec<(Vec<usize>, SimTime, SimTime)>,
+    /// **Test-only planted weakness** (see `harness::explore` and
+    /// DESIGN.md §9): when set, replicas skip the cancellation step when
+    /// aborting a failed undoable round — the unsound "retry without
+    /// cancel" rule the paper's round poisoning exists to rule out. Used
+    /// to verify that the explorer deterministically finds and shrinks
+    /// the resulting R3 violation; never set outside tests.
+    pub weakened_retry: bool,
 }
 
 impl Scenario {
@@ -207,6 +220,9 @@ impl Scenario {
             crashes: Vec::new(),
             client_crash: None,
             horizon: SimTime::from_secs(60),
+            net_faults: NetFaultConfig::none(),
+            partitions: Vec::new(),
+            weakened_retry: false,
         }
     }
 
@@ -266,6 +282,37 @@ impl Scenario {
         self
     }
 
+    /// Sets message-level network fault injection.
+    #[must_use]
+    pub fn net_faults(mut self, faults: NetFaultConfig) -> Self {
+        self.net_faults = faults;
+        self
+    }
+
+    /// Schedules a partition window severing `members` (process indices)
+    /// from everyone else between `from` and `until`.
+    #[must_use]
+    pub fn partition(mut self, members: Vec<usize>, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push((members, from, until));
+        self
+    }
+
+    /// Sets the give-up horizon.
+    #[must_use]
+    pub fn horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// **Test-only**: plants the weakened abort rule (replicas skip the
+    /// cancel when aborting a failed undoable round). See the
+    /// [`Scenario::weakened_retry`] field docs.
+    #[must_use]
+    pub fn weaken_retry(mut self) -> Self {
+        self.weakened_retry = true;
+        self
+    }
+
     /// Builds the world, runs it, and evaluates the outcome.
     pub fn run(&self) -> RunReport {
         // Online R3: the ledger's default monitor observes every recorded
@@ -280,6 +327,7 @@ impl Scenario {
             seed: self.seed,
             latency: self.latency,
             fd: self.fd,
+            faults: self.net_faults,
         });
 
         // Process ids: replicas first, then the service, then the client.
@@ -287,13 +335,13 @@ impl Scenario {
         let service_id = ProcessId(self.replicas);
         let client_id = ProcessId(self.replicas + 1);
 
+        let replica_config = XReplicaConfig {
+            unsound_skip_abort_cancel: self.weakened_retry,
+            ..XReplicaConfig::default()
+        };
         for &id in &replica_ids {
             let actor: Box<dyn xability_sim::Actor<ProtoMsg>> = match self.scheme {
-                Scheme::XAble => Box::new(XReplica::new(
-                    id,
-                    replica_ids.clone(),
-                    XReplicaConfig::default(),
-                )),
+                Scheme::XAble => Box::new(XReplica::new(id, replica_ids.clone(), replica_config)),
                 Scheme::PrimaryBackup => Box::new(PbReplica::new(id, replica_ids.clone())),
                 Scheme::Active => Box::new(ActiveReplica::new(id, replica_ids.clone())),
             };
@@ -324,6 +372,10 @@ impl Scenario {
         }
         if let Some(at) = self.client_crash {
             world.schedule_crash(client_id, at);
+        }
+        for (members, from, until) in &self.partitions {
+            let ids: Vec<ProcessId> = members.iter().map(|&i| ProcessId(i)).collect();
+            world.schedule_partition(&ids, *from, *until);
         }
 
         world.run_while(
@@ -402,9 +454,18 @@ impl Scenario {
         }
 
         let mut replica_metrics = ReplicaMetrics::default();
+        let mut quiescent = true;
         if self.scheme == Scheme::XAble {
             for &id in replica_ids {
                 if let Some(r) = world.actor_as::<XReplica>(id) {
+                    // Crashed replicas count too: an invocation stranded by
+                    // a crash is an unresolved obligation the cleaner would
+                    // eventually resolve (help-commit or cancel) — a cut
+                    // before that is mid-recovery, not a complete
+                    // execution.
+                    if r.pending_invocations() > 0 {
+                        quiescent = false;
+                    }
                     let m = r.metrics();
                     replica_metrics.executions += m.executions;
                     replica_metrics.cancels += m.cancels;
@@ -414,6 +475,7 @@ impl Scenario {
                     replica_metrics.replies_sent += m.replies_sent;
                     replica_metrics.transient_failures += m.transient_failures;
                     replica_metrics.terminal_failures += m.terminal_failures;
+                    replica_metrics.invoke_retransmits += m.invoke_retransmits;
                 }
             }
         }
@@ -436,6 +498,7 @@ impl Scenario {
             sim: *world.metrics(),
             history_len,
             end_time: world.now(),
+            quiescent,
             submitted,
             ledger,
         }
@@ -522,6 +585,12 @@ pub struct RunReport {
     pub history_len: usize,
     /// Simulated completion time.
     pub end_time: SimTime,
+    /// Whether every live replica had resolved all external invocations by
+    /// the end of the run. When `false`, the recorded history is a
+    /// mid-flight cut of the execution, not a complete one — R3 verdicts on
+    /// it reflect the cut, not the protocol (e.g. a commit retransmission
+    /// that the horizon interrupted).
+    pub quiescent: bool,
     /// The request sequence R3 was evaluated against (for trace dumps and
     /// re-checks).
     pub submitted: Vec<xability_core::Request>,

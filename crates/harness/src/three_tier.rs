@@ -325,7 +325,7 @@ impl ThreeTier {
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
-            fd: xability_sim::FdConfig::default(),
+            ..SimConfig::default()
         });
 
         // Layout: [app replicas][backend replicas][bank][gateway][client].

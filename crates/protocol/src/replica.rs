@@ -73,6 +73,8 @@ pub struct ReplicaMetrics {
     pub transient_failures: u64,
     /// Terminal invocation failures observed (poisoned rounds).
     pub terminal_failures: u64,
+    /// Invocations retransmitted after going unanswered (lost messages).
+    pub invoke_retransmits: u64,
 }
 
 /// Per-request bookkeeping.
@@ -118,6 +120,17 @@ enum Intent {
     CleanOutcome { req_id: String, round: u64 },
 }
 
+/// One in-flight external invocation: the message (kept so it can be
+/// retransmitted) plus its continuation.
+#[derive(Debug, Clone)]
+struct InFlight {
+    service: ProcessId,
+    sreq: xability_services::ServiceRequest,
+    continuation: Pending,
+    /// Ticks since the invocation was (re)sent.
+    ticks_waiting: u32,
+}
+
 /// In-flight external invocations (the blocking points of Fig. 7).
 #[derive(Debug, Clone)]
 enum Pending {
@@ -144,6 +157,25 @@ pub struct XReplicaConfig {
     pub tick: SimDuration,
     /// Consensus round timeout (passed to the engine).
     pub consensus_round_timeout: SimDuration,
+    /// Ticks an external invocation may go unanswered before it is
+    /// retransmitted. The paper assumes quasi-reliable channels, but the
+    /// simulator's fault model can lose an `Invoke` or its reply outright;
+    /// `execute-until-success` (Fig. 7) then requires retransmission, or a
+    /// single lost message would strand the round forever. Must exceed the
+    /// worst-case healthy round trip (two spiked message legs) so healthy
+    /// runs never retransmit.
+    pub invoke_retry_ticks: u32,
+    /// **Test-only planted weakness**: when an outcome agreement decides
+    /// *abort*, skip the cancellation invocation and proceed straight to
+    /// the next round — the unsound "retry without cancel" rule that
+    /// deviation 3 (round-per-attempt, forced by round poisoning) exists
+    /// to rule out. A transient failure *after* the effect then leaves a
+    /// dangling tentative effect that nothing ever erases: an R3
+    /// violation (`NotXable`) and an exactly-once violation. Exists so
+    /// the coverage-guided explorer (`harness::explore`) has a real,
+    /// deterministically discoverable bug to find and shrink; never set
+    /// outside tests.
+    pub unsound_skip_abort_cancel: bool,
 }
 
 impl Default for XReplicaConfig {
@@ -151,6 +183,10 @@ impl Default for XReplicaConfig {
         XReplicaConfig {
             tick: SimDuration::from_millis(10),
             consensus_round_timeout: SimDuration::from_millis(80),
+            // 600ms at the default 10ms tick: above the ~500ms worst-case
+            // spiked round trip, so only genuinely lost messages retry.
+            invoke_retry_ticks: 60,
+            unsound_skip_abort_cancel: false,
         }
     }
 }
@@ -163,7 +199,7 @@ pub struct XReplica {
     config: XReplicaConfig,
     requests: BTreeMap<String, RequestState>,
     intents: BTreeMap<InstanceId, Intent>,
-    pending: BTreeMap<u64, Pending>,
+    pending: BTreeMap<u64, InFlight>,
     /// Results learned before the request itself (decision reordering).
     orphan_results: BTreeMap<String, Value>,
     next_invocation: u64,
@@ -304,8 +340,46 @@ impl XReplica {
     ) {
         let invocation = self.next_invocation;
         self.next_invocation += 1;
-        self.pending.insert(invocation, pending);
+        self.pending.insert(
+            invocation,
+            InFlight {
+                service,
+                sreq: sreq.clone(),
+                continuation: pending,
+                ticks_waiting: 0,
+            },
+        );
         ctx.send(service, ProtoMsg::Invoke { invocation, sreq });
+    }
+
+    /// Retransmits invocations that have gone unanswered for
+    /// `invoke_retry_ticks` ticks (lost `Invoke` or lost reply). Safe
+    /// against a merely slow original: the service deduplicates effects per
+    /// request key and round, and a second reply finds no pending entry.
+    fn retransmit_stale_invokes(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let mut retransmits = 0;
+        for (&invocation, inflight) in self.pending.iter_mut() {
+            inflight.ticks_waiting += 1;
+            if inflight.ticks_waiting >= self.config.invoke_retry_ticks {
+                inflight.ticks_waiting = 0;
+                retransmits += 1;
+                ctx.send(
+                    inflight.service,
+                    ProtoMsg::Invoke {
+                        invocation,
+                        sreq: inflight.sreq.clone(),
+                    },
+                );
+            }
+        }
+        self.metrics.invoke_retransmits += retransmits;
+    }
+
+    /// External invocations still awaiting a reply. A run is only
+    /// *quiescent* — i.e. its recorded history is a complete execution
+    /// rather than a mid-flight cut — when this is zero on every replica.
+    pub fn pending_invocations(&self) -> usize {
+        self.pending.len()
     }
 
     // ---- process-request (Fig. 6) ----
@@ -380,19 +454,30 @@ impl XReplica {
             if owner == self.me || !ctx.suspects(owner) {
                 continue;
             }
-            let st = self.requests.get_mut(&req_id).expect("listed");
+            let st = self.requests.get(&req_id).expect("listed");
+            let undoable = st.req.action.is_undoable();
             if let Some(v) = st.result.clone() {
                 // Deviation 2: the owner may have crashed after agreement
                 // but before replying; deliver the agreed result once.
                 if !st.delivered_by_me {
                     self.reply(ctx, &req_id, v);
                 }
-                continue;
+                if !undoable {
+                    continue;
+                }
+                // A known result does NOT mean the round is resolved: the
+                // owner may have crashed after outcome agreement but
+                // before its commit (or cancel) invocation landed,
+                // leaving the round's tentative effect dangling (an R3
+                // violation if never resolved). Fall through to the
+                // cleaning-mode outcome coordination below — its
+                // continuation helps the commit (idempotent, rule 20) or
+                // cancels the round.
             }
+            let st = self.requests.get_mut(&req_id).expect("listed");
             if !st.cleaning.insert(round) {
                 continue;
             }
-            let undoable = st.req.action.is_undoable();
             self.metrics.cleanings += 1;
             if undoable {
                 self.propose_with_intent(
@@ -487,7 +572,7 @@ impl XReplica {
             Some(Intent::ExecOutcome { req_id, round })
             | Some(Intent::AbortOutcome { req_id, round }) => match dec {
                 Decision::Outcome { abort: true, .. } => {
-                    self.start_cancel(ctx, &req_id, round);
+                    self.abort_round(ctx, &req_id, round);
                 }
                 Decision::Outcome {
                     abort: false,
@@ -506,7 +591,7 @@ impl XReplica {
             },
             Some(Intent::CleanOutcome { req_id, round }) => match dec {
                 Decision::Outcome { abort: true, .. } => {
-                    self.start_cancel(ctx, &req_id, round);
+                    self.abort_round(ctx, &req_id, round);
                 }
                 Decision::Outcome {
                     abort: false,
@@ -521,6 +606,19 @@ impl XReplica {
     }
 
     // ---- execute-until-success / cancel / commit (Fig. 7) ----
+
+    /// An outcome agreement decided abort: cancel the round, then (on
+    /// cancel success) retry in a fresh round. With the test-only
+    /// [`XReplicaConfig::unsound_skip_abort_cancel`] weakness planted, the
+    /// cancel is skipped and its success continuation runs directly —
+    /// leaving any post-effect tentative state dangling forever.
+    fn abort_round(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, round: u64) {
+        if self.config.unsound_skip_abort_cancel {
+            self.start_next_round(ctx, req_id, round + 1);
+        } else {
+            self.start_cancel(ctx, req_id, round);
+        }
+    }
 
     fn start_cancel(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, round: u64) {
         let Some(st) = self.requests.get(req_id) else {
@@ -571,10 +669,10 @@ impl XReplica {
         invocation: u64,
         outcome: InvokeOutcome,
     ) {
-        let Some(pending) = self.pending.remove(&invocation) else {
+        let Some(inflight) = self.pending.remove(&invocation) else {
             return;
         };
-        match pending {
+        match inflight.continuation {
             Pending::Execute { req_id, round } => match outcome {
                 InvokeOutcome::Success(v) => {
                     let undoable = self
@@ -748,6 +846,7 @@ impl Actor<ProtoMsg> for XReplica {
         };
         self.on_decisions(ctx, decided);
         self.cleaning_scan(ctx);
+        self.retransmit_stale_invokes(ctx);
         ctx.set_timer(self.config.tick);
     }
 

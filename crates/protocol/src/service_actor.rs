@@ -1,6 +1,8 @@
 //! Adapter exposing a [`ServiceCore`] as a simulated process.
 
-use xability_services::ServiceCore;
+use std::collections::BTreeMap;
+
+use xability_services::{InvokeOutcome, ServiceCore};
 use xability_sim::{Actor, Context, ProcessId};
 
 use crate::messages::ProtoMsg;
@@ -11,15 +13,29 @@ use crate::messages::ProtoMsg;
 /// Services are assumed correct (they are the environment, not the
 /// replicated system); transient invocation failures are injected by the
 /// core's [`xability_services::FailurePlan`].
+///
+/// The paper assumes quasi-reliable replica↔service channels — no
+/// duplication. The simulator's fault model *can* duplicate messages (and
+/// replicas retransmit unanswered invocations), so the actor restores
+/// at-most-once invocation semantics itself: each `(caller, invocation)`
+/// is executed once and its recorded outcome replayed for every later
+/// copy. Without this filter a duplicated *undoable* execution would
+/// re-run inside its round, and the resulting double event pair is
+/// irreducible — rules 18/20 only deduplicate idempotent, cancellation,
+/// and commit actions, not undoable bases.
 #[derive(Debug)]
 pub struct ServiceActor {
     core: ServiceCore,
+    answered: BTreeMap<(ProcessId, u64), InvokeOutcome>,
 }
 
 impl ServiceActor {
     /// Wraps a service core.
     pub fn new(core: ServiceCore) -> Self {
-        ServiceActor { core }
+        ServiceActor {
+            core,
+            answered: BTreeMap::new(),
+        }
     }
 
     /// Access to the core (for post-run inspection).
@@ -33,8 +49,17 @@ impl Actor<ProtoMsg> for ServiceActor {
         let ProtoMsg::Invoke { invocation, sreq } = msg else {
             return;
         };
-        let now = ctx.now();
-        let outcome = self.core.handle(&sreq, now, ctx.rng());
+        let outcome = match self.answered.get(&(from, invocation)) {
+            // Duplicate delivery (network dup or retransmission): replay
+            // the recorded outcome without re-executing.
+            Some(outcome) => outcome.clone(),
+            None => {
+                let now = ctx.now();
+                let outcome = self.core.handle(&sreq, now, ctx.rng());
+                self.answered.insert((from, invocation), outcome.clone());
+                outcome
+            }
+        };
         ctx.send(
             from,
             ProtoMsg::InvokeReply {

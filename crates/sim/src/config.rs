@@ -79,6 +79,54 @@ fn sample_range(min: SimDuration, max: SimDuration, rng: &mut StdRng) -> SimDura
     SimDuration::from_micros(rng.random_range(lo..=hi))
 }
 
+/// Message-level fault injection: loss, duplication, and bounded
+/// reordering, each sampled from the world's seeded RNG at send time.
+///
+/// All probabilities default to zero, and the world only draws from the
+/// RNG for a fault class whose probability is non-zero — a fault-free
+/// configuration consumes exactly the same random stream as a build
+/// without fault injection, so existing seeded runs replay bit-identically.
+///
+/// Reordering is *bounded*: an affected message is delayed by an extra
+/// uniform amount in `[0, reorder_max_extra]` on top of its sampled
+/// latency, so messages can overtake each other but no message is delayed
+/// unboundedly (the partial-synchrony assumption survives).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetFaultConfig {
+    /// Probability that a protocol message is silently lost.
+    pub drop_prob: f64,
+    /// Probability that a protocol message is delivered twice (the copy
+    /// samples its own independent latency).
+    pub dup_prob: f64,
+    /// Probability that a protocol message is delayed by an extra amount.
+    pub reorder_prob: f64,
+    /// Upper bound of the extra reordering delay.
+    pub reorder_max_extra: SimDuration,
+}
+
+impl Default for NetFaultConfig {
+    fn default() -> Self {
+        NetFaultConfig {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_max_extra: SimDuration::from_millis(20),
+        }
+    }
+}
+
+impl NetFaultConfig {
+    /// A fault-free network (all probabilities zero).
+    pub fn none() -> Self {
+        NetFaultConfig::default()
+    }
+
+    /// `true` when no fault class can ever fire (no RNG draws happen).
+    pub fn is_quiet(&self) -> bool {
+        self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.reorder_prob <= 0.0
+    }
+}
+
 /// Failure-detector timing parameters (heartbeat-based ◇P, §5.2 / \[CT96\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FdConfig {
@@ -106,6 +154,8 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Failure-detector timing.
     pub fd: FdConfig,
+    /// Message-level fault injection (loss / duplication / reordering).
+    pub faults: NetFaultConfig,
 }
 
 impl SimConfig {
@@ -174,5 +224,17 @@ mod tests {
     fn default_fd_timing_is_consistent() {
         let fd = FdConfig::default();
         assert!(fd.timeout > fd.heartbeat_every);
+    }
+
+    #[test]
+    fn default_net_faults_are_quiet() {
+        let faults = NetFaultConfig::default();
+        assert!(faults.is_quiet());
+        assert_eq!(faults, NetFaultConfig::none());
+        let noisy = NetFaultConfig {
+            drop_prob: 0.1,
+            ..NetFaultConfig::default()
+        };
+        assert!(!noisy.is_quiet());
     }
 }

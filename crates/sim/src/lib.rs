@@ -56,6 +56,6 @@ pub mod time;
 pub mod world;
 
 pub use actor::{Actor, Context, ProcessId, TimerId};
-pub use config::{FdConfig, LatencyModel, SimConfig};
+pub use config::{FdConfig, LatencyModel, NetFaultConfig, SimConfig};
 pub use time::{SimDuration, SimTime};
 pub use world::{Metrics, World};

@@ -22,11 +22,11 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::actor::{Actor, Context, ProcessId, TimerId};
 use crate::config::SimConfig;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Counters describing what happened during a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +45,34 @@ pub struct Metrics {
     pub suspicion_changes: u64,
     /// Total kernel events processed.
     pub events_processed: u64,
+    /// Protocol messages lost to injected message loss
+    /// ([`crate::NetFaultConfig::drop_prob`]).
+    pub messages_lost: u64,
+    /// Protocol messages duplicated by injected duplication (each counts
+    /// one extra delivery attempt).
+    pub messages_duplicated: u64,
+    /// Protocol messages delayed by injected reordering.
+    pub messages_reordered: u64,
+    /// Messages (protocol and heartbeat) dropped at a partition boundary.
+    pub partition_dropped: u64,
+}
+
+/// A scheduled network partition: while active, messages between a member
+/// and a non-member are dropped (both directions, heartbeats included).
+/// Healing is implicit — the window simply ends.
+#[derive(Debug, Clone)]
+struct PartitionWindow {
+    members: BTreeSet<ProcessId>,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl PartitionWindow {
+    fn severs(&self, now: SimTime, a: ProcessId, b: ProcessId) -> bool {
+        now >= self.from
+            && now < self.until
+            && (self.members.contains(&a) != self.members.contains(&b))
+    }
 }
 
 #[derive(Debug)]
@@ -164,6 +192,7 @@ pub struct World<M> {
     metrics: Metrics,
     next_timer: u64,
     cancelled_timers: BTreeSet<TimerId>,
+    partitions: Vec<PartitionWindow>,
 }
 
 impl<M> std::fmt::Debug for World<M> {
@@ -177,7 +206,7 @@ impl<M> std::fmt::Debug for World<M> {
     }
 }
 
-impl<M: std::fmt::Debug + 'static> World<M> {
+impl<M: std::fmt::Debug + Clone + 'static> World<M> {
     /// Creates an empty world.
     pub fn new(config: SimConfig) -> Self {
         World {
@@ -190,6 +219,7 @@ impl<M: std::fmt::Debug + 'static> World<M> {
             metrics: Metrics::default(),
             next_timer: 0,
             cancelled_timers: BTreeSet::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -245,6 +275,51 @@ impl<M: std::fmt::Debug + 'static> World<M> {
         if let Err(now) = self.try_schedule_crash(process, at) {
             panic!("cannot schedule a crash in the past (at {at}, now {now})");
         }
+    }
+
+    /// Schedules a network partition: from `from` until `until`, every
+    /// message (heartbeats included) between a member of `members` and a
+    /// non-member is dropped, in both directions. The partition heals
+    /// implicitly when the window ends. Windows may overlap; a message is
+    /// dropped if *any* active window severs its endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `from` is in the simulated past or the window is empty
+    /// (`until <= from`); the error carries the current simulated time.
+    pub fn try_schedule_partition(
+        &mut self,
+        members: &[ProcessId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Result<(), SimTime> {
+        if from < self.now || until <= from {
+            return Err(self.now);
+        }
+        self.partitions.push(PartitionWindow {
+            members: members.iter().copied().collect(),
+            from,
+            until,
+        });
+        Ok(())
+    }
+
+    /// Schedules a network partition (see [`World::try_schedule_partition`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is in the simulated past or empty; use
+    /// [`World::try_schedule_partition`] for a fallible variant.
+    pub fn schedule_partition(&mut self, members: &[ProcessId], from: SimTime, until: SimTime) {
+        if let Err(now) = self.try_schedule_partition(members, from, until) {
+            panic!("invalid partition window [{from}, {until}) at sim time {now}");
+        }
+    }
+
+    /// `true` when some active partition window currently severs `a`
+    /// from `b`.
+    pub fn partitioned(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.partitions.iter().any(|w| w.severs(self.now, a, b))
     }
 
     /// The current simulated time.
@@ -381,15 +456,27 @@ impl<M: std::fmt::Debug + 'static> World<M> {
                     if q == p.0 {
                         continue;
                     }
+                    let to = ProcessId(q);
+                    // Heartbeats share the physical network: partitions
+                    // sever them (that is what makes a partition look like
+                    // a crash to ◇P) and injected loss applies. Duplication
+                    // and reordering are not sampled for heartbeats — the
+                    // detector's `last_heard` is monotone, so a duplicate
+                    // is absorbed and keeping the draw count down keeps
+                    // heartbeat traffic cheap.
+                    if self.partitioned(p, to) {
+                        self.metrics.partition_dropped += 1;
+                        continue;
+                    }
+                    if self.config.faults.drop_prob > 0.0
+                        && self.rng.random_bool(self.config.faults.drop_prob)
+                    {
+                        self.metrics.messages_lost += 1;
+                        continue;
+                    }
                     let delay = self.config.latency.sample(self.now, &mut self.rng);
                     let at = self.now + delay;
-                    self.push_event(
-                        at,
-                        EventKind::HeartbeatArrival {
-                            from: p,
-                            to: ProcessId(q),
-                        },
-                    );
+                    self.push_event(at, EventKind::HeartbeatArrival { from: p, to });
                 }
                 let next = self.now + self.config.fd.heartbeat_every;
                 self.push_event(next, EventKind::HeartbeatTick(p));
@@ -447,6 +534,48 @@ impl<M: std::fmt::Debug + 'static> World<M> {
         }
     }
 
+    /// Routes one protocol message through the (possibly faulty) network.
+    ///
+    /// The sampling order is fixed — partition check (no draw), loss draw,
+    /// latency draw, reordering draw (plus one extra-delay draw), then
+    /// duplication draw (plus one latency draw for the copy) — and every
+    /// fault draw is gated on its probability being non-zero, so a
+    /// fault-free configuration consumes exactly one latency sample per
+    /// message, the same stream as before fault injection existed.
+    fn route_message(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        if self.partitioned(from, to) {
+            self.metrics.partition_dropped += 1;
+            return;
+        }
+        let faults = self.config.faults;
+        if faults.drop_prob > 0.0 && self.rng.random_bool(faults.drop_prob) {
+            self.metrics.messages_lost += 1;
+            return;
+        }
+        let mut delay = self.config.latency.sample(self.now, &mut self.rng);
+        if faults.reorder_prob > 0.0 && self.rng.random_bool(faults.reorder_prob) {
+            let extra_us = faults.reorder_max_extra.as_micros();
+            if extra_us > 0 {
+                delay = delay + SimDuration::from_micros(self.rng.random_range(0..=extra_us));
+            }
+            self.metrics.messages_reordered += 1;
+        }
+        let duplicate = faults.dup_prob > 0.0 && self.rng.random_bool(faults.dup_prob);
+        if duplicate {
+            self.metrics.messages_duplicated += 1;
+            let copy_delay = self.config.latency.sample(self.now, &mut self.rng);
+            self.push_event(
+                self.now + copy_delay,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        self.push_event(self.now + delay, EventKind::Deliver { from, to, msg });
+    }
+
     /// Runs `f` on the actor of `p` with a fresh context, then applies the
     /// buffered effects. Skips crashed processes.
     fn dispatch<F>(&mut self, p: ProcessId, f: F)
@@ -484,9 +613,7 @@ impl<M: std::fmt::Debug + 'static> World<M> {
                 "send to unknown process {to} from {p}"
             );
             self.metrics.messages_sent += 1;
-            let delay = self.config.latency.sample(self.now, &mut self.rng);
-            let at = self.now + delay;
-            self.push_event(at, EventKind::Deliver { from: p, to, msg });
+            self.route_message(p, to, msg);
         }
         for (delay, timer) in new_timers {
             let at = self.now + delay;
@@ -734,6 +861,239 @@ mod tests {
     fn world_debug_is_nonempty() {
         let (world, ..) = build();
         assert!(!format!("{world:?}").is_empty());
+    }
+
+    fn faulty_config(seed: u64, faults: crate::config::NetFaultConfig) -> SimConfig {
+        SimConfig {
+            faults,
+            ..SimConfig::with_seed(seed)
+        }
+    }
+
+    #[test]
+    fn quiet_faults_leave_seeded_runs_bit_identical() {
+        // The gate on non-zero probabilities means a default (quiet) fault
+        // config draws nothing extra from the RNG: metrics equal a run of
+        // the same seed with an explicitly quiet config.
+        let run = |config: SimConfig| {
+            let mut world = World::new(config);
+            let responder = world.add_process("r", Box::new(Responder { pings: 0 }));
+            world.add_process(
+                "p",
+                Box::new(Pinger {
+                    peer: responder,
+                    pongs: 0,
+                    suspicions: Vec::new(),
+                    period: SimDuration::from_millis(5),
+                }),
+            );
+            world.run_until(SimTime::from_millis(300));
+            *world.metrics()
+        };
+        let quiet = faulty_config(9, crate::config::NetFaultConfig::none());
+        assert_eq!(run(quiet), run(SimConfig::with_seed(9)));
+    }
+
+    #[test]
+    fn message_loss_is_counted_and_deterministic() {
+        let faults = crate::config::NetFaultConfig {
+            drop_prob: 0.4,
+            ..crate::config::NetFaultConfig::none()
+        };
+        let run = |seed: u64| {
+            let mut world = World::new(faulty_config(seed, faults));
+            let responder = world.add_process("r", Box::new(Responder { pings: 0 }));
+            world.add_process(
+                "p",
+                Box::new(Pinger {
+                    peer: responder,
+                    pongs: 0,
+                    suspicions: Vec::new(),
+                    period: SimDuration::from_millis(5),
+                }),
+            );
+            world.run_until(SimTime::from_millis(400));
+            *world.metrics()
+        };
+        let m = run(3);
+        assert!(m.messages_lost > 0, "{m:?}");
+        assert!(m.messages_delivered > 0, "{m:?}");
+        assert_eq!(m, run(3));
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let faults = crate::config::NetFaultConfig {
+            dup_prob: 1.0,
+            ..crate::config::NetFaultConfig::none()
+        };
+        let mut world = World::new(faulty_config(5, faults));
+        let responder = world.add_process("r", Box::new(Responder { pings: 0 }));
+        let pinger = world.add_process(
+            "p",
+            Box::new(Pinger {
+                peer: responder,
+                pongs: 0,
+                suspicions: Vec::new(),
+                period: SimDuration::from_millis(50),
+            }),
+        );
+        world.run_until(SimTime::from_millis(40));
+        // One ping sent, duplicated once; each copy provokes a pong, which
+        // is duplicated too.
+        let m = *world.metrics();
+        assert!(m.messages_duplicated >= 2, "{m:?}");
+        let r: &Responder = world.actor_as(responder).unwrap();
+        assert_eq!(r.pings, 2, "one ping delivered twice");
+        let p: &Pinger = world.actor_as(pinger).unwrap();
+        assert_eq!(p.pongs, 4, "two pongs delivered twice each");
+    }
+
+    #[test]
+    fn reordering_is_bounded_and_counted() {
+        let faults = crate::config::NetFaultConfig {
+            reorder_prob: 1.0,
+            reorder_max_extra: SimDuration::from_millis(30),
+            ..crate::config::NetFaultConfig::none()
+        };
+        let mut world = World::new(faulty_config(6, faults));
+        let responder = world.add_process("r", Box::new(Responder { pings: 0 }));
+        world.add_process(
+            "p",
+            Box::new(Pinger {
+                peer: responder,
+                pongs: 0,
+                suspicions: Vec::new(),
+                period: SimDuration::from_millis(10),
+            }),
+        );
+        world.run_until(SimTime::from_millis(200));
+        let m = *world.metrics();
+        assert!(m.messages_reordered > 0, "{m:?}");
+        // Bounded: every message still arrives (none lost to reordering).
+        assert_eq!(m.messages_lost, 0);
+        assert_eq!(m.partition_dropped, 0);
+    }
+
+    #[test]
+    fn partition_severs_messages_then_heals() {
+        let (mut world, responder, pinger) = build();
+        world.schedule_partition(
+            &[responder],
+            SimTime::from_millis(50),
+            SimTime::from_millis(150),
+        );
+        world.run_until(SimTime::from_millis(40));
+        let before = world.actor_as::<Pinger>(pinger).unwrap().pongs;
+        assert!(before > 0, "messages flow before the window");
+        world.run_until(SimTime::from_millis(145));
+        let during = world.actor_as::<Pinger>(pinger).unwrap().pongs;
+        assert!(world.metrics().partition_dropped > 0);
+        world.run_until(SimTime::from_millis(400));
+        let after = world.actor_as::<Pinger>(pinger).unwrap().pongs;
+        assert!(after > during, "traffic resumes after healing");
+    }
+
+    #[test]
+    fn partition_blocks_heartbeats_and_drives_suspicion() {
+        // A partitioned (but alive) process looks crashed to ◇P: its
+        // heartbeats stop arriving, so it is suspected — and unsuspected
+        // again after the partition heals.
+        let (mut world, responder, pinger) = build();
+        world.schedule_partition(
+            &[responder],
+            SimTime::from_millis(50),
+            SimTime::from_millis(250),
+        );
+        world.run_until(SimTime::from_millis(200));
+        assert!(world.is_alive(responder));
+        assert!(world.suspected_by(pinger).contains(&responder));
+        world.run_until(SimTime::from_millis(500));
+        assert!(
+            world.suspected_by(pinger).is_empty(),
+            "suspicion clears after heal"
+        );
+    }
+
+    #[test]
+    fn partitions_only_sever_across_the_boundary() {
+        let (mut world, responder, pinger) = build();
+        // Both endpoints inside the member set: traffic is untouched.
+        world.schedule_partition(
+            &[responder, pinger],
+            SimTime::from_millis(10),
+            SimTime::from_millis(300),
+        );
+        world.run_until(SimTime::from_millis(300));
+        assert_eq!(world.metrics().partition_dropped, 0);
+        assert!(world.actor_as::<Pinger>(pinger).unwrap().pongs > 0);
+    }
+
+    #[test]
+    fn invalid_partition_windows_are_recoverable_errors() {
+        let (mut world, responder, _) = build();
+        world.run_until(SimTime::from_millis(10));
+        // Window starting in the past.
+        assert!(world
+            .try_schedule_partition(
+                &[responder],
+                SimTime::from_millis(5),
+                SimTime::from_millis(20)
+            )
+            .is_err());
+        // Empty window.
+        assert!(world
+            .try_schedule_partition(
+                &[responder],
+                SimTime::from_millis(20),
+                SimTime::from_millis(20)
+            )
+            .is_err());
+        assert!(world
+            .try_schedule_partition(
+                &[responder],
+                SimTime::from_millis(20),
+                SimTime::from_millis(30)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let faults = crate::config::NetFaultConfig {
+            drop_prob: 0.2,
+            dup_prob: 0.2,
+            reorder_prob: 0.3,
+            reorder_max_extra: SimDuration::from_millis(25),
+        };
+        let run = |seed: u64| {
+            let mut world = World::new(faulty_config(seed, faults));
+            let responder = world.add_process("r", Box::new(Responder { pings: 0 }));
+            world.schedule_partition(
+                &[responder],
+                SimTime::from_millis(100),
+                SimTime::from_millis(200),
+            );
+            world.add_process(
+                "p",
+                Box::new(Pinger {
+                    peer: responder,
+                    pongs: 0,
+                    suspicions: Vec::new(),
+                    period: SimDuration::from_millis(7),
+                }),
+            );
+            world.run_until(SimTime::from_millis(500));
+            (
+                *world.metrics(),
+                world.actor_as::<Responder>(responder).unwrap().pings,
+            )
+        };
+        assert_eq!(run(13), run(13));
+        let (m, _) = run(13);
+        assert!(m.messages_lost > 0 && m.messages_duplicated > 0, "{m:?}");
+        assert!(m.messages_reordered > 0 && m.partition_dropped > 0, "{m:?}");
+        assert_ne!(run(13), run(14), "different seeds explore differently");
     }
 
     #[test]

@@ -59,5 +59,8 @@ pub mod trace;
 // store threads that one `Interner` type through its packed events and
 // snapshots. Re-exported here so store users keep one import path.
 pub use store::{EventRepr, HistoryView, TraceCursor, TraceSnapshot, TraceStore};
-pub use trace::{read_trace, write_trace, write_trace_file, RecordedTrace, TRACE_FORMAT_VERSION};
+pub use trace::{
+    read_trace, write_trace, write_trace_file, write_trace_file_with_meta, write_trace_with_meta,
+    RecordedTrace, TRACE_FORMAT_MIN_VERSION, TRACE_FORMAT_VERSION,
+};
 pub use xability_core::intern::{value_heap_bytes, Interner, InternerReader};

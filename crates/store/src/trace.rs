@@ -6,11 +6,14 @@
 //! harness run can be dumped to disk and re-checked bit-for-bit by tests
 //! and benches (`tests/corpus/` keeps a small committed corpus).
 //!
-//! ## Layout (version 1, all integers little-endian)
+//! ## Layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! magic    "XTRC" (4 bytes)
 //! version  u32                      — TRACE_FORMAT_VERSION
+//! meta     u32 count, then per pair:  key u32 len + UTF-8 bytes,
+//!                                     value u32 len + UTF-8 bytes
+//!                                     (version ≥ 2 only; absent in v1)
 //! actions  u32 count, then per name:  kind u8 (0 idem, 1 undo),
 //!                                     name  u32 len + UTF-8 bytes
 //! values   u32 count, then per value: recursive value encoding (below)
@@ -26,7 +29,14 @@
 //! 5 `Pair` (+two elements) — matching the [`Value`] variants.
 //!
 //! The version is checked on read; an unknown magic or version is an
-//! `InvalidData` error, never a silent misparse.
+//! `InvalidData` error, never a silent misparse. Version 1 files (the
+//! same layout minus the meta section) still read, with empty metadata —
+//! the committed corpus never goes stale on a format bump.
+//!
+//! The meta section carries provenance, not semantics: free-form
+//! key/value strings (generator name, master seed, fault-plan summary,
+//! violation class) written by tools such as `harness::explore`. Checkers
+//! never look at it.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -40,7 +50,10 @@ use crate::store::{EventRepr, TraceSnapshot, TraceStore};
 pub const TRACE_MAGIC: [u8; 4] = *b"XTRC";
 
 /// The current trace format version.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// The oldest trace format version the reader still accepts.
+pub const TRACE_FORMAT_MIN_VERSION: u32 = 1;
 
 /// A replayed trace: the declared request sequence plus the rebuilt
 /// store.
@@ -71,12 +84,24 @@ pub struct RecordedTrace {
     /// The rebuilt store, symbol-for-symbol identical to the recorded
     /// one.
     pub store: TraceStore,
+    /// Free-form provenance pairs from the file's meta section (empty
+    /// for version-1 files). Order is preserved exactly as written.
+    pub meta: Vec<(String, String)>,
 }
 
 impl RecordedTrace {
-    /// Writes the trace to `path` (see [`write_trace_file`]).
+    /// Writes the trace (including its `meta` pairs) to `path` (see
+    /// [`write_trace_file_with_meta`]).
     pub fn write_to_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        write_trace_file(path, &self.requests, &self.store.snapshot())
+        write_trace_file_with_meta(path, &self.requests, &self.store.snapshot(), &self.meta)
+    }
+
+    /// Looks up the first meta value recorded under `key`.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Reads a trace from `path` (see [`read_trace`]).
@@ -93,8 +118,18 @@ pub fn write_trace_file(
     requests: &[Request],
     snapshot: &TraceSnapshot,
 ) -> io::Result<()> {
+    write_trace_file_with_meta(path, requests, snapshot, &[])
+}
+
+/// [`write_trace_file`] with an explicit provenance meta section.
+pub fn write_trace_file_with_meta(
+    path: impl AsRef<Path>,
+    requests: &[Request],
+    snapshot: &TraceSnapshot,
+    meta: &[(String, String)],
+) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
-    write_trace(&mut w, requests, snapshot)?;
+    write_trace_with_meta(&mut w, requests, snapshot, meta)?;
     w.flush()
 }
 
@@ -266,8 +301,25 @@ pub fn write_trace<W: Write>(
     requests: &[Request],
     snapshot: &TraceSnapshot,
 ) -> io::Result<()> {
+    write_trace_with_meta(w, requests, snapshot, &[])
+}
+
+/// [`write_trace`] with an explicit provenance meta section (free-form
+/// key/value string pairs, written in order).
+pub fn write_trace_with_meta<W: Write>(
+    w: &mut W,
+    requests: &[Request],
+    snapshot: &TraceSnapshot,
+    meta: &[(String, String)],
+) -> io::Result<()> {
     w.write_all(&TRACE_MAGIC)?;
     write_u32(w, TRACE_FORMAT_VERSION)?;
+
+    write_len(w, meta.len(), "meta pair")?;
+    for (key, value) in meta {
+        write_str(w, key)?;
+        write_str(w, value)?;
+    }
 
     write_len(w, snapshot.interner().action_count(), "action symbol")?;
     for name in snapshot.interner().actions() {
@@ -309,10 +361,24 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<RecordedTrace> {
         return Err(bad("not a trace file (bad magic)"));
     }
     let version = read_u32(r)?;
-    if version != TRACE_FORMAT_VERSION {
+    if !(TRACE_FORMAT_MIN_VERSION..=TRACE_FORMAT_VERSION).contains(&version) {
         return Err(bad(format!(
-            "unsupported trace format version {version} (this build reads {TRACE_FORMAT_VERSION})"
+            "unsupported trace format version {version} (this build reads \
+             {TRACE_FORMAT_MIN_VERSION}..={TRACE_FORMAT_VERSION})"
         )));
+    }
+
+    // The meta section arrived in version 2; v1 files go straight to the
+    // action symbol table.
+    let mut meta = Vec::new();
+    if version >= 2 {
+        let meta_count = read_u32(r)? as usize;
+        meta.reserve(meta_count.min(1 << 12));
+        for _ in 0..meta_count {
+            let key = read_str(r)?;
+            let value = read_str(r)?;
+            meta.push((key, value));
+        }
     }
 
     let mut store = TraceStore::new();
@@ -358,7 +424,11 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<RecordedTrace> {
         store.push_repr(repr).map_err(bad)?;
     }
 
-    Ok(RecordedTrace { requests, store })
+    Ok(RecordedTrace {
+        requests,
+        store,
+        meta,
+    })
 }
 
 #[cfg(test)]
@@ -467,6 +537,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&TRACE_MAGIC);
         bytes.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no meta
         bytes.extend_from_slice(&0u32.to_le_bytes()); // no actions
         bytes.extend_from_slice(&1u32.to_le_bytes()); // one value…
         bytes.extend(std::iter::repeat(5u8).take(100_000)); // …of nested Pairs
@@ -498,6 +569,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&TRACE_MAGIC);
         bytes.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no meta
         bytes.extend_from_slice(&1u32.to_le_bytes()); // one action:
         bytes.push(0); // idempotent
         bytes.extend_from_slice(&1u32.to_le_bytes());
@@ -516,6 +588,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&TRACE_MAGIC);
         bytes.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no meta
         bytes.extend_from_slice(&0u32.to_le_bytes()); // no actions
         bytes.extend_from_slice(&0u32.to_le_bytes()); // no values
         bytes.extend_from_slice(&1u32.to_le_bytes()); // one request:
@@ -548,6 +621,7 @@ mod tests {
         let recorded = RecordedTrace {
             requests: requests.clone(),
             store: store.clone(),
+            meta: vec![("generator".to_string(), "unit-test".to_string())],
         };
         recorded.write_to_file(&path).unwrap();
         let replayed = RecordedTrace::read_from_file(&path).unwrap();
@@ -556,6 +630,45 @@ mod tests {
             replayed.store.view().to_history(),
             store.view().to_history()
         );
+        assert_eq!(replayed.meta, recorded.meta);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meta_section_round_trips_in_order() {
+        let (requests, store) = sample();
+        let meta = vec![
+            ("generator".to_string(), "explore".to_string()),
+            ("master_seed".to_string(), "42".to_string()),
+            ("master_seed".to_string(), "shadowed".to_string()),
+        ];
+        let mut bytes = Vec::new();
+        write_trace_with_meta(&mut bytes, &requests, &store.snapshot(), &meta).unwrap();
+        let replayed = read_trace(&mut bytes.as_slice()).unwrap();
+        assert_eq!(replayed.meta, meta);
+        // Lookup returns the *first* pair under a duplicated key.
+        assert_eq!(replayed.meta_value("master_seed"), Some("42"));
+        assert_eq!(replayed.meta_value("absent"), None);
+    }
+
+    #[test]
+    fn version_1_files_without_meta_still_read() {
+        // A v2 stream minus the meta section *is* a v1 stream: synthesize
+        // one by rewriting the version field and splicing out the (empty)
+        // meta count, then check the payload replays identically.
+        let (requests, store) = sample();
+        let mut v2 = Vec::new();
+        write_trace(&mut v2, &requests, &store.snapshot()).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&TRACE_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[12..]); // skip magic + version + meta count
+        let replayed = read_trace(&mut v1.as_slice()).unwrap();
+        assert_eq!(replayed.requests, requests);
+        assert_eq!(
+            replayed.store.view().to_history(),
+            store.view().to_history()
+        );
+        assert!(replayed.meta.is_empty());
     }
 }

@@ -308,3 +308,120 @@ proptest! {
         assert_two_request_agreement(&h, undoable_first)?;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-matrix agreement on recorded protocol histories: for every fault
+// dimension the simulator can schedule (quiet baseline, message loss,
+// duplication, reordering, a replica crash, a partition window, transient
+// service failures) × {plain workload, round-stamped workload}, every
+// decision procedure that speaks the recorded history's language must
+// agree on the verdict.
+// ---------------------------------------------------------------------------
+
+use xability::harness::explore::{tier_disagreement, FaultPlan, PartitionSpec};
+use xability::harness::{Scenario, Scheme, Workload};
+use xability::sim::SimTime;
+
+/// One plan per fault dimension, all derived from the same quiet plan so
+/// each row isolates a single fault type.
+fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
+    let quiet = FaultPlan::quiet(11);
+    let mut loss = quiet.clone();
+    loss.drop_bp = 900;
+    let mut dup = quiet.clone();
+    dup.dup_bp = 900;
+    let mut reorder = quiet.clone();
+    reorder.reorder_bp = 1_500;
+    reorder.reorder_extra_us = 20_000;
+    let mut crash = quiet.clone();
+    crash.crashes = vec![(0, 600_000)];
+    let mut partition = quiet.clone();
+    partition.partitions = vec![PartitionSpec {
+        members: vec![1],
+        from_us: 300_000,
+        until_us: 1_500_000,
+    }];
+    let mut transient = quiet.clone();
+    transient.fail_bp = 2_000;
+    vec![
+        ("quiet", quiet),
+        ("loss", loss),
+        ("dup", dup),
+        ("reorder", reorder),
+        ("crash", crash),
+        ("partition", partition),
+        ("transient", transient),
+    ]
+}
+
+#[test]
+fn fault_matrix_checkers_agree_on_recorded_histories() {
+    let bases = [
+        (
+            "kv",
+            false, // plain histories: idempotent puts are never round-stamped
+            Scenario::new(Scheme::XAble, Workload::KvPuts { count: 3 })
+                .horizon(SimTime::from_secs(5)),
+        ),
+        (
+            "reservations",
+            true, // undoable reserves run as §5.4 round-stamped transactions
+            Scenario::new(Scheme::XAble, Workload::Reservations { count: 2, seats: 1 })
+                .horizon(SimTime::from_secs(5)),
+        ),
+    ];
+    for (fault, plan) in fault_matrix() {
+        for (workload, stamped, base) in &bases {
+            let report = plan.apply(base).run();
+            let history = report.ledger.borrow().history().to_history();
+            let requests = report.submitted.clone();
+            let cell = format!("[{fault}/{workload}]");
+
+            let fast = FastChecker::default().check_requests(&history, &requests);
+            let tiered = TieredChecker::default().check_requests(&history, &requests);
+
+            // The online checker replaying the same event stream answers
+            // byte-identically to the batch fast tier.
+            let mut inc = IncrementalChecker::new();
+            for r in &requests {
+                inc.declare_request(r);
+            }
+            for e in history.iter() {
+                inc.push(e.clone());
+            }
+            assert_eq!(
+                fast,
+                inc.verdict(),
+                "{cell} online checker diverged from batch fast tier"
+            );
+
+            // Tiered refines fast: definite fast answers pass through
+            // unchanged, and on round-stamped histories an undecided fast
+            // answer must never escalate into a definite search verdict.
+            if !fast.is_unknown() {
+                assert_eq!(fast, tiered, "{cell} tiered rewrote a definite verdict");
+            } else if *stamped {
+                assert!(
+                    tiered.is_unknown(),
+                    "{cell} tiered escalated a round-stamped history: {tiered}"
+                );
+            }
+
+            // No undocumented definite fast-vs-search conflict (the oracle
+            // skips stamped histories and the two divergences DESIGN.md
+            // §4.3 documents as deliberate).
+            assert_eq!(
+                tier_disagreement(&requests, &history),
+                None,
+                "{cell} undocumented fast-vs-search disagreement"
+            );
+
+            // The quiet row is the control: no faults, so the run finishes
+            // and every checker accepts it outright.
+            if fault == "quiet" {
+                assert!(report.finished, "{cell} quiet run must finish");
+                assert!(fast.is_xable(), "{cell} quiet run must be x-able: {fast}");
+            }
+        }
+    }
+}

@@ -14,6 +14,11 @@ use std::path::Path;
 
 use xability::core::xable::{Checker, FastChecker};
 use xability::core::{ActionId, ActionName, Event, History, Request, Value};
+use xability::harness::{
+    dangling_round_violation, Explorer, ExplorerConfig, ReasonClass, Scenario, Scheme, Shrinker,
+    ShrunkViolation, ViolationKind, Workload,
+};
+use xability::sim::SimTime;
 use xability::store::{RecordedTrace, TraceStore};
 use xability_bench::{n_requests_with_cancelled_rounds, n_retried_requests};
 
@@ -101,6 +106,10 @@ fn corpus_replays_and_rechecks() {
             let recorded = RecordedTrace {
                 requests,
                 store: TraceStore::from_history(&history),
+                meta: vec![(
+                    "generator".to_string(),
+                    "tests/trace_replay.rs (UPDATE_TRACE_CORPUS=1)".to_string(),
+                )],
             };
             recorded
                 .write_to_file(Path::new(CORPUS_DIR).join(entry.file))
@@ -148,4 +157,176 @@ fn corpus_replays_and_rechecks() {
             Expect::NotXable => assert!(verdict.is_not_xable(), "{}: {verdict}", entry.file),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The machine-grown half of the corpus: reproducers discovered by the
+// coverage-guided explorer against the deliberately weakened protocol
+// (`Scenario::weaken_retry`) and shrunk to 1-minimal traces. Each entry
+// pins the explorer configuration that (re)grows it, so
+// `UPDATE_TRACE_CORPUS=1` regenerates the exact same bytes.
+// ---------------------------------------------------------------------------
+
+/// One machine-grown corpus entry: the file it lives in plus the pinned
+/// explorer run that grows it.
+struct ExploredEntry {
+    file: &'static str,
+    master_seed: u64,
+    runs: usize,
+    base: fn() -> Scenario,
+}
+
+fn weakened_reservations() -> Scenario {
+    Scenario::new(Scheme::XAble, Workload::Reservations { count: 2, seats: 1 })
+        .horizon(SimTime::from_secs(5))
+        .weaken_retry()
+}
+
+fn weakened_bank() -> Scenario {
+    Scenario::new(
+        Scheme::XAble,
+        Workload::BankTransfers {
+            count: 2,
+            amount: 5,
+        },
+    )
+    .horizon(SimTime::from_secs(5))
+    .weaken_retry()
+}
+
+const EXPLORED: [ExploredEntry; 2] = [
+    ExploredEntry {
+        file: "dangling_round_reservations.xtrace",
+        master_seed: 0xC0FFEE,
+        runs: 60,
+        base: weakened_reservations,
+    },
+    ExploredEntry {
+        file: "dangling_round_bank.xtrace",
+        master_seed: 0xC0FFEE,
+        runs: 60,
+        base: weakened_bank,
+    },
+];
+
+/// Runs the entry's pinned exploration and shrinks its planted-weakness
+/// discovery — the deterministic pipeline that grew the committed file.
+fn grow(entry: &ExploredEntry) -> ShrunkViolation {
+    let base = (entry.base)();
+    let report = Explorer::new(ExplorerConfig::new(
+        base.clone(),
+        entry.master_seed,
+        entry.runs,
+    ))
+    .run();
+    let shrinker = Shrinker::new(base);
+    report
+        .distinct_violations()
+        .into_iter()
+        .filter(|v| {
+            v.class.kind == ViolationKind::R3 && v.class.reason == ReasonClass::DanglingRound
+        })
+        .filter_map(|v| shrinker.shrink(v))
+        .next()
+        .expect("the pinned master seed deterministically discovers the planted weakness")
+}
+
+#[test]
+fn explored_corpus_replays_and_rechecks() {
+    if std::env::var_os("UPDATE_TRACE_CORPUS").is_some() {
+        std::fs::create_dir_all(CORPUS_DIR).expect("create corpus dir");
+        for entry in &EXPLORED {
+            grow(entry)
+                .write_trace(Path::new(CORPUS_DIR).join(entry.file))
+                .expect("write explored corpus entry");
+        }
+        return;
+    }
+
+    for entry in &EXPLORED {
+        let path = Path::new(CORPUS_DIR).join(entry.file);
+        let replayed = RecordedTrace::read_from_file(&path)
+            .unwrap_or_else(|e| panic!("corpus entry {} failed to replay: {e}", entry.file));
+
+        // Provenance metadata survives the round trip.
+        assert_eq!(
+            replayed.meta_value("generator"),
+            Some("harness::explore"),
+            "{}: generator",
+            entry.file
+        );
+        assert_eq!(
+            replayed.meta_value("violation_kind"),
+            Some("R3"),
+            "{}: violation kind",
+            entry.file
+        );
+        assert_eq!(
+            replayed.meta_value("reason_class"),
+            Some("DanglingRound"),
+            "{}: reason class",
+            entry.file
+        );
+        assert_eq!(
+            replayed.meta_value("events"),
+            Some(replayed.store.len().to_string().as_str()),
+            "{}: events meta matches the store",
+            entry.file
+        );
+
+        // Shrunk means shrunk.
+        assert!(
+            replayed.store.len() <= 20,
+            "{}: minimal reproducer, got {} events",
+            entry.file,
+            replayed.store.len()
+        );
+
+        // The committed reproducer still witnesses the violation class it
+        // was grown for: structurally (the attribution-independent
+        // dangling-round oracle)…
+        let history = replayed.store.view().to_history();
+        let class = dangling_round_violation(&replayed.requests, &history)
+            .unwrap_or_else(|| panic!("{}: dangling round must persist", entry.file));
+        assert_eq!(class.kind, ViolationKind::R3, "{}: kind", entry.file);
+        assert_eq!(
+            class.reason,
+            ReasonClass::DanglingRound,
+            "{}: reason",
+            entry.file
+        );
+
+        // …and under the checker, which must not certify it x-able
+        // (the fast tier answers `Unknown` here — the completion
+        // attribution on these round-stamped traces is ambiguous, which
+        // is exactly why the structural oracle exists).
+        let verdict = FastChecker::default()
+            .check_requests_source(&replayed.store.view(), &replayed.requests);
+        assert!(
+            !verdict.is_xable(),
+            "{}: a shrunk violation must not re-check x-able: {verdict}",
+            entry.file
+        );
+    }
+}
+
+#[test]
+fn every_corpus_file_parses_under_the_current_format() {
+    if std::env::var_os("UPDATE_TRACE_CORPUS").is_some() {
+        return; // regeneration pass: siblings are mid-rewrite
+    }
+    let mut seen = 0;
+    for entry in std::fs::read_dir(CORPUS_DIR).expect("corpus dir exists") {
+        let path = entry.expect("read corpus dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("xtrace") {
+            continue;
+        }
+        seen += 1;
+        RecordedTrace::read_from_file(&path)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+    }
+    assert!(
+        seen >= CORPUS.len() + EXPLORED.len(),
+        "corpus hygiene: every committed entry is covered, found {seen}"
+    );
 }
