@@ -15,13 +15,13 @@ use std::time::Instant;
 
 use xability_bench::n_retried_requests;
 use xability_core::xable::{Checker, FastChecker, IncrementalChecker, IncrementalState};
-use xability_core::{ActionId, Event, History, Value};
+use xability_core::{ActionId, ActionName, Event, History, Value};
 // The baseline `Vec<Event>` bytes use the same per-value heap estimator
 // as `TraceStore::approx_bytes`, so the two sides of the comparison
 // cannot diverge. (Each owned event clone uniquely owns its value's
 // buffers; the `Arc<str>` action name is shared and counted by its
 // inline fat pointer only.)
-use xability_store::{value_heap_bytes, TraceStore};
+use xability_store::{value_heap_bytes, Codec, TierConfig, TieredStore, TraceStore};
 
 fn bench_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_append");
@@ -36,6 +36,19 @@ fn bench_append(c: &mut Criterion) {
             black_box(store.len())
         });
     });
+    // The batch path: same events, one `push_batch` call — measures what
+    // the batch-local interning memo saves per event.
+    group.bench_with_input(
+        BenchmarkId::new("trace_store_push_batch", h.len()),
+        h.events(),
+        |b, events| {
+            b.iter(|| {
+                let mut store = TraceStore::new();
+                store.push_batch(events);
+                black_box(store.len())
+            });
+        },
+    );
     group.bench_with_input(BenchmarkId::new("vec_events", h.len()), &h, |b, h| {
         b.iter(|| {
             let mut events: Vec<Event> = Vec::new();
@@ -45,6 +58,44 @@ fn bench_append(c: &mut Criterion) {
             black_box(events.len())
         });
     });
+    group.finish();
+}
+
+fn bench_tiered_spill(c: &mut Criterion) {
+    // Spill + flush + reopen + full re-read through the disk tier, per
+    // codec: the small criterion-tracked cousin of the 10M-event disk
+    // axis in `BENCH_store.json`.
+    let mut group = c.benchmark_group("store_tiered_spill");
+    group.sample_size(10);
+    let (h, _) = n_retried_requests(3_000);
+    for codec in [Codec::None, Codec::Lz] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("spill_reopen_{codec}"), h.len()),
+            h.events(),
+            |b, events| {
+                let dir = std::env::temp_dir().join(format!(
+                    "xability-bench-tier-{codec}-{}",
+                    std::process::id()
+                ));
+                let config = TierConfig {
+                    spill_threshold: 1024,
+                    codec,
+                    evict_on_seal: true,
+                };
+                b.iter(|| {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let mut tiered = TieredStore::create(&dir, config).expect("create");
+                    tiered.push_batch(events).expect("push");
+                    tiered.flush().expect("flush");
+                    drop(tiered);
+                    let (mut reopened, _) = TieredStore::open(&dir, config).expect("open");
+                    let view = reopened.view().expect("view");
+                    black_box(xability_core::HistoryRead::len(&view))
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
     group.finish();
 }
 
@@ -66,7 +117,7 @@ fn bench_view_check(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_append, bench_view_check);
+criterion_group!(benches, bench_append, bench_view_check, bench_tiered_spill);
 
 /// One store-backed ingest pass: append to the shared store, let the
 /// storage-free monitor observe each event (one copy of the trace total).
@@ -96,6 +147,91 @@ fn owned_copies_pass(h: &History, ops: &[(ActionId, Value)]) -> (Vec<Event>, Inc
         events.push(ev.clone());
     }
     (events, checker)
+}
+
+/// The spill threshold the disk axis runs under (also the hot tail's RAM
+/// bound while streaming).
+const DISK_SPILL_THRESHOLD: usize = 1 << 16;
+
+/// Streams the `n_retried_requests` event pattern (`start`, retried
+/// `start`, `complete` per request) in chunks of `chunk` requests without
+/// materializing the whole trace, feeding each chunk to `sink`. Returns
+/// the total event count.
+fn stream_retried_requests(requests: usize, chunk: usize, sink: &mut dyn FnMut(&[Event])) -> usize {
+    let a = ActionId::base(ActionName::idempotent("put"));
+    let mut buf: Vec<Event> = Vec::with_capacity(chunk * 3);
+    let mut emitted = 0usize;
+    let mut i = 0usize;
+    while i < requests {
+        buf.clear();
+        let end = (i + chunk).min(requests);
+        for r in i..end {
+            let key = Value::from(format!("r{r}"));
+            buf.push(Event::start(a.clone(), key.clone()));
+            buf.push(Event::start(a.clone(), key));
+            buf.push(Event::complete(a.clone(), Value::from(r as i64)));
+        }
+        emitted += buf.len();
+        sink(&buf);
+        i = end;
+    }
+    emitted
+}
+
+/// One codec's slice of the disk axis: bytes/event on disk and
+/// reopen+full-re-check throughput on a 10M+ event trace, with the
+/// file-backed verdict checked for equality against `memory_verdict`.
+fn measure_disk_axis(
+    requests: usize,
+    ops: &[(ActionId, Value)],
+    memory_xable: bool,
+    codec: Codec,
+) -> String {
+    let dir = std::env::temp_dir().join(format!(
+        "xability-bench-disk-{codec}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = TierConfig {
+        spill_threshold: DISK_SPILL_THRESHOLD,
+        codec,
+        evict_on_seal: true,
+    };
+
+    let mut tiered = TieredStore::create(&dir, config).expect("create tier");
+    let start = Instant::now();
+    let events = stream_retried_requests(requests, 4096, &mut |chunk| {
+        tiered.push_batch(chunk).expect("spill chunk");
+    });
+    tiered.flush().expect("flush tail");
+    let ingest = start.elapsed();
+    let disk_bytes = tiered.disk_bytes();
+    let segments = tiered.segments().len();
+    drop(tiered);
+
+    // Reopen cold and re-check the whole on-disk history in one pass.
+    let start = Instant::now();
+    let (mut reopened, report) = TieredStore::open(&dir, config).expect("reopen");
+    assert_eq!(report.events_recovered, events, "lost events on reopen");
+    let view = reopened.view().expect("view");
+    let verdict = FastChecker::default().check_source(&view, ops, &[]);
+    let recheck = start.elapsed();
+    assert_eq!(
+        verdict.is_xable(),
+        memory_xable,
+        "{codec}: file-backed verdict diverged from the in-memory one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n = events as f64;
+    format!(
+        "{{ \"codec\": \"{codec}\", \"segments\": {segments}, \
+         \"bytes_per_event_disk\": {:.1}, \"spill_ingest_events_per_sec\": {:.0}, \
+         \"reopen_recheck_events_per_sec\": {:.0}, \"verdict_matches_memory\": true }}",
+        disk_bytes as f64 / n,
+        n / ingest.as_secs_f64(),
+        n / recheck.as_secs_f64(),
+    )
 }
 
 /// Measures the headline comparison on a ≥1M-event trace and writes
@@ -135,6 +271,14 @@ fn emit_bench_json() {
     let vec_append = start.elapsed();
     assert_eq!(plain.len(), plain_vec.len());
 
+    // The batch path over the same events: the per-event delta is what
+    // `TraceStore::push_batch`'s batch-local interning memo buys.
+    let start = Instant::now();
+    let mut batch_store = TraceStore::new();
+    batch_store.push_batch(h.events());
+    let batch_append = start.elapsed();
+    assert_eq!(batch_store.len(), plain.len());
+
     // Bytes per event: the store (events + interner tables) against one
     // owned Vec<Event> copy — the old world held two of the latter.
     let n = h.len() as f64;
@@ -143,17 +287,48 @@ fn emit_bench_json() {
     let vec_bpe = (vec_events.capacity() * std::mem::size_of::<Event>() + vec_heap) as f64 / n;
     let ingest_events_per_sec = n / store_ingest.as_secs_f64();
 
+    // --- Disk axis: a 10M+ event trace through the tiered store, both
+    // codecs, with the file-backed verdict pinned to the in-memory one.
+    const DISK_REQUESTS: usize = 3_333_334; // × 3 events = 10,000,002
+    let put = ActionId::base(ActionName::idempotent("put"));
+    let disk_ops: Vec<(ActionId, Value)> = (0..DISK_REQUESTS)
+        .map(|i| (put.clone(), Value::from(format!("r{i}"))))
+        .collect();
+    let mut flat = TraceStore::new();
+    let disk_events = stream_retried_requests(DISK_REQUESTS, 4096, &mut |chunk| {
+        flat.push_batch(chunk);
+    });
+    assert!(disk_events >= 10_000_000);
+    let start = Instant::now();
+    let memory_xable = FastChecker::default()
+        .check_source(&flat.view(), &disk_ops, &[])
+        .is_xable();
+    let memory_recheck = start.elapsed();
+    let memory_bpe_10m = flat.approx_bytes() as f64 / disk_events as f64;
+    drop(flat); // free the in-memory copy before the tier builds its own
+    let disk_none = measure_disk_axis(DISK_REQUESTS, &disk_ops, memory_xable, Codec::None);
+    let disk_lz = measure_disk_axis(DISK_REQUESTS, &disk_ops, memory_xable, Codec::Lz);
+
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+
     // The historical posture kept two full owned copies of the stream
     // (the ledger's vector plus the monitor's private History); the store
     // replaces both with one interned copy.
     let json = format!(
-        "{{\n  \"bench\": \"store\",\n  \"trace_events\": {},\n  \"requests\": {},\n  \
+        "{{\n  \"bench\": \"store\",\n  \"available_parallelism\": {cores},\n  \
+         \"trace_events\": {},\n  \"requests\": {},\n  \
          \"bytes_per_event\": {{ \"trace_store\": {:.1}, \"vec_events_one_copy\": {:.1}, \
          \"two_copy_baseline\": {:.1}, \"ratio_vs_two_copy\": {:.2} }},\n  \
-         \"append_per_event_ns\": {{ \"trace_store\": {:.1}, \"vec_events\": {:.1} }},\n  \
+         \"append_per_event_ns\": {{ \"trace_store\": {:.1}, \"trace_store_push_batch\": {:.1}, \
+         \"vec_events\": {:.1} }},\n  \
          \"append_plus_online_check\": {{ \"store_backed_ns_per_event\": {:.1}, \
          \"two_copy_baseline_ns_per_event\": {:.1}, \"events_per_sec\": {:.0} }},\n  \
-         \"final_verdict_ms\": {},\n  \"verdict_xable\": true\n}}\n",
+         \"final_verdict_ms\": {},\n  \"verdict_xable\": true,\n  \
+         \"disk\": {{\n    \"trace_events\": {disk_events},\n    \
+         \"spill_threshold\": {DISK_SPILL_THRESHOLD},\n    \
+         \"memory_bytes_per_event\": {:.1},\n    \
+         \"memory_recheck_events_per_sec\": {:.0},\n    \
+         \"tiers\": [\n      {disk_none},\n      {disk_lz}\n    ]\n  }}\n}}\n",
         h.len(),
         ops.len(),
         store_bpe,
@@ -161,11 +336,14 @@ fn emit_bench_json() {
         2.0 * vec_bpe,
         2.0 * vec_bpe / store_bpe,
         store_append.as_nanos() as f64 / n,
+        batch_append.as_nanos() as f64 / n,
         vec_append.as_nanos() as f64 / n,
         store_ingest.as_nanos() as f64 / n,
         owned_ingest.as_nanos() as f64 / n,
         ingest_events_per_sec,
         verdict_ms,
+        memory_bpe_10m,
+        disk_events as f64 / memory_recheck.as_secs_f64(),
     );
     std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
     println!(

@@ -413,6 +413,20 @@ impl IncrementalState {
         self.consumed += 1;
     }
 
+    /// Consumes a slice of events in order — the batch counterpart of
+    /// [`IncrementalState::observe`].
+    ///
+    /// Dirty-set maintenance is already amortized structurally (marking a
+    /// dirty group twice is a no-op), so batching here costs nothing
+    /// extra; the call exists so batch producers (`Ledger::record_batch`,
+    /// `TraceStore::push_batch` pipelines) drive the monitor with one
+    /// call per slice instead of one per event.
+    pub fn observe_batch(&mut self, events: &[Event]) {
+        for event in events {
+            self.observe(event);
+        }
+    }
+
     /// The cursor position: how many events have been consumed.
     pub fn consumed(&self) -> usize {
         self.consumed

@@ -606,6 +606,42 @@ impl RunReport {
     pub fn write_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
         write_trace_file(path, &self.submitted, &self.ledger.borrow().snapshot())
     }
+
+    /// Dumps the run as a *tiered* trace directory: the event stream as a
+    /// cold-segment chain (chunked and encoded per `config`) plus a
+    /// `requests.xtrace` manifest carrying the submitted sequence and the
+    /// run's provenance (scheme, seed). The inverse is
+    /// [`RunReport::read_tiered_trace`], which recovers the directory —
+    /// including after a torn write — back into a replayable trace.
+    pub fn write_tiered_trace(
+        &self,
+        dir: impl AsRef<Path>,
+        config: xability_store::TierConfig,
+    ) -> io::Result<()> {
+        let meta = vec![
+            ("scheme".to_string(), format!("{:?}", self.scheme)),
+            ("seed".to_string(), self.seed.to_string()),
+        ];
+        xability_store::write_tiered_trace(
+            dir,
+            &self.submitted,
+            &self.ledger.borrow().snapshot(),
+            &meta,
+            config,
+        )
+    }
+
+    /// Reads a [`RunReport::write_tiered_trace`] directory back (see
+    /// [`xability_store::read_tiered_trace`]).
+    pub fn read_tiered_trace(
+        dir: impl AsRef<Path>,
+    ) -> io::Result<(
+        xability_store::RecordedTrace,
+        xability_store::RecoveryReport,
+    )> {
+        xability_store::read_tiered_trace(dir)
+    }
+
     /// `true` when the run satisfied every checked obligation.
     pub fn is_correct(&self) -> bool {
         self.finished

@@ -18,12 +18,16 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::rc::Rc;
 
 use xability_core::xable::{IncrementalState, Verdict};
 use xability_core::{ActionName, Event, Request, Value};
 use xability_sim::SimTime;
-use xability_store::{HistoryView, TraceSnapshot, TraceStore};
+use xability_store::{
+    recover_store, HistoryView, RecoveryReport, SegmentLog, TierConfig, TraceSnapshot, TraceStore,
+};
 
 /// What kind of externally visible effect a record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -127,6 +131,23 @@ pub struct Ledger {
     effects: Vec<EffectRecord>,
     violations: Vec<String>,
     monitor: Option<IncrementalState>,
+    spill: Option<Spill>,
+}
+
+/// The ledger's durable-spill state: a cold-segment chain the recorded
+/// events are mirrored into, `spill_threshold` events at a time.
+///
+/// The in-memory store stays the authority (checkers and views read it);
+/// the chain is the *retention* copy a crashed run recovers from via
+/// [`Ledger::reopen_spill`]. Because [`Ledger::record_event`] is
+/// infallible by design (every sim service calls it on the hot path), an
+/// IO failure during a background seal is made *sticky* and surfaced by
+/// [`Ledger::flush_spill`] rather than panicking mid-run.
+#[derive(Debug)]
+struct Spill {
+    log: SegmentLog,
+    threshold: usize,
+    error: Option<io::Error>,
 }
 
 impl Default for Ledger {
@@ -154,6 +175,7 @@ impl Ledger {
             effects: Vec::new(),
             violations: Vec::new(),
             monitor: None,
+            spill: None,
         }
     }
 
@@ -169,6 +191,166 @@ impl Ledger {
         self.store.push(&event);
         let service = self.intern_service(service);
         self.meta.push(EventMeta { at, service });
+        self.maybe_spill();
+    }
+
+    /// Records a slice of events observed together (same instant, same
+    /// service) — the batch counterpart of [`Ledger::record_event`],
+    /// driving the monitor once per slice
+    /// ([`IncrementalState::observe_batch`]) and the store's
+    /// batch-amortized interning ([`TraceStore::push_batch`]).
+    pub fn record_batch(&mut self, events: &[Event], at: SimTime, service: &str) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.observe_batch(events);
+        }
+        self.store.push_batch(events);
+        let service = self.intern_service(service);
+        self.meta
+            .extend(events.iter().map(|_| EventMeta { at, service }));
+        self.maybe_spill();
+    }
+
+    /// Attaches a durable spill: from now on, every `spill_threshold`
+    /// recorded events are sealed as one cold segment in `dir` (see
+    /// [`SegmentLog`]), making the run's history recoverable after a
+    /// crash via [`Ledger::reopen_spill`]. Events already recorded spill
+    /// immediately. The policy is event-count based — no clocks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a spill is already attached, the config's threshold is
+    /// zero, or `dir` already holds a segment chain.
+    pub fn attach_spill(&mut self, dir: impl AsRef<Path>, config: TierConfig) -> io::Result<()> {
+        if self.spill.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the ledger already spills to a segment directory",
+            ));
+        }
+        if config.spill_threshold == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spill_threshold must be non-zero",
+            ));
+        }
+        self.spill = Some(Spill {
+            log: SegmentLog::create(dir, config.codec)?,
+            threshold: config.spill_threshold,
+            error: None,
+        });
+        self.maybe_spill();
+        self.spill_error()
+    }
+
+    /// Seals every full `spill_threshold` chunk that accumulated beyond
+    /// the chain. Infallible on purpose (the recording hot path must not
+    /// return `Result`): the first IO failure is kept and re-surfaced by
+    /// [`Ledger::flush_spill`].
+    fn maybe_spill(&mut self) {
+        let Some(spill) = &mut self.spill else {
+            return;
+        };
+        if spill.error.is_some() {
+            return;
+        }
+        while self.store.len() - spill.log.next_first_event() >= spill.threshold {
+            let start = spill.log.next_first_event();
+            let end = start + spill.threshold;
+            let snap = self.store.snapshot();
+            if let Err(e) = spill.log.seal(
+                snap.interner(),
+                end - start,
+                &mut (start..end).map(|i| snap.repr(i)),
+            ) {
+                spill.error = Some(e);
+                return;
+            }
+        }
+    }
+
+    fn spill_error(&mut self) -> io::Result<()> {
+        match self.spill.as_mut().and_then(|s| s.error.take()) {
+            Some(e) => {
+                // Re-arm: the error is being surfaced now; keep the chain
+                // frozen rather than sealing past a hole.
+                if let Some(spill) = &mut self.spill {
+                    spill.error = Some(io::Error::new(
+                        e.kind(),
+                        format!("spill previously failed: {e}"),
+                    ));
+                }
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Seals the not-yet-spilled tail (a partial segment), making every
+    /// recorded event durable — the end-of-run path. Returns how many
+    /// events the chain now holds.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no spill is attached, if a background seal failed earlier
+    /// (the sticky error is surfaced here), or if the tail seal fails.
+    pub fn flush_spill(&mut self) -> io::Result<usize> {
+        if self.spill.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no spill attached to flush",
+            ));
+        }
+        self.spill_error()?;
+        let spill = self.spill.as_mut().expect("checked above");
+        let start = spill.log.next_first_event();
+        let end = self.store.len();
+        if end > start {
+            let snap = self.store.snapshot();
+            spill.log.seal(
+                snap.interner(),
+                end - start,
+                &mut (start..end).map(|i| snap.repr(i)),
+            )?;
+        }
+        Ok(spill.log.next_first_event())
+    }
+
+    /// The spill chain's sealed segments, if a spill is attached.
+    pub fn spill_segments(&self) -> Option<&[xability_store::SegmentInfo]> {
+        self.spill.as_ref().map(|s| s.log.segments())
+    }
+
+    /// Rebuilds a ledger from a spill directory after a crash or
+    /// shutdown: recovers the longest valid segment chain (quarantining a
+    /// torn tail, see [`recover_store`]) and replays the recovered events
+    /// through a fresh online monitor.
+    ///
+    /// Per-event provenance (wall time, observing service) is not stored
+    /// in segments, so recovered events carry the sentinels
+    /// [`SimTime::ZERO`] and `"(reopened)"`. The monitor starts with no
+    /// declared requests — re-declare the run's submitted sequence with
+    /// [`Ledger::declare_requests`] before asking for a verdict.
+    ///
+    /// The reopened ledger does **not** keep spilling; attach a fresh
+    /// spill (to a new directory) to continue durably.
+    pub fn reopen_spill(dir: impl AsRef<Path>) -> io::Result<(Ledger, RecoveryReport)> {
+        let (store, report) = recover_store(dir)?;
+        let mut monitor = IncrementalState::new();
+        for event in store.cursor_at(0) {
+            monitor.observe(&event);
+        }
+        let mut ledger = Ledger::without_monitor();
+        let service = ledger.intern_service("(reopened)");
+        ledger.meta = vec![
+            EventMeta {
+                at: SimTime::ZERO,
+                service,
+            };
+            store.len()
+        ];
+        ledger.store = store;
+        ledger.monitor = Some(monitor);
+        Ok((ledger, report))
     }
 
     fn intern_service(&mut self, service: &str) -> u32 {
@@ -583,5 +765,108 @@ mod tests {
         let clone = Rc::clone(&ledger);
         clone.borrow_mut().record_violation("x");
         assert_eq!(ledger.borrow().violations().len(), 1);
+    }
+
+    #[test]
+    fn record_batch_equals_sequential_record() {
+        let a = ActionId::base(ActionName::idempotent("a"));
+        let events: Vec<Event> = (0..7)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Event::start(a.clone(), Value::from(i))
+                } else {
+                    Event::complete(a.clone(), Value::from(i))
+                }
+            })
+            .collect();
+        let mut batched = Ledger::new();
+        batched.record_batch(&events[..3], t(5), "svc");
+        batched.record_batch(&events[3..], t(5), "svc");
+        let mut sequential = Ledger::new();
+        for ev in &events {
+            sequential.record_event(ev.clone(), t(5), "svc");
+        }
+        assert_eq!(
+            batched.history().to_history(),
+            sequential.history().to_history()
+        );
+        assert_eq!(batched.recorded_event(6), sequential.recorded_event(6));
+        assert_eq!(
+            batched.monitor().unwrap().consumed(),
+            sequential.monitor().unwrap().consumed()
+        );
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xability-ledger-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spill_reopen_recovers_history_and_verdict() {
+        let dir = tmpdir("spill");
+        let a = ActionId::base(ActionName::idempotent("put"));
+        let requests = vec![
+            Request::new(a.clone(), Value::from(1)),
+            Request::new(a.clone(), Value::from(2)),
+        ];
+
+        let mut ledger = Ledger::new();
+        let config = TierConfig {
+            spill_threshold: 3,
+            ..TierConfig::default()
+        };
+        ledger.attach_spill(&dir, config).expect("attach");
+        ledger.declare_requests(&requests);
+        for key in [1i64, 2] {
+            ledger.record_event(Event::start(a.clone(), Value::from(key)), t(1), "svc");
+            ledger.record_event(Event::complete(a.clone(), Value::from(key)), t(2), "svc");
+        }
+        // 4 events, threshold 3: one segment sealed, 1 event hot.
+        assert_eq!(ledger.spill_segments().expect("attached").len(), 1);
+        assert_eq!(ledger.flush_spill().expect("flush"), 4);
+        assert_eq!(ledger.spill_segments().expect("attached").len(), 2);
+        let live_verdict = ledger.monitor_verdict().expect("monitor");
+
+        let (mut reopened, report) = Ledger::reopen_spill(&dir).expect("reopen");
+        assert_eq!(report.events_recovered, 4);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(
+            reopened.history().to_history(),
+            ledger.history().to_history()
+        );
+        assert_eq!(reopened.recorded_event(0).service, "(reopened)");
+        assert_eq!(reopened.recorded_event(0).at, SimTime::ZERO);
+        // Re-declare the run's requests; the recovered verdict matches.
+        reopened.declare_requests(&requests);
+        assert_eq!(
+            reopened.monitor_verdict().expect("monitor").is_xable(),
+            live_verdict.is_xable()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_attach_is_exclusive_and_validated() {
+        let dir = tmpdir("spill-excl");
+        let mut ledger = Ledger::new();
+        ledger
+            .attach_spill(&dir, TierConfig::default())
+            .expect("first attach");
+        assert!(ledger.attach_spill(&dir, TierConfig::default()).is_err());
+        assert!(Ledger::new()
+            .attach_spill(
+                &dir,
+                TierConfig {
+                    spill_threshold: 0,
+                    ..TierConfig::default()
+                }
+            )
+            .is_err());
+        let mut bare = Ledger::without_monitor();
+        assert!(bare.flush_spill().is_err(), "flush without a spill");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

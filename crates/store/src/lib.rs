@@ -23,7 +23,13 @@
 //!   primitive behind `Ledger::attach_monitor`.
 //! * [`trace`] is the versioned binary record/replay format
 //!   ([`write_trace`] / [`read_trace`]): the harness dumps a run's trace
-//!   to disk, tests and benches replay it bit-for-bit.
+//!   to disk, tests and benches replay it bit-for-bit. Version 3 frames
+//!   the payload behind a [`Codec`] with a recorded checksum.
+//! * [`tier`] is the durable tier: [`TieredStore`] keeps a hot in-memory
+//!   tail and spills sealed, optionally-compressed cold segments to disk
+//!   ([`segfile`]), with crash-safe recovery and [`HistoryRead`] views
+//!   ([`TieredView`]) over the combined history — RAM stops being the
+//!   retention policy.
 //!
 //! ```
 //! use xability_core::xable::{Checker, FastChecker};
@@ -51,16 +57,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
+pub mod segfile;
 pub mod store;
+pub mod tier;
 pub mod trace;
 
 // The symbol-interning layer lives in `xability_core::intern` since the
 // checker engine keys its per-request groups by the same symbols; the
 // store threads that one `Interner` type through its packed events and
 // snapshots. Re-exported here so store users keep one import path.
+pub use codec::{crc32, lz_compress, lz_decompress, Codec, Crc32};
+pub use segfile::{LoadedSegment, RecoveredLog, RecoveryReport, SegmentInfo, SegmentLog};
 pub use store::{EventRepr, HistoryView, TraceCursor, TraceSnapshot, TraceStore};
+pub use tier::{
+    read_tiered_trace, recover_store, remove_tiered_trace, write_tiered_trace, TierConfig,
+    TieredStore, TieredView, REQUESTS_MANIFEST,
+};
 pub use trace::{
     read_trace, write_trace, write_trace_file, write_trace_file_with_meta, write_trace_with_meta,
-    RecordedTrace, TRACE_FORMAT_MIN_VERSION, TRACE_FORMAT_VERSION,
+    write_trace_with_options, RecordedTrace, META_PAYLOAD_CRC, TRACE_FORMAT_COMPRESSED_VERSION,
+    TRACE_FORMAT_MAX_VERSION, TRACE_FORMAT_MIN_VERSION, TRACE_FORMAT_VERSION,
 };
 pub use xability_core::intern::{value_heap_bytes, Interner, InternerReader};

@@ -11,7 +11,9 @@
 use std::fmt;
 
 use xability_core::seglog::{AppendLog, LogView};
-use xability_core::{ActionId, Event, History, HistoryRead, Interner, InternerReader, Value};
+use xability_core::{
+    ActionId, ActionName, Event, History, HistoryRead, Interner, InternerReader, Value,
+};
 
 /// Events per store segment. 64k × 12 bytes ≈ 768 KiB per segment: large
 /// enough that a million-event trace is ~16 segments, small enough that
@@ -19,7 +21,7 @@ use xability_core::{ActionId, Event, History, HistoryRead, Interner, InternerRea
 pub(crate) const EVENT_SEGMENT: usize = 1 << 16;
 
 /// Role tag: the base action `a`.
-const ROLE_BASE: u8 = 0;
+pub(crate) const ROLE_BASE: u8 = 0;
 /// Role tag: the cancellation action `a⁻¹`.
 const ROLE_CANCEL: u8 = 1;
 /// Role tag: the commit action `aᶜ`.
@@ -163,6 +165,57 @@ impl TraceStore {
         }
     }
 
+    /// Appends a slice of events, returning the index of the first one
+    /// (`len()` if the slice is empty).
+    ///
+    /// Semantically identical to pushing each event in order; the batch
+    /// form amortizes interning. Event streams overwhelmingly repeat a
+    /// small action alphabet, and adjacent events frequently carry the
+    /// same value (a start and its retries, request keys), so a tiny
+    /// batch-local memo answers most symbol queries with a direct
+    /// equality check instead of the interner's hash-and-probe.
+    /// `benches/store.rs` measures the per-event delta.
+    pub fn push_batch(&mut self, events: &[Event]) -> usize {
+        let first = self.events.len();
+        // The action memo is a linear scan: real alphabets hold a handful
+        // of names, and the cap keeps a pathological batch from turning
+        // the scan quadratic (overflow names fall back to the interner).
+        let mut actions: Vec<(&ActionName, u32)> = Vec::new();
+        let mut last_value: Option<(&Value, u32)> = None;
+        for event in events {
+            let (is_complete, action, value) = match event {
+                Event::Start(a, iv) => (false, a, iv),
+                Event::Complete(a, ov) => (true, a, ov),
+            };
+            let name = action.base_name();
+            let action_sym = match actions.iter().find(|(n, _)| *n == name) {
+                Some(&(_, sym)) => sym,
+                None => {
+                    let sym = self.interner.intern_action(name);
+                    if actions.len() < 64 {
+                        actions.push((name, sym));
+                    }
+                    sym
+                }
+            };
+            let value_sym = match last_value {
+                Some((v, sym)) if v == value => sym,
+                _ => {
+                    let sym = self.interner.intern_value(value);
+                    last_value = Some((value, sym));
+                    sym
+                }
+            };
+            self.events.push(EventRepr::new(
+                is_complete,
+                role_of(action),
+                action_sym,
+                value_sym,
+            ));
+        }
+        first
+    }
+
     /// A store holding the events of `h` — the lossless owned→interned
     /// conversion ([`HistoryView::to_history`] is its inverse).
     pub fn from_history(h: &History) -> Self {
@@ -277,10 +330,28 @@ impl TraceStore {
     pub(crate) fn interner_mut(&mut self) -> &mut Interner {
         &mut self.interner
     }
+
+    /// An empty store resolving symbols through an already-populated
+    /// interner — segment recovery rebuilds the interner from the chained
+    /// delta tables first, then replays each segment's packed events into
+    /// one of these via [`TraceStore::push_repr`].
+    pub(crate) fn with_interner(interner: Interner) -> Self {
+        TraceStore {
+            interner,
+            events: AppendLog::new(EVENT_SEGMENT),
+        }
+    }
+
+    /// Consumes the store, keeping only its interner — the tiered store
+    /// seals a hot tail's events to disk and threads the (append-only)
+    /// interner into the next hot store without cloning the tables.
+    pub(crate) fn into_interner(self) -> Interner {
+        self.interner
+    }
 }
 
 /// Decodes a packed repr given its resolved action name and value.
-fn decode(repr: EventRepr, name: xability_core::ActionName, value: Value) -> Event {
+pub(crate) fn decode(repr: EventRepr, name: xability_core::ActionName, value: Value) -> Event {
     let action = match repr.role() {
         ROLE_BASE => ActionId::Base(name),
         ROLE_CANCEL => ActionId::Cancel(name),
@@ -556,6 +627,36 @@ mod tests {
             assert_eq!(&store.event(i), ev);
         }
         assert_eq!(store.view().to_history(), h);
+    }
+
+    #[test]
+    fn push_batch_equals_sequential_push() {
+        let h = sample_history();
+        let batched: Vec<Event> = h.iter().cloned().collect();
+        let mut one_by_one = TraceStore::new();
+        for ev in h.iter() {
+            one_by_one.push(ev);
+        }
+        let mut batch = TraceStore::new();
+        // Split across two batches so the memo resets mid-stream.
+        let first = batch.push_batch(&batched[..4]);
+        assert_eq!(first, 0);
+        let second = batch.push_batch(&batched[4..]);
+        assert_eq!(second, 4);
+        assert_eq!(batch.push_batch(&[]), batch.len());
+        assert_eq!(batch.len(), one_by_one.len());
+        assert_eq!(
+            batch.interner().action_count(),
+            one_by_one.interner().action_count()
+        );
+        assert_eq!(
+            batch.interner().value_count(),
+            one_by_one.interner().value_count()
+        );
+        for i in 0..batch.len() {
+            assert_eq!(batch.snapshot().repr(i), one_by_one.snapshot().repr(i));
+        }
+        assert_eq!(batch.view().to_history(), h);
     }
 
     #[test]

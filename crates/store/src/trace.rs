@@ -28,6 +28,25 @@
 //! 3 `Str` (+u32 len + bytes), 4 `List` (+u32 count + elements),
 //! 5 `Pair` (+two elements) — matching the [`Value`] variants.
 //!
+//! Version 3 keeps the magic, version, and meta section as-is but wraps
+//! everything after them (the *payload*: action table, value table,
+//! requests, events) in a codec frame:
+//!
+//! ```text
+//! codec    u8                       — 0 stored, 1 LZ ([`Codec`])
+//! raw_len  u64                      — payload length before compression
+//! comp_len u64                      — payload length on disk
+//! payload  comp_len bytes           — the v2 payload, through the codec
+//! ```
+//!
+//! [`write_trace_with_options`] picks the version from the codec:
+//! uncompressed writes stay version 2 — byte-identical to what this crate
+//! has always produced, so the committed corpus never churns — and only a
+//! real codec engages the version-3 frame. It also records the payload's
+//! CRC-32 under the [`META_PAYLOAD_CRC`] meta key; whenever a file carries
+//! that key (cold segments always do) the reader recomputes the checksum
+//! over the payload bytes it consumed and rejects a mismatch.
+//!
 //! The version is checked on read; an unknown magic or version is an
 //! `InvalidData` error, never a silent misparse. Version 1 files (the
 //! same layout minus the meta section) still read, with empty metadata —
@@ -44,16 +63,30 @@ use std::path::Path;
 
 use xability_core::{ActionId, ActionKind, ActionName, Request, Value};
 
+use crate::codec::{crc32, lz_compress, lz_decompress, Codec, Crc32};
 use crate::store::{EventRepr, TraceSnapshot, TraceStore};
 
 /// The file magic.
 pub const TRACE_MAGIC: [u8; 4] = *b"XTRC";
 
-/// The current trace format version.
+/// The version written for uncompressed traces (the layout every tool in
+/// the repo has always produced).
 pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// The version written when a compression codec is engaged: the same
+/// layout with the post-meta payload behind a codec frame.
+pub const TRACE_FORMAT_COMPRESSED_VERSION: u32 = 3;
 
 /// The oldest trace format version the reader still accepts.
 pub const TRACE_FORMAT_MIN_VERSION: u32 = 1;
+
+/// The newest trace format version the reader accepts.
+pub const TRACE_FORMAT_MAX_VERSION: u32 = TRACE_FORMAT_COMPRESSED_VERSION;
+
+/// The meta key holding the payload's CRC-32 (eight lowercase hex
+/// digits). Written by [`write_trace_with_options`] and the segment tier;
+/// verified on every read that finds it.
+pub const META_PAYLOAD_CRC: &str = "payload_crc32";
 
 /// A replayed trace: the declared request sequence plus the rebuilt
 /// store.
@@ -321,14 +354,113 @@ pub fn write_trace_with_meta<W: Write>(
         write_str(w, value)?;
     }
 
-    write_len(w, snapshot.interner().action_count(), "action symbol")?;
-    for name in snapshot.interner().actions() {
+    write_snapshot_sections(w, requests, snapshot)
+}
+
+/// [`write_trace_with_meta`] with a compression codec and an integrity
+/// checksum: the payload's CRC-32 is appended to the meta section under
+/// [`META_PAYLOAD_CRC`] (callers must not supply that key themselves),
+/// and a non-[`Codec::None`] codec switches the file to
+/// [`TRACE_FORMAT_COMPRESSED_VERSION`] with the payload behind the codec
+/// frame. `Codec::None` output differs from [`write_trace_with_meta`]
+/// only by the checksum meta pair.
+pub fn write_trace_with_options<W: Write>(
+    w: &mut W,
+    requests: &[Request],
+    snapshot: &TraceSnapshot,
+    meta: &[(String, String)],
+    codec: Codec,
+) -> io::Result<()> {
+    let mut sections = Vec::new();
+    write_snapshot_sections(&mut sections, requests, snapshot)?;
+    write_framed(w, meta, codec, &sections)
+}
+
+/// The shared file skeleton behind [`write_trace_with_options`] and the
+/// segment tier: magic, the codec-determined version, the caller's meta
+/// pairs plus the payload checksum, then `sections` through the codec.
+pub(crate) fn write_framed<W: Write>(
+    w: &mut W,
+    meta: &[(String, String)],
+    codec: Codec,
+    sections: &[u8],
+) -> io::Result<()> {
+    let (version, payload) = match codec {
+        Codec::None => (TRACE_FORMAT_VERSION, sections.to_vec()),
+        Codec::Lz => {
+            let comp = lz_compress(sections);
+            let mut framed = Vec::with_capacity(comp.len() + 17);
+            framed.push(codec.tag());
+            framed.extend_from_slice(&(sections.len() as u64).to_le_bytes());
+            framed.extend_from_slice(&(comp.len() as u64).to_le_bytes());
+            framed.extend_from_slice(&comp);
+            (TRACE_FORMAT_COMPRESSED_VERSION, framed)
+        }
+    };
+    let crc = crc32(&payload);
+
+    w.write_all(&TRACE_MAGIC)?;
+    write_u32(w, version)?;
+    write_len(w, meta.len() + 1, "meta pair")?;
+    for (key, value) in meta {
+        debug_assert!(
+            key != META_PAYLOAD_CRC,
+            "the checksum pair is written by the framer"
+        );
+        write_str(w, key)?;
+        write_str(w, value)?;
+    }
+    write_str(w, META_PAYLOAD_CRC)?;
+    write_str(w, &format!("{crc:08x}"))?;
+    w.write_all(&payload)
+}
+
+/// Writes the payload sections of a whole snapshot (full symbol tables,
+/// all events) — the layout every version-2 file carries after its meta
+/// section.
+fn write_snapshot_sections<W: Write>(
+    w: &mut W,
+    requests: &[Request],
+    snapshot: &TraceSnapshot,
+) -> io::Result<()> {
+    write_sections(
+        w,
+        (
+            snapshot.interner().action_count(),
+            &mut snapshot.interner().actions(),
+        ),
+        (
+            snapshot.interner().value_count(),
+            &mut snapshot.interner().values(),
+        ),
+        requests,
+        (
+            snapshot.len(),
+            &mut (0..snapshot.len()).map(|i| snapshot.repr(i)),
+        ),
+    )
+}
+
+/// Writes the four payload sections from explicit `(count, iterator)`
+/// pairs. The segment tier passes *slices* of the interner here (a
+/// segment carries only the symbols interned since the previous seal),
+/// so each count travels with its iterator rather than being taken from
+/// a snapshot.
+pub(crate) fn write_sections<W: Write>(
+    w: &mut W,
+    actions: (usize, &mut dyn Iterator<Item = &ActionName>),
+    values: (usize, &mut dyn Iterator<Item = &Value>),
+    requests: &[Request],
+    events: (usize, &mut dyn Iterator<Item = EventRepr>),
+) -> io::Result<()> {
+    write_len(w, actions.0, "action symbol")?;
+    for name in actions.1 {
         w.write_all(&[u8::from(name.is_undoable())])?;
         write_str(w, name.name())?;
     }
 
-    write_len(w, snapshot.interner().value_count(), "value symbol")?;
-    for value in snapshot.interner().values() {
+    write_len(w, values.0, "value symbol")?;
+    for value in values.1 {
         write_value(w, value)?;
     }
 
@@ -338,10 +470,8 @@ pub fn write_trace_with_meta<W: Write>(
         write_value(w, request.input())?;
     }
 
-    let count = snapshot.len() as u64;
-    w.write_all(&count.to_le_bytes())?;
-    for i in 0..snapshot.len() {
-        let repr = snapshot.repr(i);
+    w.write_all(&(events.0 as u64).to_le_bytes())?;
+    for repr in events.1 {
         w.write_all(&[repr.tag_byte()])?;
         write_u32(w, repr.action_symbol())?;
         write_u32(w, repr.value_symbol())?;
@@ -353,18 +483,52 @@ pub fn write_trace_with_meta<W: Write>(
 /// events are identical to the recorded ones.
 ///
 /// Fails with `InvalidData` on a bad magic, an unsupported version, an
-/// out-of-range symbol, or a malformed value/action encoding.
+/// out-of-range symbol, a malformed value/action encoding, or — when the
+/// file carries a [`META_PAYLOAD_CRC`] pair — a payload checksum
+/// mismatch.
 pub fn read_trace<R: Read>(r: &mut R) -> io::Result<RecordedTrace> {
+    let (version, meta) = read_header(r)?;
+    let raw = read_checked_body(r, version, &meta)?;
+
+    let mut store = TraceStore::new();
+    let action_count = raw.actions.len();
+    for name in &raw.actions {
+        store.interner_mut().intern_action(name);
+    }
+    if store.interner().action_count() != action_count {
+        return Err(bad("duplicate action name in symbol table"));
+    }
+    let value_count = raw.values.len();
+    for value in &raw.values {
+        store.interner_mut().intern_value(value);
+    }
+    if store.interner().value_count() != value_count {
+        return Err(bad("duplicate value in symbol table"));
+    }
+    for repr in raw.events {
+        store.push_repr(repr).map_err(bad)?;
+    }
+
+    Ok(RecordedTrace {
+        requests: raw.requests,
+        store,
+        meta,
+    })
+}
+
+/// Parses the file prelude: magic, version (range-checked), and the meta
+/// section (absent in version 1).
+pub(crate) fn read_header<R: Read>(r: &mut R) -> io::Result<(u32, Vec<(String, String)>)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != TRACE_MAGIC {
         return Err(bad("not a trace file (bad magic)"));
     }
     let version = read_u32(r)?;
-    if !(TRACE_FORMAT_MIN_VERSION..=TRACE_FORMAT_VERSION).contains(&version) {
+    if !(TRACE_FORMAT_MIN_VERSION..=TRACE_FORMAT_MAX_VERSION).contains(&version) {
         return Err(bad(format!(
             "unsupported trace format version {version} (this build reads \
-             {TRACE_FORMAT_MIN_VERSION}..={TRACE_FORMAT_VERSION})"
+             {TRACE_FORMAT_MIN_VERSION}..={TRACE_FORMAT_MAX_VERSION})"
         )));
     }
 
@@ -380,30 +544,114 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<RecordedTrace> {
             meta.push((key, value));
         }
     }
+    Ok((version, meta))
+}
 
-    let mut store = TraceStore::new();
+/// Reads the payload after a parsed header, verifying its checksum when
+/// `meta` carries a [`META_PAYLOAD_CRC`] pair: the post-meta bytes are
+/// hashed exactly as they stream off `r` and compared before anything
+/// parsed from them is returned.
+pub(crate) fn read_checked_body<R: Read>(
+    r: &mut R,
+    version: u32,
+    meta: &[(String, String)],
+) -> io::Result<RawSections> {
+    let expected = match meta.iter().find(|(k, _)| k == META_PAYLOAD_CRC) {
+        Some((_, hex)) => Some(
+            u32::from_str_radix(hex, 16)
+                .map_err(|_| bad(format!("malformed {META_PAYLOAD_CRC} meta value {hex:?}")))?,
+        ),
+        None => None,
+    };
+    let mut hashed = Crc32Reader {
+        inner: r,
+        crc: Crc32::new(),
+    };
+    let raw = read_body(&mut hashed, version)?;
+    if let Some(want) = expected {
+        let got = hashed.crc.finish();
+        if got != want {
+            return Err(bad(format!(
+                "payload checksum mismatch: recorded {want:08x}, computed {got:08x}"
+            )));
+        }
+    }
+    Ok(raw)
+}
 
+/// A pass-through reader folding every byte it delivers into a CRC-32.
+struct Crc32Reader<R> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for Crc32Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// The payload of a trace file, parsed but not yet interned: the raw
+/// symbol tables, the self-contained requests, and the packed events.
+///
+/// [`read_trace`] rebuilds a [`TraceStore`] from one of these (validating
+/// symbol ranges as it interns); the segment tier consumes them raw,
+/// because a delta segment's events reference symbols from *earlier*
+/// segments that a single file cannot resolve alone.
+#[derive(Debug)]
+pub(crate) struct RawSections {
+    pub(crate) actions: Vec<ActionName>,
+    pub(crate) values: Vec<Value>,
+    pub(crate) requests: Vec<Request>,
+    pub(crate) events: Vec<EventRepr>,
+}
+
+/// Reads the post-meta payload: directly for versions 1–2, through the
+/// codec frame for version 3.
+fn read_body<R: Read>(r: &mut R, version: u32) -> io::Result<RawSections> {
+    if version < TRACE_FORMAT_COMPRESSED_VERSION {
+        return read_sections(r);
+    }
+    let codec =
+        Codec::from_tag(read_u8(r)?).ok_or_else(|| bad("unknown codec tag in compressed trace"))?;
+    let raw_len = read_u64(r)? as usize;
+    let comp_len = read_u64(r)?;
+    let mut comp = Vec::with_capacity((comp_len as usize).min(1 << 20));
+    let got = r.take(comp_len).read_to_end(&mut comp)?;
+    if got as u64 != comp_len {
+        return Err(bad("truncated compressed payload"));
+    }
+    let sections = match codec {
+        Codec::None => {
+            if raw_len != comp.len() {
+                return Err(bad("stored payload length disagrees with its frame"));
+            }
+            comp
+        }
+        Codec::Lz => lz_decompress(&comp, raw_len).map_err(bad)?,
+    };
+    read_sections(&mut sections.as_slice())
+}
+
+/// Parses the four payload sections without interning anything.
+pub(crate) fn read_sections<R: Read>(r: &mut R) -> io::Result<RawSections> {
     let action_count = read_u32(r)? as usize;
+    let mut actions = Vec::with_capacity(action_count.min(1 << 16));
     for _ in 0..action_count {
         let kind = match read_u8(r)? {
             0 => ActionKind::Idempotent,
             1 => ActionKind::Undoable,
             k => return Err(bad(format!("unknown action kind {k}"))),
         };
-        let name = ActionName::new(read_str(r)?, kind);
-        store.interner_mut().intern_action(&name);
-    }
-    if store.interner().action_count() != action_count {
-        return Err(bad("duplicate action name in symbol table"));
+        actions.push(ActionName::new(read_str(r)?, kind));
     }
 
     let value_count = read_u32(r)? as usize;
+    let mut values = Vec::with_capacity(value_count.min(1 << 16));
     for _ in 0..value_count {
-        let value = read_value(r)?;
-        store.interner_mut().intern_value(&value);
-    }
-    if store.interner().value_count() != value_count {
-        return Err(bad("duplicate value in symbol table"));
+        values.push(read_value(r)?);
     }
 
     let request_count = read_u32(r)? as usize;
@@ -415,19 +663,21 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<RecordedTrace> {
     }
 
     let event_count = read_u64(r)?;
+    let mut events = Vec::with_capacity((event_count as usize).min(1 << 20));
     for _ in 0..event_count {
         let tag = read_u8(r)?;
         let action = read_u32(r)?;
         let value = read_u32(r)?;
         let repr = EventRepr::from_parts(tag, action, value)
             .ok_or_else(|| bad(format!("malformed event tag {tag:#04x}")))?;
-        store.push_repr(repr).map_err(bad)?;
+        events.push(repr);
     }
 
-    Ok(RecordedTrace {
+    Ok(RawSections {
+        actions,
+        values,
         requests,
-        store,
-        meta,
+        events,
     })
 }
 
@@ -513,9 +763,83 @@ mod tests {
     fn future_version_is_rejected() {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&TRACE_MAGIC);
-        bytes.extend_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        bytes.extend_from_slice(&(TRACE_FORMAT_MAX_VERSION + 1).to_le_bytes());
         let err = read_trace(&mut bytes.as_slice()).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn compressed_trace_round_trips_and_rechecks() {
+        let (requests, store) = sample();
+        let mut plain = Vec::new();
+        write_trace(&mut plain, &requests, &store.snapshot()).unwrap();
+        for codec in [Codec::None, Codec::Lz] {
+            let mut bytes = Vec::new();
+            write_trace_with_options(&mut bytes, &requests, &store.snapshot(), &[], codec).unwrap();
+            let replayed =
+                read_trace(&mut bytes.as_slice()).unwrap_or_else(|e| panic!("codec {codec}: {e}"));
+            assert_eq!(replayed.requests, requests, "codec {codec}");
+            assert_eq!(
+                replayed.store.view().to_history(),
+                store.view().to_history(),
+                "codec {codec}"
+            );
+            assert!(
+                replayed.meta_value(META_PAYLOAD_CRC).is_some(),
+                "codec {codec}: the framer records the payload checksum"
+            );
+            let checker = FastChecker::default();
+            assert_eq!(
+                checker.check_requests_source(&store.view(), &requests),
+                checker.check_requests_source(&replayed.store.view(), &replayed.requests),
+                "codec {codec}"
+            );
+        }
+    }
+
+    #[test]
+    fn lz_codec_shrinks_a_repetitive_trace() {
+        let a = ActionId::base(ActionName::idempotent("put"));
+        let mut store = TraceStore::new();
+        for i in 0..2_000i64 {
+            store.push(&Event::start(a.clone(), Value::from(i % 8)));
+            store.push(&Event::complete(a.clone(), Value::from(i % 8)));
+        }
+        let mut plain = Vec::new();
+        write_trace_with_options(&mut plain, &[], &store.snapshot(), &[], Codec::None).unwrap();
+        let mut packed = Vec::new();
+        write_trace_with_options(&mut packed, &[], &store.snapshot(), &[], Codec::Lz).unwrap();
+        assert!(
+            packed.len() * 4 < plain.len(),
+            "{} -> {} bytes",
+            plain.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_checksum() {
+        let (requests, store) = sample();
+        for codec in [Codec::None, Codec::Lz] {
+            let mut bytes = Vec::new();
+            write_trace_with_options(&mut bytes, &requests, &store.snapshot(), &[], codec).unwrap();
+            // Flip one byte in the payload (well past the header+meta).
+            let n = bytes.len();
+            let mut corrupt = bytes.clone();
+            corrupt[n - 3] ^= 0x41;
+            let err = read_trace(&mut corrupt.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "codec {codec}");
+        }
+    }
+
+    #[test]
+    fn malformed_checksum_meta_is_rejected() {
+        let (requests, store) = sample();
+        let meta = vec![(META_PAYLOAD_CRC.to_string(), "not-hex".to_string())];
+        let mut bytes = Vec::new();
+        write_trace_with_meta(&mut bytes, &requests, &store.snapshot(), &meta).unwrap();
+        let err = read_trace(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Crash-safety and re-check-equality integration tests for the durable
+//! tiered store (`xability::store::tier` / `segfile`).
+//!
+//! The contract under test: a segment directory is *always* recoverable —
+//! any torn write (simulated by truncating a sealed segment at **every**
+//! byte boundary) and any single-byte corruption yields either the full
+//! chain or a shorter valid prefix with the damage quarantined, never a
+//! panic and never silently wrong events — and checker verdicts over
+//! file-backed views are identical to in-memory ones, compressed or not.
+
+use std::fs;
+use std::path::PathBuf;
+
+use xability::core::xable::{Checker, FastChecker, IncrementalState, TieredChecker};
+use xability::core::{ActionId, ActionName, Event, HistoryRead, Request, Value};
+use xability::harness::{RunReport, Scenario, Scheme, Workload};
+use xability::sim::SimTime;
+use xability::store::{
+    read_tiered_trace, recover_store, Codec, SegmentLog, TierConfig, TieredStore, TraceStore,
+};
+use xability_bench::n_retried_requests;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xability-tiertest-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small mixed workload: idempotent retries plus an undoable
+/// cancel/commit round, as both requests and events.
+fn small_workload() -> (Vec<Request>, Vec<Event>) {
+    let (history, ops) = n_retried_requests(6);
+    let mut requests: Vec<Request> = ops.into_iter().map(|(a, iv)| Request::new(a, iv)).collect();
+    let mut events: Vec<Event> = history.events().to_vec();
+    let undo = ActionId::base(ActionName::undoable("reserve"));
+    let cancel = undo.cancel().expect("undoable");
+    requests.push(Request::new(undo.clone(), Value::from(9)));
+    events.extend([
+        Event::start(undo.clone(), Value::from(9)),
+        Event::start(cancel.clone(), Value::from(9)),
+        Event::complete(cancel, Value::Nil),
+        Event::start(undo.clone(), Value::from(9)),
+        Event::complete(undo.clone(), Value::from(9)),
+        Event::start(undo.commit().expect("undoable"), Value::from(9)),
+        Event::complete(undo.commit().expect("undoable"), Value::Nil),
+    ]);
+    (requests, events)
+}
+
+fn flat_store(events: &[Event]) -> TraceStore {
+    let mut store = TraceStore::new();
+    store.push_batch(events);
+    store
+}
+
+fn ops_of(requests: &[Request]) -> Vec<(ActionId, Value)> {
+    requests
+        .iter()
+        .map(|r| (r.action().clone(), r.input().clone()))
+        .collect()
+}
+
+/// Builds a two-segment chain and returns the directory plus the flat
+/// in-memory mirror.
+fn sealed_chain(tag: &str, codec: Codec) -> (PathBuf, TraceStore, Vec<Event>) {
+    let (_, events) = small_workload();
+    let dir = tmpdir(tag);
+    let flat = flat_store(&events);
+    let snap = flat.snapshot();
+    let mut log = SegmentLog::create(&dir, codec).expect("create chain");
+    let half = snap.len() / 2;
+    log.seal(snap.interner(), half, &mut (0..half).map(|i| snap.repr(i)))
+        .expect("seal first half");
+    log.seal(
+        snap.interner(),
+        snap.len() - half,
+        &mut (half..snap.len()).map(|i| snap.repr(i)),
+    )
+    .expect("seal second half");
+    (dir, flat, events)
+}
+
+/// Torn-write simulation: truncate the tail segment at every byte
+/// boundary. Recovery must never panic, never fabricate events, and must
+/// recover exactly the first segment whenever the tail is damaged.
+#[test]
+fn every_truncation_of_the_tail_segment_recovers_a_valid_prefix() {
+    for codec in [Codec::None, Codec::Lz] {
+        let (dir, flat, _) = sealed_chain(&format!("torn-{codec}"), codec);
+        let tail = dir.join("seg-000001.xtrace");
+        let pristine = fs::read(&tail).expect("read tail segment");
+        let half = flat.len() / 2;
+
+        for cut in 0..pristine.len() {
+            fs::write(&tail, &pristine[..cut]).expect("truncate tail");
+            let (store, report) = recover_store(&dir)
+                .unwrap_or_else(|e| panic!("codec {codec}, cut {cut}: recovery errored: {e}"));
+            assert_eq!(
+                report.segments_recovered, 1,
+                "codec {codec}, cut {cut}: a truncated tail must not validate"
+            );
+            assert_eq!(store.len(), half, "codec {codec}, cut {cut}");
+            for i in 0..half {
+                assert_eq!(store.event(i), flat.event(i), "codec {codec}, cut {cut}");
+            }
+            // The torn file was quarantined; put it back for the next cut.
+            assert_eq!(report.quarantined.len(), 1, "codec {codec}, cut {cut}");
+            fs::remove_file(&report.quarantined[0]).expect("drop quarantined tail");
+            fs::write(&tail, &pristine).expect("restore tail");
+        }
+        // Sanity: the pristine chain still recovers in full.
+        let (store, report) = recover_store(&dir).expect("pristine recovery");
+        assert_eq!(report.segments_recovered, 2);
+        assert_eq!(store.len(), flat.len());
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Checksum coverage: flipping any single byte of a sealed segment must
+/// never panic and never yield different events without quarantining the
+/// segment.
+#[test]
+fn every_single_byte_corruption_is_rejected_or_quarantined() {
+    let (dir, flat, _) = sealed_chain("flip", Codec::Lz);
+    let tail = dir.join("seg-000001.xtrace");
+    let pristine = fs::read(&tail).expect("read tail segment");
+    let half = flat.len() / 2;
+
+    for i in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[i] ^= 0xFF;
+        fs::write(&tail, &bytes).expect("corrupt tail");
+        let (store, report) =
+            recover_store(&dir).unwrap_or_else(|e| panic!("flip at {i}: recovery errored: {e}"));
+        assert_eq!(
+            report.segments_recovered, 1,
+            "flip at {i}: a corrupted segment joined the chain"
+        );
+        assert_eq!(store.len(), half, "flip at {i}");
+        for q in &report.quarantined {
+            fs::remove_file(q).expect("drop quarantined tail");
+        }
+        fs::write(&tail, &pristine).expect("restore tail");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance bar: verdicts over file-backed views are identical to
+/// in-memory verdicts — across codecs, across a full reopen, and for
+/// fast, tiered, and incremental checkers alike.
+#[test]
+fn reopened_views_recheck_byte_identically_to_memory() {
+    let (requests, events) = small_workload();
+    let ops = ops_of(&requests);
+    let flat = flat_store(&events);
+    let fast = FastChecker::default();
+    let tiered_checker = TieredChecker::default();
+    let memory_fast = fast.check_source(&flat.view(), &ops, &[]);
+    let memory_tiered = tiered_checker.check_source(&flat.view(), &ops, &[]);
+
+    for codec in [Codec::None, Codec::Lz] {
+        let dir = tmpdir(&format!("recheck-{codec}"));
+        let config = TierConfig {
+            spill_threshold: 7, // uneven on purpose: partial final segment
+            codec,
+            evict_on_seal: true,
+        };
+        let mut tiered = TieredStore::create(&dir, config).expect("create");
+        tiered.push_batch(&events).expect("push");
+        tiered.flush().expect("flush");
+        drop(tiered);
+
+        let (mut reopened, report) = TieredStore::open(&dir, config).expect("open");
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.events_recovered, events.len());
+        let view = reopened.view().expect("view");
+
+        assert_eq!(
+            fast.check_source(&view, &ops, &[]),
+            memory_fast,
+            "codec {codec}: FastChecker over the file-backed view"
+        );
+        assert_eq!(
+            tiered_checker.check_source(&view, &ops, &[]),
+            memory_tiered,
+            "codec {codec}: TieredChecker over the file-backed view"
+        );
+
+        // IncrementalState replays the same events from the view.
+        let mut monitor = IncrementalState::new();
+        for request in &requests {
+            monitor.declare_request(request);
+        }
+        view.scan_events(&mut |_, ev| {
+            monitor.observe(ev);
+            true
+        });
+        assert_eq!(
+            monitor.verdict_over(&view).is_xable(),
+            memory_fast.is_xable(),
+            "codec {codec}: incremental monitor over the file-backed view"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// End-to-end through the harness: a real run dumps a tiered trace
+/// directory, which reads back and re-checks to the run's own verdict.
+#[test]
+fn run_report_tiered_dump_reads_back_and_rechecks() {
+    let report = Scenario::new(Scheme::XAble, Workload::Reservations { count: 3, seats: 2 })
+        .horizon(SimTime::from_secs(5))
+        .run();
+    assert!(report.history_len > 0, "the run must record events");
+
+    for codec in [Codec::None, Codec::Lz] {
+        let dir = tmpdir(&format!("report-{codec}"));
+        let config = TierConfig {
+            spill_threshold: 16,
+            codec,
+            evict_on_seal: true,
+        };
+        report.write_tiered_trace(&dir, config).expect("dump");
+        let (replayed, recovery) = RunReport::read_tiered_trace(&dir).expect("read back");
+        assert!(recovery.quarantined.is_empty());
+        assert_eq!(replayed.store.len(), report.history_len);
+        assert_eq!(replayed.requests, report.submitted);
+        assert_eq!(replayed.meta_value("scheme"), Some("XAble"));
+        assert_eq!(
+            replayed.store.view().to_history(),
+            report.ledger.borrow().history().to_history(),
+            "codec {codec}: recovered events"
+        );
+        let verdict = FastChecker::default()
+            .check_requests_source(&replayed.store.view(), &replayed.requests);
+        assert_eq!(
+            verdict.is_xable(),
+            report.r3_violation.is_none(),
+            "codec {codec}: replayed verdict vs the run's"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The tiered directory and the corpus format stay mutually readable: a
+/// base (epoch-zero) segment is itself a plain `.xtrace` file, so
+/// single-file tooling opens the head of any chain.
+#[test]
+fn read_tiered_trace_round_trips_requests_and_meta() {
+    let (requests, events) = small_workload();
+    let flat = flat_store(&events);
+    let dir = tmpdir("roundtrip");
+    let meta = vec![("generator".to_string(), "tests/tiered_store.rs".to_string())];
+    xability::store::write_tiered_trace(
+        &dir,
+        &requests,
+        &flat.snapshot(),
+        &meta,
+        TierConfig {
+            spill_threshold: 10,
+            codec: Codec::None,
+            evict_on_seal: true,
+        },
+    )
+    .expect("write");
+    let (replayed, _) = read_tiered_trace(&dir).expect("read");
+    assert_eq!(replayed.requests, requests);
+    assert_eq!(
+        replayed.meta_value("generator"),
+        Some("tests/tiered_store.rs")
+    );
+    assert_eq!(replayed.store.view().to_history(), flat.view().to_history());
+
+    // The head segment doubles as a standalone trace file.
+    let head = xability::store::RecordedTrace::read_from_file(dir.join("seg-000000.xtrace"))
+        .expect("base segment reads as a plain trace");
+    assert_eq!(head.store.len(), 10);
+    fs::remove_dir_all(&dir).ok();
+}
