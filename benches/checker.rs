@@ -210,8 +210,9 @@ fn emit_bench_json() {
         .unwrap_or(1);
 
     let speedup = batch_mean_check_ns / inc_per_event_ns;
+    let provenance = xability_bench::bench_provenance("checker");
     let json = format!(
-        "{{\n  \"bench\": \"checker\",\n  \"trace_events\": {},\n  \"requests\": {},\n  \
+        "{{\n  \"bench\": \"checker\",\n  {provenance},\n  \"trace_events\": {},\n  \"requests\": {},\n  \
          \"incremental\": {{ \"total_ns\": {}, \"per_event_verdict_ns\": {:.1} }},\n  \
          \"batch\": {{ \"checkpoints\": {}, \"mean_check_ns\": {:.1} }},\n  \
          \"speedup_per_event_vs_batch_recheck\": {:.1},\n  \

@@ -99,8 +99,9 @@ fn emit_bench_json() {
         .expect("the discovery shrinks");
     let shrink_ms = start.elapsed().as_millis();
 
+    let provenance = xability_bench::bench_provenance("explore");
     let json = format!(
-        "{{\n  \"bench\": \"explore\",\n  \"master_seed\": \"0xC0FFEE\",\n  \
+        "{{\n  \"bench\": \"explore\",\n  {provenance},\n  \"master_seed\": \"0xC0FFEE\",\n  \
          \"sound\": {{ \"runs\": {}, \"runs_per_sec\": {:.1}, \"signatures\": {}, \
          \"violations\": 0,\n    \"coverage_curve\": {} }},\n  \
          \"weakened\": {{ \"runs\": {}, \"runs_per_sec\": {:.1}, \"signatures\": {}, \

@@ -309,13 +309,13 @@ fn emit_bench_json() {
     let disk_none = measure_disk_axis(DISK_REQUESTS, &disk_ops, memory_xable, Codec::None);
     let disk_lz = measure_disk_axis(DISK_REQUESTS, &disk_ops, memory_xable, Codec::Lz);
 
-    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let provenance = xability_bench::bench_provenance("store");
 
     // The historical posture kept two full owned copies of the stream
     // (the ledger's vector plus the monitor's private History); the store
     // replaces both with one interned copy.
     let json = format!(
-        "{{\n  \"bench\": \"store\",\n  \"available_parallelism\": {cores},\n  \
+        "{{\n  \"bench\": \"store\",\n  {provenance},\n  \
          \"trace_events\": {},\n  \"requests\": {},\n  \
          \"bytes_per_event\": {{ \"trace_store\": {:.1}, \"vec_events_one_copy\": {:.1}, \
          \"two_copy_baseline\": {:.1}, \"ratio_vs_two_copy\": {:.2} }},\n  \

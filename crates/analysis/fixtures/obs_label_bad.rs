@@ -1,0 +1,19 @@
+//! Lint fixture: seeded obs label-hygiene violations. NOT compiled —
+//! consumed by `include_str!` in the obs-label-hygiene rule's
+//! self-tests, which assert that every seeded violation below is
+//! flagged and nothing else is.
+
+pub fn record(obs: &xability_obs::Obs, shard: usize, label: &str) {
+    obs.counter(&format!("shard.{shard}.requests")).inc(); // seeded: formatted name
+    obs.gauge(name_for(shard)).set(1); // seeded: name built by a call
+    obs.histogram(&("lat.".to_string() + "us")).record(7); // seeded: concatenated name
+    obs.span_start(&label.to_string(), "req", 1, 0); // seeded: allocated name
+}
+
+pub fn fine(obs: &xability_obs::Obs, name: &'static str) {
+    // Static literals, forwarded `&'static str`s, and dynamic *keys*
+    // (the second argument) are all allowed.
+    obs.counter("requests").inc();
+    obs.counter_keyed("link.sent", &format!("p{}->p{}", 0, 1)).inc();
+    obs.gauge(name).set(2);
+}

@@ -1,0 +1,22 @@
+//! Lint fixture: obs record-path call sites written the sanctioned way.
+//! NOT compiled — consumed by `include_str!` in the obs-label-hygiene
+//! rule's self-tests, which assert this file produces zero findings.
+
+pub struct Link {
+    name: &'static str,
+}
+
+impl Link {
+    pub fn deliver(&self, obs: &xability_obs::Obs, src: usize, dst: usize, tick: u64) {
+        // Names are literals or forwarded `&'static str`s; dynamic data
+        // rides in the key (formatted once at registration) or in the
+        // span's request/round arguments.
+        obs.counter("sim.link.delivered").inc();
+        obs.counter_keyed(self.name, &format!("p{src}->p{dst}")).inc();
+        obs.histogram("sim.link.delay_ticks").record(tick);
+        obs.gauge("sim.inflight").set(3);
+        obs.span_start("request", "client", src as u64, tick);
+        obs.span_event("request", "client", src as u64, tick + 1);
+        obs.span_end("request", "client", src as u64, tick + 2);
+    }
+}

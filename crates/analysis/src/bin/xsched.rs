@@ -103,11 +103,21 @@ fn main() -> ExitCode {
 
     let (correct, broken): (Vec<&ModelRun>, Vec<&ModelRun>) =
         runs.iter().partition(|r| !r.expect_caught);
+    let provenance = xability_bench::bench_provenance("analysis");
     let json = format!(
-        "{{\n  \"bench\": \"analysis\",\n  \"explorer\": \"xsched exhaustive 2-thread interleaving enumeration\",\n  \
+        "{{\n  \"bench\": \"analysis\",\n  {provenance},\n  \
+         \"explorer\": \"xsched exhaustive 2-thread interleaving enumeration\",\n  \
          \"models\": [\n{}\n  ],\n  \"broken_variants\": [\n{}\n  ]\n}}\n",
-        correct.iter().map(|r| json_entry(r)).collect::<Vec<_>>().join(",\n"),
-        broken.iter().map(|r| json_entry(r)).collect::<Vec<_>>().join(",\n"),
+        correct
+            .iter()
+            .map(|r| json_entry(r))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        broken
+            .iter()
+            .map(|r| json_entry(r))
+            .collect::<Vec<_>>()
+            .join(",\n"),
     );
     if let Err(err) = std::fs::write("BENCH_analysis.json", &json) {
         eprintln!("xsched: cannot write BENCH_analysis.json: {err}");

@@ -1,7 +1,7 @@
 //! Determinism hygiene: the crates whose outputs must be a pure function
-//! of their inputs (`core` — verdicts, `sim` — schedules, `store` —
-//! traces) may not read wall clocks, sleep, spawn processes, or iterate
-//! hash collections.
+//! of their inputs (`core` — verdicts, `obs` — metrics snapshots, `sim`
+//! — schedules, `store` — traces) may not read wall clocks, sleep, spawn
+//! processes, or iterate hash collections.
 //!
 //! The repo's headline guarantees — incremental ≡ batch verdicts, the
 //! sharded check's bit-identical merge, the Fleet's worker-count-
@@ -17,7 +17,7 @@ use super::{has_token, Finding, Rule};
 use crate::source::SourceFile;
 
 /// The crates held to the determinism rules.
-const DETERMINISTIC_CRATES: [&str; 3] = ["core", "sim", "store"];
+const DETERMINISTIC_CRATES: [&str; 4] = ["core", "obs", "sim", "store"];
 
 fn in_scope(file: &SourceFile) -> bool {
     file.is_library()

@@ -1,13 +1,13 @@
 //! `xlint`: the workspace's custom lint pass.
 //!
-//! Four rule families guard the properties the test suite cannot see at
+//! Five rule families guard the properties the test suite cannot see at
 //! rest (the catalog, with rationale, is DESIGN.md §8.1):
 //!
 //! * [`determinism`] — no wall-clock, sleeping, or process spawning in
-//!   the deterministic crates (`core`, `sim`, `store`), and no iteration
-//!   over `HashMap`/`HashSet` in them (hash order is seeded per process;
-//!   anything it feeds breaks the bit-identical-verdict guarantee —
-//!   require `BTreeMap`/`BTreeSet` or an explicit sort).
+//!   the deterministic crates (`core`, `obs`, `sim`, `store`), and no
+//!   iteration over `HashMap`/`HashSet` in them (hash order is seeded
+//!   per process; anything it feeds breaks the bit-identical-verdict
+//!   guarantee — require `BTreeMap`/`BTreeSet` or an explicit sort).
 //! * [`panic_hygiene`] — no `unwrap()` in non-test library code, and
 //!   every `expect()` must carry a message documenting the invariant.
 //! * [`unsafe_hygiene`] — every `unsafe` occurrence must carry a
@@ -18,6 +18,10 @@
 //!   every public `Verdict`-returning fn), and `tests/public_api.txt`
 //!   cannot drift from the source without failing the lint (no test run
 //!   needed).
+//! * [`obs_hygiene`] — metric/span names on the `xability-obs` record
+//!   path must be static literals (or identifiers forwarding a
+//!   `&'static str`); formatted names explode label cardinality and
+//!   allocate on the hot path.
 //!
 //! A finding can be waived in place with `// xlint: allow(<rule>)` on the
 //! same or the preceding line; waivers are counted and reported, so an
@@ -25,6 +29,7 @@
 
 pub mod api_hygiene;
 pub mod determinism;
+pub mod obs_hygiene;
 pub mod panic_hygiene;
 pub mod unsafe_hygiene;
 
@@ -80,6 +85,7 @@ pub fn rules() -> Vec<Box<dyn Rule>> {
         Box::new(unsafe_hygiene::UnsafeHygiene),
         Box::new(api_hygiene::MustUseVerdict),
         Box::new(api_hygiene::PublicApiDrift),
+        Box::new(obs_hygiene::ObsLabelHygiene),
     ]
 }
 

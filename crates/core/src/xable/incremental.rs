@@ -57,6 +57,8 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use xability_obs::{Counter, Histogram, Obs};
+
 use crate::action::{ActionId, Request};
 use crate::event::Event;
 use crate::history::{History, HistoryRead};
@@ -310,6 +312,43 @@ pub struct IncrementalState {
     /// the cached per-request decisions, which is logically a cache fill
     /// behind the `&self` query API.
     agg: RefCell<Aggregate>,
+    obs: CheckerObs,
+}
+
+/// Checker-engine instruments: inert by default (every handle is a noop),
+/// bound to a shared registry by [`IncrementalState::attach_obs`]. All
+/// handles are atomics, so recording works through the `&self` verdict
+/// path.
+#[derive(Debug, Default)]
+struct CheckerObs {
+    /// Dirty undeclared-group set size at each refresh.
+    dirty_undeclared: Histogram,
+    /// Dirty request set size at each refresh.
+    dirty_ops: Histogram,
+    /// Refresh passes (one per verdict/decision query).
+    refreshes: Counter,
+    /// Verdict assemblies.
+    verdicts: Counter,
+    /// Fast-tier budget exhaustions while erasing undeclared groups — each
+    /// is a question the fast tier gave up on (the answer a batch caller
+    /// would escalate to the search tier).
+    erase_budget_escalations: Counter,
+    /// Per-request decisions lost to a search-budget exhaustion (exec or
+    /// cancelled-round erase).
+    op_budget_escalations: Counter,
+}
+
+impl CheckerObs {
+    fn bind(obs: &Obs) -> Self {
+        CheckerObs {
+            dirty_undeclared: obs.histogram("checker.dirty_undeclared"),
+            dirty_ops: obs.histogram("checker.dirty_ops"),
+            refreshes: obs.counter("checker.refreshes"),
+            verdicts: obs.counter("checker.verdicts"),
+            erase_budget_escalations: obs.counter("checker.erase_budget_escalations"),
+            op_budget_escalations: obs.counter("checker.op_budget_escalations"),
+        }
+    }
 }
 
 impl Default for IncrementalState {
@@ -333,7 +372,15 @@ impl IncrementalState {
             orphan: None,
             consumed: 0,
             agg: RefCell::new(Aggregate::default()),
+            obs: CheckerObs::default(),
         }
+    }
+
+    /// Binds this checker's instruments (dirty-set size histograms,
+    /// refresh/verdict counters, budget-escalation counters) to a shared
+    /// metrics registry. Inert (noop handles) until called.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = CheckerObs::bind(obs);
     }
 
     /// Appends an expected request to the declared R3 sequence, wiring
@@ -449,6 +496,11 @@ impl IncrementalState {
     fn refresh<H: HistoryRead + ?Sized>(&self, h: &H) {
         let mut agg = self.agg.borrow_mut();
         let agg = &mut *agg;
+        self.obs.refreshes.inc();
+        self.obs
+            .dirty_undeclared
+            .record(agg.dirty_undeclared.len() as u64);
+        self.obs.dirty_ops.record(agg.dirty_ops.len() as u64);
         while let Some(sym) = agg.dirty_undeclared.pop_first() {
             match self.engine.cells[sym as usize].erases(h, self.budget) {
                 EraseOutcome::Erases => {
@@ -458,12 +510,19 @@ impl IncrementalState {
                     agg.undeclared_fail.insert(sym, EraseFail::Stuck);
                 }
                 EraseOutcome::Budget => {
+                    self.obs.erase_budget_escalations.inc();
                     agg.undeclared_fail.insert(sym, EraseFail::Budget);
                 }
             }
         }
         while let Some(op) = agg.dirty_ops.pop_first() {
             let state = self.compute_op_state(&agg.entries[op], h);
+            if matches!(
+                state,
+                OpState::Bad(OpFail::ExecBudget) | OpState::Bad(OpFail::RoundEraseBudget(_))
+            ) {
+                self.obs.op_budget_escalations.inc();
+            }
             let failing = matches!(state, OpState::Bad(_));
             agg.entries[op].state = state;
             if failing {
@@ -638,6 +697,7 @@ impl IncrementalState {
                 reason: reason.clone(),
             };
         }
+        self.obs.verdicts.inc();
         self.refresh(h);
         let agg = self.agg.borrow();
         combine_r3_attempts(&self.requests, |ops, erasable| {
@@ -704,6 +764,12 @@ impl IncrementalChecker {
             state: IncrementalState::with_budget(budget),
             history: History::empty(),
         }
+    }
+
+    /// Binds the underlying engine's instruments to a shared metrics
+    /// registry (see [`IncrementalState::attach_obs`]).
+    pub fn attach_obs(&mut self, obs: &xability_obs::Obs) {
+        self.state.attach_obs(obs);
     }
 
     /// Appends an expected request to the declared R3 sequence.

@@ -38,6 +38,7 @@ use xability_core::xable::{
     Checker, FastChecker, IncrementalChecker, SearchChecker, TieredChecker,
 };
 use xability_core::{ActionId, ActionName, History, Request, Value};
+use xability_obs::{MetricsSnapshot, Obs};
 use xability_services::FailurePlan;
 use xability_sim::{NetFaultConfig, SimDuration, SimTime};
 use xability_store::{write_trace_file_with_meta, TraceStore};
@@ -506,6 +507,12 @@ pub struct ExploreReport {
     pub corpus: Vec<CorpusPlan>,
     /// Violations found, in discovery order (possibly many per class).
     pub violations: Vec<FoundViolation>,
+    /// The exploration's own registry snapshot: run/plan-generation
+    /// counters (`explore.runs`, `explore.plans_random`,
+    /// `explore.plans_mutated`), coverage growth (`explore.new_signatures`,
+    /// the `explore.corpus_size` gauge), and `explore.violations`. A pure
+    /// function of (config, master seed) like everything else here.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ExploreReport {
@@ -528,6 +535,7 @@ pub struct Explorer {
     corpus: Vec<CorpusPlan>,
     curve: Vec<CoveragePoint>,
     violations: Vec<FoundViolation>,
+    obs: Obs,
 }
 
 impl Explorer {
@@ -541,6 +549,7 @@ impl Explorer {
             corpus: Vec::new(),
             curve: Vec::new(),
             violations: Vec::new(),
+            obs: Obs::new(),
         }
     }
 
@@ -549,8 +558,10 @@ impl Explorer {
         for i in 0..self.config.runs {
             let plan = self.next_plan();
             let report = plan.apply(&self.config.base).run();
+            self.obs.counter("explore.runs").inc();
             let signature = CoverageSignature::of(&report);
             if self.seen.insert(signature.clone()) {
+                self.obs.counter("explore.new_signatures").inc();
                 self.curve.push(CoveragePoint {
                     run: i,
                     signatures: self.seen.len(),
@@ -559,8 +570,12 @@ impl Explorer {
                     plan: plan.clone(),
                     signature,
                 });
+                self.obs
+                    .gauge("explore.corpus_size")
+                    .set(self.corpus.len() as i64);
             }
             if let Some(class) = run_violation_class(&report, self.config.tier_check_max_events) {
+                self.obs.counter("explore.violations").inc();
                 self.violations.push(FoundViolation {
                     plan,
                     class,
@@ -575,6 +590,7 @@ impl Explorer {
             curve: self.curve,
             corpus: self.corpus,
             violations: self.violations,
+            metrics: self.obs.snapshot(),
         }
     }
 
@@ -585,8 +601,10 @@ impl Explorer {
         if !self.corpus.is_empty() && self.rng.random_bool(self.config.mutation_bias) {
             let pick = self.rng.random_range(0..self.corpus.len());
             let parent = self.corpus[pick].plan.clone();
+            self.obs.counter("explore.plans_mutated").inc();
             self.mutate(&parent)
         } else {
+            self.obs.counter("explore.plans_random").inc();
             self.random_plan()
         }
     }

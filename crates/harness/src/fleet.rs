@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use xability_core::spec::Violation;
+use xability_obs::MetricsSnapshot;
 use xability_protocol::{ClientMetrics, ReplicaMetrics};
 use xability_sim::{Metrics as SimMetrics, SimTime};
 
@@ -78,6 +79,11 @@ pub struct FleetOutcome {
     pub mean_latency_micros: u64,
     /// Maximum request latency in microseconds.
     pub max_latency_micros: u64,
+    /// The run's deterministic metrics snapshot (see
+    /// [`RunReport::metrics`]). Part of the outcome's equality, so the
+    /// fleet's bit-identical-across-worker-counts guarantee covers the
+    /// full observability record, not just the summary counters.
+    pub metrics: MetricsSnapshot,
 }
 
 impl From<&RunReport> for FleetOutcome {
@@ -101,6 +107,7 @@ impl From<&RunReport> for FleetOutcome {
             end_time: report.end_time,
             mean_latency_micros: report.mean_latency_micros(),
             max_latency_micros: report.max_latency_micros(),
+            metrics: report.metrics.clone(),
         }
     }
 }
@@ -125,6 +132,19 @@ impl FleetReport {
     /// the batch fallback).
     pub fn decided_online(&self) -> usize {
         self.outcomes.iter().filter(|o| o.r3_checked_online).count()
+    }
+
+    /// The batch's metrics merged across all runs, in outcome (seed-queue)
+    /// order: counters and gauges add, histograms add bucketwise, spans
+    /// concatenate and re-sort. Histogram merge is associative and
+    /// commutative, and the outcome order is fixed by the seed queue, so
+    /// the merged snapshot is bit-identical for every worker count.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for outcome in &self.outcomes {
+            merged.merge(&outcome.metrics);
+        }
+        merged
     }
 }
 

@@ -11,6 +11,7 @@ use std::path::Path;
 
 use xability_core::spec::{check_r3, IdentitySequencer, Violation};
 use xability_core::{ActionName, Value};
+use xability_obs::{MetricsSnapshot, Obs};
 use xability_protocol::{
     ActiveReplica, Client, ClientMetrics, LogicalRequest, PbReplica, ProtoMsg, ReplicaMetrics,
     ServiceActor, XReplica, XReplicaConfig,
@@ -323,12 +324,20 @@ impl Scenario {
         // only has to declare the submitted requests and read the verdict
         // off the already-digested prefix.
         let ledger = shared_ledger();
+        // One shared metrics registry per run: the simulator's transport,
+        // the replicas, the client, and the ledger (with its online
+        // monitor) all record into it, and `evaluate` snapshots it onto
+        // the report. Everything recorded is keyed to simulated time, so
+        // the snapshot is a pure function of (scenario, seed).
+        let obs = Obs::new();
         let mut world: World<ProtoMsg> = World::new(SimConfig {
             seed: self.seed,
             latency: self.latency,
             fd: self.fd,
             faults: self.net_faults,
         });
+        world.attach_obs(&obs);
+        ledger.borrow_mut().attach_obs(&obs);
 
         // Process ids: replicas first, then the service, then the client.
         let replica_ids: Vec<ProcessId> = (0..self.replicas).map(ProcessId).collect();
@@ -367,6 +376,17 @@ impl Scenario {
         );
         assert_eq!(added, client_id);
 
+        if self.scheme == Scheme::XAble {
+            for &id in &replica_ids {
+                if let Some(r) = world.actor_as_mut::<XReplica>(id) {
+                    r.attach_obs(&obs);
+                }
+            }
+        }
+        if let Some(c) = world.actor_as_mut::<Client>(client_id) {
+            c.attach_obs(&obs);
+        }
+
         for &(idx, at) in &self.crashes {
             world.schedule_crash(ProcessId(idx), at);
         }
@@ -392,7 +412,7 @@ impl Scenario {
         let settle = world.now() + SimDuration::from_millis(500);
         world.run_until(settle);
 
-        self.evaluate(world, ledger, requests, client_id, &replica_ids)
+        self.evaluate(world, ledger, requests, client_id, &replica_ids, obs)
     }
 
     fn evaluate(
@@ -402,6 +422,7 @@ impl Scenario {
         requests: Vec<LogicalRequest>,
         client_id: ProcessId,
         replica_ids: &[ProcessId],
+        obs: Obs,
     ) -> RunReport {
         let client = world.actor_as::<Client>(client_id).expect("client exists");
         let finished = client.is_done();
@@ -481,6 +502,9 @@ impl Scenario {
         }
 
         let history_len = ledger.borrow().event_count();
+        // Snapshot last: the R3 evaluation above drives the ledger's
+        // monitor, whose verdict-lag histogram must be in the snapshot.
+        let metrics = obs.snapshot();
         RunReport {
             scheme: self.scheme,
             seed: self.seed,
@@ -501,6 +525,7 @@ impl Scenario {
             quiescent,
             submitted,
             ledger,
+            metrics,
         }
     }
 }
@@ -596,6 +621,12 @@ pub struct RunReport {
     pub submitted: Vec<xability_core::Request>,
     /// The shared ledger (for deeper inspection).
     pub ledger: SharedLedger,
+    /// The run's deterministic metrics snapshot: transport link counters,
+    /// replica round lifecycle, checker dirty-set/verdict histograms,
+    /// ledger ingest/spill stats, and causal spans (request, replica
+    /// round, consensus decide, monitor verdict). A pure function of
+    /// (scenario, seed) — byte-identical across repeat runs.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -621,6 +652,10 @@ impl RunReport {
         let meta = vec![
             ("scheme".to_string(), format!("{:?}", self.scheme)),
             ("seed".to_string(), self.seed.to_string()),
+            // The run's metrics ride along in the trace meta, so a
+            // committed trace carries the observability record of the run
+            // that produced it.
+            ("metrics".to_string(), self.metrics.to_json()),
         ];
         xability_store::write_tiered_trace(
             dir,
@@ -640,6 +675,18 @@ impl RunReport {
         xability_store::RecoveryReport,
     )> {
         xability_store::read_tiered_trace(dir)
+    }
+
+    /// The run's metrics rendered as the stable text table (see
+    /// [`MetricsSnapshot::render_text`]).
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_text()
+    }
+
+    /// Writes the run's metrics as JSON-lines (one metric or span per
+    /// line; see [`MetricsSnapshot::to_jsonl`]).
+    pub fn write_metrics_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.metrics.to_jsonl())
     }
 
     /// `true` when the run satisfied every checked obligation.

@@ -5,9 +5,10 @@
 //! smuggled into an outcome) fails here even if structural equality
 //! happens to hold.
 
-use xability_harness::{Fleet, Scenario, Scheme, Workload};
+use xability_harness::{Fleet, FleetReport, Scenario, Scheme, Workload};
+use xability_obs::MetricsSnapshot;
 
-fn serialized_outcomes(workers: usize) -> String {
+fn run_fleet(workers: usize) -> FleetReport {
     let base = Scenario::new(
         Scheme::XAble,
         Workload::BankTransfers {
@@ -18,9 +19,13 @@ fn serialized_outcomes(workers: usize) -> String {
     let report = Fleet::new(base).seed_range(0..8).workers(workers).run();
     assert_eq!(report.workers, workers.max(1));
     assert_eq!(report.outcomes.len(), 8);
+    report
+}
+
+fn serialized_outcomes(workers: usize) -> String {
     // `workers` itself differs by construction; the determinism claim is
     // about the outcomes.
-    format!("{:#?}", report.outcomes)
+    format!("{:#?}", run_fleet(workers).outcomes)
 }
 
 #[test]
@@ -38,4 +43,58 @@ fn same_batch_is_byte_identical_across_worker_counts() {
     for field in ["seed", "correct", "history_len", "mean_latency_micros"] {
         assert!(sequential.contains(field), "outcome Debug lost `{field}`");
     }
+}
+
+#[test]
+fn metrics_snapshots_are_byte_identical_across_worker_counts() {
+    // The per-run registry snapshots — every link counter, histogram
+    // bucket, and span tick — serialize byte-identically whether the
+    // batch ran on 1, 2, or 4 workers, per outcome and merged.
+    let baseline = run_fleet(1);
+    let base_json: Vec<String> = baseline
+        .outcomes
+        .iter()
+        .map(|o| o.metrics.to_json())
+        .collect();
+    let base_merged = baseline.merged_metrics().to_json();
+    for workers in [2, 4] {
+        let report = run_fleet(workers);
+        let json: Vec<String> = report
+            .outcomes
+            .iter()
+            .map(|o| o.metrics.to_json())
+            .collect();
+        assert_eq!(
+            base_json, json,
+            "serialized MetricsSnapshots differ between 1 and {workers} workers"
+        );
+        assert_eq!(base_merged, report.merged_metrics().to_json());
+    }
+    // The snapshots carry real instrumentation, not empty registries …
+    for (snapshot, outcome) in base_json.iter().zip(&baseline.outcomes) {
+        let parsed = MetricsSnapshot::from_json(snapshot).expect("snapshot JSON round-trips");
+        assert!(
+            parsed.counter_total("sim.link.delivered") > 0,
+            "seed {}: no transport counters",
+            outcome.seed
+        );
+        assert!(
+            parsed.counter_total("replica.executions") > 0,
+            "seed {}: no replica counters",
+            outcome.seed
+        );
+        assert!(
+            parsed.spans.iter().any(|s| s.scope == "request"),
+            "seed {}: no request spans",
+            outcome.seed
+        );
+    }
+    // … and the merged snapshot is the sum of the parts.
+    let merged = MetricsSnapshot::from_json(&base_merged).expect("merged JSON round-trips");
+    let summed: u64 = baseline
+        .outcomes
+        .iter()
+        .map(|o| o.metrics.counter_total("sim.link.sent"))
+        .sum();
+    assert_eq!(merged.counter_total("sim.link.sent"), summed);
 }

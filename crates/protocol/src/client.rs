@@ -40,6 +40,10 @@ pub struct Client {
     submitted_at: SimTime,
     metrics: ClientMetrics,
     tick: SimDuration,
+    obs: xability_obs::Obs,
+    /// Whether the current request's `request` span is open (resubmissions
+    /// extend the same span; only the first submit opens it).
+    span_open: bool,
 }
 
 /// Error returned by [`Client::try_new`] for an invalid configuration.
@@ -80,7 +84,15 @@ impl Client {
             submitted_at: SimTime::ZERO,
             metrics: ClientMetrics::default(),
             tick: SimDuration::from_millis(15),
+            obs: xability_obs::Obs::noop(),
+            span_open: false,
         })
+    }
+
+    /// Attaches a metrics registry: the client then records one `request`
+    /// span per planned request, from first submit to accepted result.
+    pub fn attach_obs(&mut self, obs: &xability_obs::Obs) {
+        self.obs = obs.clone();
     }
 
     /// Creates a client that will submit `plan` against `replicas`.
@@ -151,6 +163,11 @@ impl Client {
         }
         let target = self.replicas[self.cursor];
         self.metrics.submissions += 1;
+        if !self.span_open {
+            self.obs
+                .span_start("request", &req.id, 0, ctx.now().as_micros());
+            self.span_open = true;
+        }
         self.submitted_at = ctx.now();
         self.waiting_on = Some(target);
         ctx.send(target, ProtoMsg::ClientRequest { req: req.clone() });
@@ -181,6 +198,11 @@ impl Actor<ProtoMsg> for Client {
         }
         let elapsed = ctx.now().since(self.submitted_at);
         self.latencies.push((req_id.clone(), elapsed));
+        if self.span_open {
+            self.obs
+                .span_end("request", &req_id, 0, ctx.now().as_micros());
+            self.span_open = false;
+        }
         self.results.insert(req_id, result);
         self.current += 1;
         self.waiting_on = None;

@@ -46,6 +46,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use xability_consensus::{ConsensusEngine, CtxNet, InstanceId};
 use xability_core::Value;
+use xability_obs::{Counter, Obs};
 use xability_services::InvokeOutcome;
 use xability_sim::{Actor, Context, ProcessId, SimDuration, TimerId};
 
@@ -75,6 +76,43 @@ pub struct ReplicaMetrics {
     pub terminal_failures: u64,
     /// Invocations retransmitted after going unanswered (lost messages).
     pub invoke_retransmits: u64,
+}
+
+/// The replica's activity counters as registry instruments, keyed by the
+/// replica id (`"r0"`). A fresh replica binds them against a private
+/// registry so [`XReplica::metrics`] works standalone;
+/// [`XReplica::attach_obs`] rebinds them to a shared registry before the
+/// run starts, turning [`ReplicaMetrics`] into a view over that registry.
+#[derive(Debug)]
+struct ReplicaObs {
+    obs: Obs,
+    executions: Counter,
+    cancels: Counter,
+    commits: Counter,
+    rounds_owned: Counter,
+    cleanings: Counter,
+    replies_sent: Counter,
+    transient_failures: Counter,
+    terminal_failures: Counter,
+    invoke_retransmits: Counter,
+}
+
+impl ReplicaObs {
+    fn bind(obs: Obs, me: ProcessId) -> Self {
+        let key = format!("r{}", me.0);
+        ReplicaObs {
+            executions: obs.counter_keyed("replica.executions", &key),
+            cancels: obs.counter_keyed("replica.cancels", &key),
+            commits: obs.counter_keyed("replica.commits", &key),
+            rounds_owned: obs.counter_keyed("replica.rounds_owned", &key),
+            cleanings: obs.counter_keyed("replica.cleanings", &key),
+            replies_sent: obs.counter_keyed("replica.replies_sent", &key),
+            transient_failures: obs.counter_keyed("replica.transient_failures", &key),
+            terminal_failures: obs.counter_keyed("replica.terminal_failures", &key),
+            invoke_retransmits: obs.counter_keyed("replica.invoke_retransmits", &key),
+            obs,
+        }
+    }
 }
 
 /// Per-request bookkeeping.
@@ -203,7 +241,7 @@ pub struct XReplica {
     /// Results learned before the request itself (decision reordering).
     orphan_results: BTreeMap<String, Value>,
     next_invocation: u64,
-    metrics: ReplicaMetrics,
+    obs: ReplicaObs,
 }
 
 impl XReplica {
@@ -219,13 +257,32 @@ impl XReplica {
             pending: BTreeMap::new(),
             orphan_results: BTreeMap::new(),
             next_invocation: 0,
-            metrics: ReplicaMetrics::default(),
+            obs: ReplicaObs::bind(Obs::new(), me),
         }
     }
 
-    /// This replica's activity counters.
-    pub fn metrics(&self) -> &ReplicaMetrics {
-        &self.metrics
+    /// Rebinds this replica's counters (and round spans) to a shared
+    /// metrics registry, keyed `"r<id>"`. Call before the run starts;
+    /// counts recorded against the private default registry are not
+    /// carried over.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = ReplicaObs::bind(obs.clone(), self.me);
+    }
+
+    /// This replica's activity counters: a point-in-time view over the
+    /// attached metrics registry.
+    pub fn metrics(&self) -> ReplicaMetrics {
+        ReplicaMetrics {
+            executions: self.obs.executions.get(),
+            cancels: self.obs.cancels.get(),
+            commits: self.obs.commits.get(),
+            rounds_owned: self.obs.rounds_owned.get(),
+            cleanings: self.obs.cleanings.get(),
+            replies_sent: self.obs.replies_sent.get(),
+            transient_failures: self.obs.transient_failures.get(),
+            terminal_failures: self.obs.terminal_failures.get(),
+            invoke_retransmits: self.obs.invoke_retransmits.get(),
+        }
     }
 
     /// The agreed result of a request, if known to this replica.
@@ -303,7 +360,7 @@ impl XReplica {
         let mut clients = st.extra_clients.clone();
         clients.insert(st.client);
         for client in clients {
-            self.metrics.replies_sent += 1;
+            self.obs.replies_sent.inc();
             ctx.send(
                 client,
                 ProtoMsg::ClientResult {
@@ -372,7 +429,7 @@ impl XReplica {
                 );
             }
         }
-        self.metrics.invoke_retransmits += retransmits;
+        self.obs.invoke_retransmits.add(retransmits);
     }
 
     /// External invocations still awaiting a reply. A run is only
@@ -412,8 +469,11 @@ impl XReplica {
             return;
         }
         let req = st.req.clone();
-        self.metrics.rounds_owned += 1;
-        self.metrics.executions += 1;
+        self.obs.rounds_owned.inc();
+        self.obs.executions.inc();
+        self.obs
+            .obs
+            .span_start("replica.round", req_id, round, ctx.now().as_micros());
         self.invoke(
             ctx,
             req.service,
@@ -423,6 +483,21 @@ impl XReplica {
                 round,
             },
         );
+    }
+
+    /// Closes the `replica.round` span for a round this replica owns
+    /// (no-op for rounds executed elsewhere, so helping a commit or
+    /// cleaning a foreign round never fabricates a span).
+    fn end_round_span(&mut self, ctx: &Context<'_, ProtoMsg>, req_id: &str, round: u64) {
+        if self
+            .requests
+            .get(req_id)
+            .is_some_and(|st| st.owned.contains(&round))
+        {
+            self.obs
+                .obs
+                .span_end("replica.round", req_id, round, ctx.now().as_micros());
+        }
     }
 
     fn start_next_round(&mut self, ctx: &mut Context<'_, ProtoMsg>, req_id: &str, next: u64) {
@@ -478,7 +553,7 @@ impl XReplica {
             if !st.cleaning.insert(round) {
                 continue;
             }
-            self.metrics.cleanings += 1;
+            self.obs.cleanings.inc();
             if undoable {
                 self.propose_with_intent(
                     ctx,
@@ -521,6 +596,16 @@ impl XReplica {
     fn on_decision(&mut self, ctx: &mut Context<'_, ProtoMsg>, inst: InstanceId, dec: Decision) {
         let intent = self.intents.remove(&inst);
 
+        // Causal waypoint: a decision landing for an instance this replica
+        // proposed (one event per proposer, not one per learner).
+        if intent.is_some() {
+            if let Some((_, req_id, round)) = parse_instance(&inst) {
+                self.obs
+                    .obs
+                    .span_event("consensus.decide", req_id, round, ctx.now().as_micros());
+            }
+        }
+
         // Passive learning: every replica tracks owners and results from
         // decisions regardless of who proposed.
         match (&dec, parse_instance(&inst)) {
@@ -559,7 +644,7 @@ impl XReplica {
         match intent {
             None | Some(Intent::OwnRound) => {}
             Some(Intent::ExecResult { req_id, round }) => {
-                let _ = round;
+                self.end_round_span(ctx, &req_id, round);
                 match dec {
                     Decision::ResultAgreed(Some(v)) => self.reply(ctx, &req_id, v),
                     // A cleaner blocked this round's result; it drives the
@@ -625,7 +710,7 @@ impl XReplica {
             return;
         };
         let req = st.req.clone();
-        self.metrics.cancels += 1;
+        self.obs.cancels.inc();
         self.invoke(
             ctx,
             req.service,
@@ -649,7 +734,7 @@ impl XReplica {
             return;
         };
         let req = st.req.clone();
-        self.metrics.commits += 1;
+        self.obs.commits.inc();
         self.invoke(
             ctx,
             req.service,
@@ -701,9 +786,9 @@ impl XReplica {
                 }
                 InvokeOutcome::Failure { terminal, .. } => {
                     if terminal {
-                        self.metrics.terminal_failures += 1;
+                        self.obs.terminal_failures.inc();
                     } else {
-                        self.metrics.transient_failures += 1;
+                        self.obs.transient_failures.inc();
                     }
                     let undoable = self
                         .requests
@@ -729,7 +814,7 @@ impl XReplica {
                             return;
                         };
                         let req = st.req.clone();
-                        self.metrics.executions += 1;
+                        self.obs.executions.inc();
                         self.invoke(
                             ctx,
                             req.service,
@@ -741,19 +826,20 @@ impl XReplica {
             },
             Pending::Cancel { req_id, round } => match outcome {
                 InvokeOutcome::Success(_) => {
+                    self.end_round_span(ctx, &req_id, round);
                     self.start_next_round(ctx, &req_id, round + 1);
                 }
                 InvokeOutcome::Failure {
                     terminal: false, ..
                 } => {
-                    self.metrics.transient_failures += 1;
+                    self.obs.transient_failures.inc();
                     self.start_cancel(ctx, &req_id, round);
                 }
                 InvokeOutcome::Failure { terminal: true, .. } => {
                     // Cancel conflicts with an existing commit: impossible
                     // when outcome agreement decided abort (agreement), so
                     // this indicates a logic error; drop the flow.
-                    self.metrics.terminal_failures += 1;
+                    self.obs.terminal_failures.inc();
                 }
             },
             Pending::Commit {
@@ -763,6 +849,7 @@ impl XReplica {
                 deliver,
             } => match outcome {
                 InvokeOutcome::Success(_) => {
+                    self.end_round_span(ctx, &req_id, round);
                     if deliver {
                         self.reply(ctx, &req_id, value);
                     } else {
@@ -772,11 +859,11 @@ impl XReplica {
                 InvokeOutcome::Failure {
                     terminal: false, ..
                 } => {
-                    self.metrics.transient_failures += 1;
+                    self.obs.transient_failures.inc();
                     self.start_commit(ctx, &req_id, round, value, deliver);
                 }
                 InvokeOutcome::Failure { terminal: true, .. } => {
-                    self.metrics.terminal_failures += 1;
+                    self.obs.terminal_failures.inc();
                 }
             },
         }
@@ -801,7 +888,7 @@ impl Actor<ProtoMsg> for XReplica {
                     if let Some(v) = st.result.clone() {
                         // Resubmission of a completed request: submit is
                         // idempotent (R1) — answer with the agreed result.
-                        self.metrics.replies_sent += 1;
+                        self.obs.replies_sent.inc();
                         ctx.send(
                             from,
                             ProtoMsg::ClientResult {

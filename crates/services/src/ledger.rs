@@ -16,7 +16,7 @@
 //! recorder. Per-event provenance (time, observing service) is kept in a
 //! compact side table.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -24,6 +24,7 @@ use std::rc::Rc;
 
 use xability_core::xable::{IncrementalState, Verdict};
 use xability_core::{ActionName, Event, Request, Value};
+use xability_obs::{Counter, Histogram, Obs};
 use xability_sim::SimTime;
 use xability_store::{
     recover_store, HistoryView, RecoveryReport, SegmentLog, TierConfig, TraceSnapshot, TraceStore,
@@ -132,6 +133,56 @@ pub struct Ledger {
     violations: Vec<String>,
     monitor: Option<IncrementalState>,
     spill: Option<Spill>,
+    obs: LedgerObs,
+}
+
+/// Ledger instruments: inert (noop handles) until
+/// [`Ledger::attach_obs`] binds them to a shared registry.
+#[derive(Debug, Default)]
+struct LedgerObs {
+    obs: Obs,
+    /// Events ingested (single or batched).
+    events: Counter,
+    /// `record_batch` calls.
+    batches: Counter,
+    /// Events per `record_batch` call.
+    batch_size: Histogram,
+    /// Cold segments sealed by the spill (threshold chunks + tail).
+    spill_seals: Counter,
+    /// Events made durable across those seals.
+    spill_sealed_events: Counter,
+    /// Simulated ticks (µs) of history each monitor verdict had to cover
+    /// since the previous verdict — the verdict's staleness window.
+    verdict_lag_ticks: Histogram,
+    /// First-unverdicted-record tick: the left edge of the next verdict's
+    /// lag window. `Cell` because `monitor_verdict` is `&self`.
+    dirty_since: Cell<Option<SimTime>>,
+    /// Tick of the most recently recorded event.
+    last_at: Cell<SimTime>,
+}
+
+impl LedgerObs {
+    fn bind(obs: &Obs) -> Self {
+        LedgerObs {
+            obs: obs.clone(),
+            events: obs.counter("ledger.events"),
+            batches: obs.counter("ledger.batches"),
+            batch_size: obs.histogram("ledger.batch_size"),
+            spill_seals: obs.counter("ledger.spill_seals"),
+            spill_sealed_events: obs.counter("ledger.spill_sealed_events"),
+            verdict_lag_ticks: obs.histogram("ledger.verdict_lag_ticks"),
+            dirty_since: Cell::new(None),
+            last_at: Cell::new(SimTime::ZERO),
+        }
+    }
+
+    fn record_ingest(&self, at: SimTime, count: u64) {
+        self.events.add(count);
+        if self.dirty_since.get().is_none() {
+            self.dirty_since.set(Some(at));
+        }
+        self.last_at.set(at);
+    }
 }
 
 /// The ledger's durable-spill state: a cold-segment chain the recorded
@@ -176,6 +227,17 @@ impl Ledger {
             violations: Vec::new(),
             monitor: None,
             spill: None,
+            obs: LedgerObs::default(),
+        }
+    }
+
+    /// Binds this ledger's instruments (ingest/batch counters, spill-seal
+    /// counters, verdict-lag histogram) — and the attached monitor's, if
+    /// any — to a shared metrics registry. Inert until called.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = LedgerObs::bind(obs);
+        if let Some(monitor) = &mut self.monitor {
+            monitor.attach_obs(obs);
         }
     }
 
@@ -191,6 +253,7 @@ impl Ledger {
         self.store.push(&event);
         let service = self.intern_service(service);
         self.meta.push(EventMeta { at, service });
+        self.obs.record_ingest(at, 1);
         self.maybe_spill();
     }
 
@@ -207,6 +270,9 @@ impl Ledger {
         let service = self.intern_service(service);
         self.meta
             .extend(events.iter().map(|_| EventMeta { at, service }));
+        self.obs.batches.inc();
+        self.obs.batch_size.record(events.len() as u64);
+        self.obs.record_ingest(at, events.len() as u64);
         self.maybe_spill();
     }
 
@@ -265,6 +331,8 @@ impl Ledger {
                 spill.error = Some(e);
                 return;
             }
+            self.obs.spill_seals.inc();
+            self.obs.spill_sealed_events.add((end - start) as u64);
         }
     }
 
@@ -311,6 +379,8 @@ impl Ledger {
                 end - start,
                 &mut (start..end).map(|i| snap.repr(i)),
             )?;
+            self.obs.spill_seals.inc();
+            self.obs.spill_sealed_events.add((end - start) as u64);
         }
         Ok(spill.log.next_first_event())
     }
@@ -351,6 +421,22 @@ impl Ledger {
         ledger.store = store;
         ledger.monitor = Some(monitor);
         Ok((ledger, report))
+    }
+
+    /// Records a crash-recovery outcome into the attached registry as
+    /// `ledger.recovery_*` counters. Call it on the reopened ledger after
+    /// [`Ledger::reopen_spill`] + [`Ledger::attach_obs`] (recovery happens
+    /// before a registry can be attached, so it is reported explicitly).
+    pub fn record_recovery(&self, report: &RecoveryReport) {
+        let obs = &self.obs.obs;
+        obs.counter("ledger.recovery_segments")
+            .add(report.segments_recovered as u64);
+        obs.counter("ledger.recovery_events")
+            .add(report.events_recovered as u64);
+        obs.counter("ledger.recovery_quarantined")
+            .add(report.quarantined.len() as u64);
+        obs.counter("ledger.recovery_removed_tmp")
+            .add(report.removed_tmp.len() as u64);
     }
 
     fn intern_service(&mut self, service: &str) -> u32 {
@@ -403,9 +489,23 @@ impl Ledger {
     /// attached. The monitor reads the prefix it has consumed through a
     /// zero-copy view — it never owns a second copy of the trace.
     pub fn monitor_verdict(&self) -> Option<Verdict> {
-        self.monitor
+        let verdict = self
+            .monitor
             .as_ref()
-            .map(|monitor| monitor.verdict_over(&self.store.view()))
+            .map(|monitor| monitor.verdict_over(&self.store.view()))?;
+        // The verdict's staleness window: ticks of history consumed since
+        // the previous verdict (the anchor is the last recorded event's
+        // tick — the registry itself never reads a clock).
+        if let Some(since) = self.obs.dirty_since.take() {
+            let last = self.obs.last_at.get();
+            self.obs
+                .verdict_lag_ticks
+                .record(last.since(since).as_micros());
+            self.obs
+                .obs
+                .span_event("monitor.verdict", "ledger", 0, last.as_micros());
+        }
+        Some(verdict)
     }
 
     /// Declares every not-yet-declared request of `submitted` into the

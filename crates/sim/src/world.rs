@@ -24,6 +24,8 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use xability_obs::{Counter, Obs};
+
 use crate::actor::{Actor, Context, ProcessId, TimerId};
 use crate::config::SimConfig;
 use crate::time::{SimDuration, SimTime};
@@ -55,6 +57,38 @@ pub struct Metrics {
     pub messages_reordered: u64,
     /// Messages (protocol and heartbeat) dropped at a partition boundary.
     pub partition_dropped: u64,
+}
+
+/// Per-link transport counters over an attached [`Obs`] registry.
+///
+/// Counter handles are registered lazily the first time a link carries the
+/// corresponding kind of traffic; the link key string (`"p0->p1"`) is
+/// formatted at registration time only, never on the record path. With no
+/// registry attached ([`Obs::noop`]) the whole thing is one branch.
+#[derive(Debug)]
+struct LinkObs {
+    obs: Obs,
+    counters: BTreeMap<(&'static str, usize, usize), Counter>,
+}
+
+impl LinkObs {
+    fn new(obs: Obs) -> Self {
+        LinkObs {
+            obs,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, name: &'static str, from: ProcessId, to: ProcessId) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let obs = &self.obs;
+        self.counters
+            .entry((name, from.0, to.0))
+            .or_insert_with(|| obs.counter_keyed(name, &format!("p{}->p{}", from.0, to.0)))
+            .inc();
+    }
 }
 
 /// A scheduled network partition: while active, messages between a member
@@ -193,6 +227,7 @@ pub struct World<M> {
     next_timer: u64,
     cancelled_timers: BTreeSet<TimerId>,
     partitions: Vec<PartitionWindow>,
+    link_obs: LinkObs,
 }
 
 impl<M> std::fmt::Debug for World<M> {
@@ -220,7 +255,16 @@ impl<M: std::fmt::Debug + Clone + 'static> World<M> {
             next_timer: 0,
             cancelled_timers: BTreeSet::new(),
             partitions: Vec::new(),
+            link_obs: LinkObs::new(Obs::noop()),
         }
+    }
+
+    /// Attaches a metrics registry: from here on the transport records
+    /// per-link sent/delivered/lost/duplicated/reordered/partition-dropped
+    /// counters into it. The default is [`Obs::noop`], which costs one
+    /// branch per message.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.link_obs = LinkObs::new(obs.clone());
     }
 
     /// Adds a process to the world and schedules its start, heartbeat and
@@ -431,9 +475,11 @@ impl<M: std::fmt::Debug + Clone + 'static> World<M> {
             EventKind::Deliver { from, to, msg } => {
                 if self.slots[to.0].alive {
                     self.metrics.messages_delivered += 1;
+                    self.link_obs.bump("sim.link.delivered", from, to);
                     self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 } else {
                     self.metrics.messages_dropped += 1;
+                    self.link_obs.bump("sim.link.dropped_dead", from, to);
                 }
             }
             EventKind::Timer { process, timer } => {
@@ -466,6 +512,7 @@ impl<M: std::fmt::Debug + Clone + 'static> World<M> {
                     // heartbeat traffic cheap.
                     if self.partitioned(p, to) {
                         self.metrics.partition_dropped += 1;
+                        self.link_obs.bump("sim.link.partition_dropped", p, to);
                         continue;
                     }
                     if self.config.faults.drop_prob > 0.0
@@ -545,11 +592,13 @@ impl<M: std::fmt::Debug + Clone + 'static> World<M> {
     fn route_message(&mut self, from: ProcessId, to: ProcessId, msg: M) {
         if self.partitioned(from, to) {
             self.metrics.partition_dropped += 1;
+            self.link_obs.bump("sim.link.partition_dropped", from, to);
             return;
         }
         let faults = self.config.faults;
         if faults.drop_prob > 0.0 && self.rng.random_bool(faults.drop_prob) {
             self.metrics.messages_lost += 1;
+            self.link_obs.bump("sim.link.lost", from, to);
             return;
         }
         let mut delay = self.config.latency.sample(self.now, &mut self.rng);
@@ -559,10 +608,12 @@ impl<M: std::fmt::Debug + Clone + 'static> World<M> {
                 delay = delay + SimDuration::from_micros(self.rng.random_range(0..=extra_us));
             }
             self.metrics.messages_reordered += 1;
+            self.link_obs.bump("sim.link.reordered", from, to);
         }
         let duplicate = faults.dup_prob > 0.0 && self.rng.random_bool(faults.dup_prob);
         if duplicate {
             self.metrics.messages_duplicated += 1;
+            self.link_obs.bump("sim.link.duplicated", from, to);
             let copy_delay = self.config.latency.sample(self.now, &mut self.rng);
             self.push_event(
                 self.now + copy_delay,
@@ -613,6 +664,7 @@ impl<M: std::fmt::Debug + Clone + 'static> World<M> {
                 "send to unknown process {to} from {p}"
             );
             self.metrics.messages_sent += 1;
+            self.link_obs.bump("sim.link.sent", p, to);
             self.route_message(p, to, msg);
         }
         for (delay, timer) in new_timers {
@@ -706,6 +758,37 @@ mod tests {
         assert_eq!(r.pings, p.pongs + (r.pings - p.pongs)); // sanity
         assert!(p.pongs >= 8);
         assert!(world.metrics().messages_delivered >= 17);
+    }
+
+    #[test]
+    fn attached_obs_records_per_link_counters() {
+        let (mut world, responder, pinger) = build();
+        let obs = Obs::new();
+        world.attach_obs(&obs);
+        world.run_until(SimTime::from_millis(200));
+        let snap = obs.snapshot();
+        let p2r = format!("p{}->p{}", pinger.0, responder.0);
+        let r2p = format!("p{}->p{}", responder.0, pinger.0);
+        // Fault-free run: everything sent per link is delivered per link,
+        // save at most one message still in flight at the deadline.
+        let sent_p2r = snap.counter_with_key("sim.link.sent", &p2r).unwrap();
+        let delivered_p2r = snap.counter_with_key("sim.link.delivered", &p2r).unwrap();
+        assert!(sent_p2r >= 9, "sent {sent_p2r}");
+        assert!(
+            delivered_p2r == sent_p2r || delivered_p2r + 1 == sent_p2r,
+            "delivered {delivered_p2r} vs sent {sent_p2r}"
+        );
+        assert!(snap.counter_with_key("sim.link.sent", &r2p).is_some());
+        // And the per-link totals agree with the legacy aggregate counters.
+        assert_eq!(
+            snap.counter_total("sim.link.sent"),
+            world.metrics().messages_sent
+        );
+        assert_eq!(
+            snap.counter_total("sim.link.delivered"),
+            world.metrics().messages_delivered
+        );
+        assert_eq!(snap.counter_total("sim.link.lost"), 0);
     }
 
     #[test]

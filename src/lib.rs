@@ -21,6 +21,7 @@
 //! | [`services`] | `xability-services` | external services, side-effect ledger, fault injection |
 //! | [`protocol`] | `xability-protocol` | the §5 replication algorithm + primary-backup / active baselines |
 //! | [`harness`] | `xability-harness` | scenario runner, R1–R4 validation, experiments |
+//! | [`obs`] | `xability-obs` | deterministic metrics registry, causal span tracing, mergeable snapshots |
 //!
 //! ## Quick start
 //!
@@ -74,6 +75,7 @@
 pub use xability_consensus as consensus;
 pub use xability_core as core;
 pub use xability_harness as harness;
+pub use xability_obs as obs;
 pub use xability_protocol as protocol;
 pub use xability_services as services;
 pub use xability_sim as sim;
