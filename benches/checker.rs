@@ -5,10 +5,13 @@
 //! The headline numbers — amortized per-event cost of the online checker
 //! (a verdict after *every* push, riding the dirty-tracked aggregate)
 //! against the mean cost of one batch re-check on a 10k-event trace, plus
-//! a 1/2/4/8-worker batch-check scaling series — are measured directly
-//! (not through criterion) and written to `BENCH_checker.json` at the
-//! workspace root, so the speedup is recorded as a machine-readable
-//! artifact. The measurement (and the file rewrite) only runs when the
+//! a 1/2/4/8-worker batch-check scaling series and an end-to-end
+//! **pipeline axis** (record + online verdict through the ledger, both
+//! the single-thread monitor and [`PipelinedMonitor`] worker/window
+//! sweeps, DESIGN.md §12) — are measured directly (not through
+//! criterion) and written to `BENCH_checker.json` at the workspace root,
+//! so the speedup is recorded as a machine-readable artifact. The
+//! measurement (and the file rewrite) only runs when the
 //! `EMIT_BENCH_JSON` environment variable is set.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
@@ -16,8 +19,12 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use xability_bench::n_retried_requests;
-use xability_core::xable::{Checker, FastChecker, IncrementalChecker};
+use xability_core::xable::{Checker, FastChecker, IncrementalChecker, SearchBudget};
 use xability_core::{ActionId, ActionName, Event, History, Request, Value};
+use xability_services::pipeline::{PipelinedMonitor, DEFAULT_WINDOW};
+use xability_services::Ledger;
+use xability_sim::SimTime;
+use xability_store::TraceStore;
 
 fn requests_of(ops: &[(ActionId, Value)]) -> Vec<Request> {
     ops.iter()
@@ -134,11 +141,51 @@ fn bench_sharded_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// One end-to-end pipelined pass outside the ledger: observe + push +
+/// publish in batches, a final merged verdict. Returns whether the
+/// trace was x-able (it must be).
+fn pipelined_pass(events: &[Event], ops: &[(ActionId, Value)], workers: usize) -> bool {
+    let mut store = TraceStore::new();
+    let mut pipe = PipelinedMonitor::new(workers);
+    for (a, iv) in ops {
+        pipe.declare(a.clone(), iv.clone());
+    }
+    for batch in events.chunks(256) {
+        pipe.observe_batch(batch);
+        store.push_batch(batch);
+        pipe.publish(&store);
+    }
+    pipe.verdict_over(&store).is_xable()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // End-to-end pipelined record+verdict across worker counts. The
+    // verdict is byte-identical at every count (tests/pipeline_props.rs);
+    // only the wall clock may differ. Each iteration spawns and joins the
+    // decide workers, so this also prices the setup cost a short-lived
+    // monitor pays.
+    let mut group = c.benchmark_group("checker_pipelined_end_to_end");
+    group.sample_size(10);
+    let (h, ops) = n_retried_requests(300);
+    let events: Vec<Event> = h.iter().cloned().collect();
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| black_box(pipelined_pass(black_box(&events), &ops, workers)));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_incremental,
     bench_batch_recheck,
-    bench_sharded_batch
+    bench_sharded_batch,
+    bench_pipeline
 );
 
 /// Measures the headline comparisons on 10k-event traces and writes
@@ -209,6 +256,143 @@ fn emit_bench_json() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
+    // Pipeline axis: end-to-end record + online verdict through the
+    // ledger (the DESIGN.md §12 posture) — a single-thread baseline,
+    // then the pipelined monitor across worker counts and window sizes.
+    const PIPE_REQUESTS: usize = 30_000; // × 3 events per request
+    const PIPE_BATCH: usize = 1024;
+    const VERDICT_EVERY: usize = 32;
+    let (ph, pops) = n_retried_requests(PIPE_REQUESTS);
+    let pevents: Vec<Event> = ph.iter().cloned().collect();
+    let prequests = requests_of(&pops);
+
+    // Batched records, an online verdict every VERDICT_EVERY batches, a
+    // final verdict. Returns events/s.
+    let run_ledger = |mut ledger: Ledger| -> f64 {
+        let start = Instant::now();
+        for (k, batch) in pevents.chunks(PIPE_BATCH).enumerate() {
+            ledger.record_batch(batch, SimTime::ZERO, "bench");
+            if k % VERDICT_EVERY == VERDICT_EVERY - 1 {
+                let _ = black_box(ledger.monitor_verdict().expect("monitor attached"));
+            }
+        }
+        let ok = ledger
+            .monitor_verdict()
+            .expect("monitor attached")
+            .is_xable();
+        let elapsed = start.elapsed();
+        assert!(ok, "the pipeline trace must be x-able");
+        pevents.len() as f64 / elapsed.as_secs_f64()
+    };
+
+    // Single-thread baseline: median of 3 runs of the sequential monitor.
+    let mut seq_runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let mut ledger = Ledger::new();
+            ledger.declare_requests(&prequests);
+            run_ledger(ledger)
+        })
+        .collect();
+    seq_runs.sort_by(f64::total_cmp);
+    let single_thread = seq_runs[1];
+
+    // Batch-vs-per-event ingest (no periodic verdicts): the monitor path
+    // of `record_batch` must ride `observe_batch`, so batched ingest may
+    // never be slower than per-event ingest (beyond timer noise).
+    let ingest_batch_ns = {
+        let mut ledger = Ledger::new();
+        ledger.declare_requests(&prequests);
+        let start = Instant::now();
+        for batch in pevents.chunks(PIPE_BATCH) {
+            ledger.record_batch(batch, SimTime::ZERO, "bench");
+        }
+        let ns = start.elapsed().as_nanos() as f64 / pevents.len() as f64;
+        black_box(ledger.monitor_verdict());
+        ns
+    };
+    let ingest_per_event_ns = {
+        let mut ledger = Ledger::new();
+        ledger.declare_requests(&prequests);
+        let start = Instant::now();
+        for ev in &pevents {
+            ledger.record_event(ev.clone(), SimTime::ZERO, "bench");
+        }
+        let ns = start.elapsed().as_nanos() as f64 / pevents.len() as f64;
+        black_box(ledger.monitor_verdict());
+        ns
+    };
+    let ingest_speedup = ingest_per_event_ns / ingest_batch_ns;
+    assert!(
+        ingest_batch_ns <= ingest_per_event_ns * 1.1,
+        "batched ingest ({ingest_batch_ns:.0} ns/event) must not be slower than \
+         per-event ingest ({ingest_per_event_ns:.0} ns/event): record_batch is \
+         expected to ride observe_batch's amortized dirty sets"
+    );
+
+    // Worker sweep at the default window, then a window sweep at 4
+    // workers. One run per point: the pipelined passes are the slowest
+    // part of this emit, and the artifact records available_parallelism
+    // so a 1-core number is legible as serialized re-ingest.
+    let mut worker_points = String::new();
+    let mut best_pipe: Option<(usize, f64)> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let mut ledger = Ledger::without_monitor();
+        ledger
+            .attach_pipelined_monitor(workers)
+            .expect("fresh ledger has no monitor");
+        ledger.declare_requests(&prequests);
+        let rate = run_ledger(ledger);
+        if best_pipe.map_or(true, |(_, r)| rate > r) {
+            best_pipe = Some((workers, rate));
+        }
+        if !worker_points.is_empty() {
+            worker_points.push_str(", ");
+        }
+        worker_points.push_str(&format!(
+            "{{ \"workers\": {workers}, \"window\": {DEFAULT_WINDOW}, \
+             \"events_per_sec\": {rate:.0} }}"
+        ));
+    }
+    let mut window_points = String::new();
+    for window in [256usize, 1024, 4096] {
+        let mut ledger = Ledger::without_monitor();
+        ledger
+            .attach_pipelined_monitor_with(4, window, SearchBudget::small())
+            .expect("fresh ledger has no monitor");
+        ledger.declare_requests(&prequests);
+        let rate = run_ledger(ledger);
+        if !window_points.is_empty() {
+            window_points.push_str(", ");
+        }
+        window_points.push_str(&format!(
+            "{{ \"workers\": 4, \"window\": {window}, \"events_per_sec\": {rate:.0} }}"
+        ));
+    }
+    let (best_workers, best_rate) = best_pipe.expect("non-empty worker sweep");
+    let pipeline_json = format!(
+        "\"pipeline\": {{\n    \"trace_events\": {}, \"requests\": {}, \
+         \"record_batch\": {PIPE_BATCH}, \"verdict_every_batches\": {VERDICT_EVERY}, \
+         \"available_parallelism\": {parallelism},\n    \
+         \"single_thread_events_per_sec\": {:.0},\n    \
+         \"ingest\": {{ \"batch_ns_per_event\": {:.1}, \"per_event_ns_per_event\": {:.1}, \
+         \"batch_speedup\": {:.2} }},\n    \
+         \"workers\": [{}],\n    \
+         \"window_sweep_at_4_workers\": [{}],\n    \
+         \"best\": {{ \"workers\": {}, \"events_per_sec\": {:.0}, \
+         \"speedup_vs_single_thread\": {:.2} }}\n  }}",
+        pevents.len(),
+        pops.len(),
+        single_thread,
+        ingest_batch_ns,
+        ingest_per_event_ns,
+        ingest_speedup,
+        worker_points,
+        window_points,
+        best_workers,
+        best_rate,
+        best_rate / single_thread,
+    );
+
     let speedup = batch_mean_check_ns / inc_per_event_ns;
     let provenance = xability_bench::bench_provenance("checker");
     let json = format!(
@@ -219,7 +403,8 @@ fn emit_bench_json() {
          \"sharded_batch\": {{\n    \"trace_events\": {}, \"requests\": {}, \
          \"available_parallelism\": {},\n    \
          \"threads\": [{}],\n    \
-         \"best\": {{ \"workers\": {}, \"speedup_vs_1_worker\": {:.2} }}\n  }}\n}}\n",
+         \"best\": {{ \"workers\": {}, \"speedup_vs_1_worker\": {:.2} }}\n  }},\n  \
+         {}\n}}\n",
         h.len(),
         ops.len(),
         inc_total.as_nanos(),
@@ -233,15 +418,31 @@ fn emit_bench_json() {
         sharded_points,
         best.0,
         one_worker_ns / best.1 as f64,
+        pipeline_json,
     );
     std::fs::write("BENCH_checker.json", &json).expect("write BENCH_checker.json");
-    println!("bench checker: wrote BENCH_checker.json (speedup {speedup:.1}x)");
+    println!(
+        "bench checker: wrote BENCH_checker.json (speedup {speedup:.1}x, \
+         single-thread {single_thread:.0} events/s, pipelined best \
+         {best_rate:.0} events/s at {best_workers} workers)"
+    );
     // A wall-clock ratio is machine-dependent, so a miss is a loud warning
     // rather than a panic; the JSON artifact carries the measured value.
     if speedup < 10.0 {
         eprintln!(
             "WARNING: incremental checking is expected to be >=10x faster per event \
              than batch re-checks; measured only {speedup:.1}x"
+        );
+    }
+    // On a box with real parallelism the pipelined monitor should beat
+    // the single thread; on 1 core the decide workers serialize their
+    // re-ingest and the single-thread path is the headline number.
+    if parallelism >= 2 && best_rate < single_thread * 1.3 {
+        eprintln!(
+            "WARNING: pipelined checking is expected to reach >=1.3x the \
+             single-thread throughput on a {parallelism}-core box; measured \
+             {:.2}x",
+            best_rate / single_thread
         );
     }
 }

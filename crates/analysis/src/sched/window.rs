@@ -1,0 +1,280 @@
+//! Model: the pipelined checker's bounded window hand-off.
+//!
+//! The pipelined monitor (DESIGN.md §12) splits checking into an append
+//! stage and decide workers joined by a bounded channel pair: the
+//! coordinator sends immutable snapshot windows (at most
+//! `WINDOWS_IN_FLIGHT` outstanding, absorbing the oldest result before
+//! sending when at capacity), a worker receives windows in FIFO order,
+//! decides each, and sends a result back. Byte-identical verdicts rest
+//! on three hand-off properties, each a claim about *every* interleaving
+//! of the two stages:
+//!
+//! 1. **FIFO**: the worker decides windows in publish order, gaplessly —
+//!    it re-observes the event stream, so reordering would corrupt its
+//!    state, not just its cache.
+//! 2. **Bounded**: in-flight windows (sent, not yet absorbed) never
+//!    exceed the capacity — the backpressure that keeps the result
+//!    channel's capacity sufficient and the hand-off deadlock-free.
+//! 3. **Complete**: at shutdown (the verdict path), every published
+//!    window has been decided and its result absorbed exactly once.
+//!
+//! This shadow model replays that protocol over plain queues: thread A
+//! publishes windows (deferring, as the real blocked `send` would, when
+//! at capacity with no result to absorb), thread B is the decide worker
+//! (parking, as the real blocked `recv` would, when its inbox is empty),
+//! and `finish` runs the verdict-time drain. The hand-off strategy is a
+//! type parameter so a deliberately broken variant — a LIFO hand-off
+//! that reorders windows whenever two are queued — demonstrates the
+//! explorer catches exactly the schedules where the FIFO property does
+//! real work.
+
+use std::collections::VecDeque;
+
+use super::Interleave;
+
+/// Events per window in the shadow model (any fixed size works; the
+/// invariants are about window *order*, not content).
+const WINDOW: usize = 3;
+/// Mirror of the pipeline's `WINDOWS_IN_FLIGHT` bound.
+const CAP: usize = 2;
+/// Windows published by thread A (= decide ops of thread B).
+const WINDOWS: usize = 4;
+
+/// How the decide worker takes the next window off its inbox.
+pub trait Handoff: Default {
+    /// Appends a window (channel send order — always FIFO at the tail).
+    fn push(&mut self, upto: usize);
+    /// Removes the next window to decide, or `None` when empty.
+    fn pop(&mut self) -> Option<usize>;
+    /// Queued windows.
+    fn len(&self) -> usize;
+    /// `true` when no window is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The real protocol's hand-off: a FIFO channel.
+#[derive(Default)]
+pub struct ShadowHandoff(VecDeque<usize>);
+
+impl Handoff for ShadowHandoff {
+    fn push(&mut self, upto: usize) {
+        self.0.push_back(upto);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        self.0.pop_front()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Deliberately broken: newest-window-first. Harmless while at most one
+/// window is queued, wrong on exactly the schedules where the
+/// coordinator runs ahead — which is what the FIFO invariant exists for.
+#[derive(Default)]
+pub struct BrokenHandoff(Vec<usize>);
+
+impl Handoff for BrokenHandoff {
+    fn push(&mut self, upto: usize) {
+        self.0.push(upto);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        self.0.pop()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The two-thread shadow of the append/decide hand-off.
+pub struct WindowModel<Q: Handoff> {
+    /// Coordinator-side windows awaiting channel space — the real
+    /// coordinator inside a blocked `send`.
+    pending: VecDeque<usize>,
+    /// The window channel (coordinator → worker).
+    inbox: Q,
+    /// The result channel (worker → coordinator), always FIFO.
+    outbox: VecDeque<usize>,
+    /// Windows published (created), sent, decided, absorbed.
+    published: usize,
+    sent: usize,
+    decided: usize,
+    absorbed: usize,
+    /// Monotone high-water marks for the FIFO/gapless checks.
+    decided_upto: usize,
+    absorbed_upto: usize,
+}
+
+impl<Q: Handoff> WindowModel<Q> {
+    /// The standard bound: 4 publishes against 4 decide polls —
+    /// C(8, 4) = 70 schedules.
+    pub fn standard() -> Self {
+        WindowModel {
+            pending: VecDeque::new(),
+            inbox: Q::default(),
+            outbox: VecDeque::new(),
+            published: 0,
+            sent: 0,
+            decided: 0,
+            absorbed: 0,
+            decided_upto: 0,
+            absorbed_upto: 0,
+        }
+    }
+
+    /// Sent-but-unabsorbed windows — the quantity the backpressure
+    /// bounds.
+    fn in_flight(&self) -> usize {
+        self.sent - self.absorbed
+    }
+
+    /// The worker decides one window: FIFO and gapless, or the model
+    /// reports the violation.
+    fn decide(&mut self, upto: usize) -> Result<(), String> {
+        if upto != self.decided_upto + WINDOW {
+            return Err(format!(
+                "window decided out of FIFO order: got upto={upto} after upto={} \
+                 (the worker re-observes the stream, so order is correctness, not cache)",
+                self.decided_upto
+            ));
+        }
+        self.decided_upto = upto;
+        self.decided += 1;
+        self.outbox.push_back(upto);
+        Ok(())
+    }
+
+    /// The coordinator absorbs one result: publish order, gaplessly.
+    fn absorb(&mut self, upto: usize) -> Result<(), String> {
+        if upto != self.absorbed_upto + WINDOW {
+            return Err(format!(
+                "result absorbed out of order: got upto={upto} after upto={}",
+                self.absorbed_upto
+            ));
+        }
+        self.absorbed_upto = upto;
+        self.absorbed += 1;
+        Ok(())
+    }
+
+    /// The coordinator's send loop: ship pending windows while under the
+    /// in-flight bound, absorbing the oldest result to make room at
+    /// capacity, stopping (as the real blocked `recv` would) when no
+    /// result is available yet.
+    fn pump(&mut self) -> Result<(), String> {
+        loop {
+            if self.pending.is_empty() {
+                return Ok(());
+            }
+            if self.in_flight() < CAP {
+                let upto = self
+                    .pending
+                    .pop_front()
+                    .expect("pending checked non-empty above");
+                self.inbox.push(upto);
+                self.sent += 1;
+                if self.in_flight() > CAP {
+                    return Err(format!(
+                        "in-flight windows exceeded the bound: {} > {CAP}",
+                        self.in_flight()
+                    ));
+                }
+                continue;
+            }
+            match self.outbox.pop_front() {
+                Some(result) => self.absorb(result)?,
+                // At capacity and the worker has not produced yet: the
+                // real coordinator blocks here; the model defers.
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
+impl<Q: Handoff> Interleave for WindowModel<Q> {
+    fn ops(&self) -> (usize, usize) {
+        (WINDOWS, WINDOWS)
+    }
+
+    fn step(&mut self, thread: usize, _index: usize) -> Result<(), String> {
+        if thread == 0 {
+            // Append stage: publish the next window, then run the send
+            // loop (which may also absorb under backpressure).
+            self.published += 1;
+            self.pending.push_back(self.published * WINDOW);
+            return self.pump();
+        }
+        // Decide worker: take the next window if one is queued; an empty
+        // inbox is the worker parked on `recv`.
+        match self.inbox.pop() {
+            Some(upto) => self.decide(upto),
+            None => Ok(()),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        // The verdict path: flush everything pending, drain every slot.
+        loop {
+            self.pump()?;
+            match self.inbox.pop() {
+                Some(upto) => self.decide(upto)?,
+                None => break,
+            }
+        }
+        while let Some(result) = self.outbox.pop_front() {
+            self.absorb(result)?;
+        }
+        if self.decided != self.published || self.absorbed != self.published {
+            return Err(format!(
+                "shutdown lost work: published {} windows, decided {}, absorbed {}",
+                self.published, self.decided, self.absorbed
+            ));
+        }
+        if !self.pending.is_empty() || self.in_flight() != 0 || self.inbox.len() != 0 {
+            return Err(format!(
+                "shutdown left residue: {} pending, {} in flight, {} queued",
+                self.pending.len(),
+                self.in_flight(),
+                self.inbox.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{binomial, explore};
+
+    #[test]
+    fn fifo_handoff_is_clean_on_every_interleaving() {
+        let explored = explore("window-handoff", WindowModel::<ShadowHandoff>::standard);
+        assert_eq!(explored.schedules, binomial(8, 4), "exhaustiveness");
+        assert_eq!(explored.violations, 0, "{:?}", explored.first_violation);
+        // Every schedule runs every step to completion.
+        assert_eq!(explored.states, explored.schedules * 8);
+    }
+
+    #[test]
+    fn lifo_handoff_is_caught_exactly_when_two_windows_queue() {
+        let explored = explore("window-broken-lifo", WindowModel::<BrokenHandoff>::standard);
+        assert_eq!(explored.schedules, binomial(8, 4), "exhaustiveness");
+        // Caught on the schedules where the coordinator runs two windows
+        // ahead of the worker (so LIFO actually reorders), clean on the
+        // strictly-alternating ones — the FIFO property is load-bearing
+        // on a strict subset of schedules.
+        assert!(
+            explored.violations > 0 && explored.violations < explored.schedules,
+            "expected a strict subset of schedules caught, got {}/{}",
+            explored.violations,
+            explored.schedules
+        );
+        assert!(explored
+            .first_violation
+            .as_deref()
+            .is_some_and(|v| v.contains("out of FIFO order") || v.contains("out of order")));
+    }
+}

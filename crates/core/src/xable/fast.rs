@@ -120,10 +120,143 @@ pub(crate) enum EraseOutcome {
     Budget,
 }
 
+/// Longest sub-history the idempotent closed form decides; longer groups
+/// fall back to the reduction search. 8 covers every protocol-shaped
+/// group (a start, a handful of retries, their completions) and keeps the
+/// exhaustive closed-form-vs-search test affordable.
+const CLOSED_FORM_MAX_LEN: usize = 8;
+
+/// Whether the closed form may replace the search for this budget and
+/// sub-history length: the equivalence proof (the exhaustive test below)
+/// shows the search never exhausts [`SearchBudget::small`] on gated
+/// inputs, so firing only at `>= small()` guarantees the fast path never
+/// turns a would-be `Budget` outcome into a decision (or vice versa).
+fn closed_form_applies(len: usize, budget: SearchBudget) -> bool {
+    let small = SearchBudget::small();
+    len <= CLOSED_FORM_MAX_LEN
+        && budget.max_expansions >= small.max_expansions
+        && budget.max_visited >= small.max_visited
+}
+
+/// Closed-form decision of the idempotent per-group *exec* search.
+///
+/// For the protocol's hot-path groups — every event a base start
+/// `S(a, iv)` with the group's input or a base completion `C(a, ·)` of
+/// one idempotent action `a` — the only applicable reduction rule is
+/// (18), and it admits a closed form (pinned against the real search by
+/// the exhaustive `closed_form_matches_search_exhaustively` test):
+///
+/// * rule (18) erases one matched `S`/`C(out)` duplicate (or a dangling
+///   `S`) while preserving a surviving `S C(out)` pair with the *same*
+///   output, so the set of distinct completion outputs is invariant;
+/// * a leading completion can never be consumed (the erased or surviving
+///   start lies strictly left of its pivot completion), and neither can a
+///   start trailing the last completion — so a history violating the
+///   prefix condition `#starts ≥ #completions`, or not ending in a
+///   completion, is frozen short of the goal;
+/// * conversely, when every prefix holds at least as many starts as
+///   completions, outputs agree, and a completion comes last, erasing the
+///   first `S`/first `C` pair against the last pair as pivot reaches
+///   `S C` — the failure-free target.
+///
+/// Returns `None` when the group is not of the gated shape (undoable
+/// name, cancel/commit/foreign events, diverging start inputs, too long,
+/// or a sub-`small()` budget) — the caller then runs the real search.
+fn idempotent_exec_closed_form(
+    sub: &History,
+    indices: &[usize],
+    name: &ActionName,
+    input: &Value,
+    budget: SearchBudget,
+) -> Option<ExecOutcome> {
+    if name.is_undoable() || !closed_form_applies(sub.len(), budget) {
+        return None;
+    }
+    let mut open = 0usize;
+    let mut prefix_ok = true;
+    let mut first_completion: Option<usize> = None;
+    let mut output: Option<&Value> = None;
+    let mut outputs_agree = true;
+    let mut last_is_completion = false;
+    for (pos, ev) in sub.iter().enumerate() {
+        match ev {
+            Event::Start(ActionId::Base(n), iv) if n == name && iv == input => {
+                open += 1;
+                last_is_completion = false;
+            }
+            Event::Complete(ActionId::Base(n), out) if n == name => {
+                if open == 0 {
+                    prefix_ok = false;
+                } else {
+                    open -= 1;
+                }
+                match output {
+                    None => output = Some(out),
+                    Some(o) => outputs_agree &= o == out,
+                }
+                if first_completion.is_none() {
+                    first_completion = Some(pos);
+                }
+                last_is_completion = true;
+            }
+            _ => return None,
+        }
+    }
+    match (first_completion, output) {
+        (Some(pos), Some(out)) if outputs_agree && last_is_completion && prefix_ok => {
+            // Same anchor the search path computes for idempotent groups:
+            // the first base completion — the moment the effect became
+            // observable (later completions are deduplicated copies).
+            Some(ExecOutcome::Reduced {
+                output: out.clone(),
+                anchor: indices[pos],
+            })
+        }
+        _ => Some(ExecOutcome::Stuck),
+    }
+}
+
+/// Closed-form decision of the idempotent per-group *erase* search: rule
+/// (18) always preserves a surviving `S C` pair, and no other rule
+/// applies to a group of base events of one idempotent action — so a
+/// non-empty gated group never reduces to `Λ`.
+fn idempotent_erase_closed_form(sub: &History, budget: SearchBudget) -> Option<EraseOutcome> {
+    if sub.is_empty() {
+        // `Λ` is already the goal; the search decides this before its
+        // first expansion, with any budget.
+        return Some(EraseOutcome::Erases);
+    }
+    if !closed_form_applies(sub.len(), budget) {
+        return None;
+    }
+    let name = match sub[0].action() {
+        ActionId::Base(n) if n.is_idempotent() => n,
+        _ => return None,
+    };
+    let mut input: Option<&Value> = None;
+    for ev in sub.iter() {
+        match ev {
+            Event::Start(ActionId::Base(n), iv) if n == name => match input {
+                None => input = Some(iv),
+                Some(v) => {
+                    if v != iv {
+                        return None;
+                    }
+                }
+            },
+            Event::Complete(ActionId::Base(n), _) if n == name => {}
+            _ => return None,
+        }
+    }
+    Some(EraseOutcome::Stuck)
+}
+
 /// The per-group "reduces to a failure-free execution of `(name, input)`"
 /// search — a pure function of the group's sub-history, shared verbatim by
 /// the memoizing [`GroupCell::exec`] and the sharded worker threads, so
-/// sequential and parallel checks compute identical outcomes.
+/// sequential and parallel checks compute identical outcomes. Protocol-
+/// shaped idempotent groups are decided by
+/// [`idempotent_exec_closed_form`] without expanding a single history.
 pub(crate) fn run_exec_search<H: HistoryRead + ?Sized>(
     h: &H,
     indices: &[usize],
@@ -131,8 +264,11 @@ pub(crate) fn run_exec_search<H: HistoryRead + ?Sized>(
     input: &Value,
     budget: SearchBudget,
 ) -> ExecOutcome {
-    let action = ActionId::base(name.clone());
     let sub = h.gather(indices);
+    if let Some(outcome) = idempotent_exec_closed_form(&sub, indices, name, input, budget) {
+        return outcome;
+    }
+    let action = ActionId::base(name.clone());
     let min_len = if name.is_undoable() { 4 } else { 2 };
     let goal = |cand: &History| failure_free_output(&action, input, cand).is_some();
     match search_reduction(&sub, goal, min_len, budget) {
@@ -185,6 +321,9 @@ pub(crate) fn run_erase_search<H: HistoryRead + ?Sized>(
     budget: SearchBudget,
 ) -> EraseOutcome {
     let sub = h.gather(indices);
+    if let Some(outcome) = idempotent_erase_closed_form(&sub, budget) {
+        return outcome;
+    }
     match search_reduction(&sub, History::is_empty, 0, budget) {
         SearchResult::Reached(_) => EraseOutcome::Erases,
         SearchResult::Exhausted => EraseOutcome::Stuck,
@@ -271,29 +410,121 @@ impl GroupCell {
 #[derive(Debug, Default)]
 struct OpenStarts {
     stack: Vec<u32>,
-    multiplicity: HashMap<u32, usize>,
+    multiplicity: Multiplicity,
+}
+
+/// Distinct-open-input bookkeeping for one slot. Starts as a short
+/// linear-scanned list (a stream usually holds a handful of concurrently
+/// open inputs per action, where a scan beats a hash probe on the
+/// per-event path) and upgrades to a dense value-symbol-indexed table the
+/// first time the list outgrows [`MULTIPLICITY_SMALL_MAX`] — retried
+/// requests leak one abandoned open start each, so heavy traces hold
+/// *millions* of open inputs and a scan would make attribution quadratic.
+#[derive(Debug)]
+enum Multiplicity {
+    /// `(input symbol, open count)`; order is insertion-driven and never
+    /// read — only the entry *count* matters.
+    Small(Vec<(u32, usize)>),
+    /// `counts[input symbol]` (value symbols are dense interner indices),
+    /// with the non-zero entry count maintained alongside.
+    Dense { counts: Vec<u32>, distinct: usize },
+}
+
+/// Distinct open inputs a slot tracks by linear scan before upgrading to
+/// the dense table.
+const MULTIPLICITY_SMALL_MAX: usize = 16;
+
+impl Default for Multiplicity {
+    fn default() -> Self {
+        Multiplicity::Small(Vec::new())
+    }
+}
+
+impl Multiplicity {
+    fn push(&mut self, input: u32) {
+        match self {
+            Multiplicity::Small(entries) => {
+                if let Some(entry) = entries.iter_mut().find(|(v, _)| *v == input) {
+                    entry.1 += 1;
+                    return;
+                }
+                if entries.len() < MULTIPLICITY_SMALL_MAX {
+                    entries.push((input, 1));
+                    return;
+                }
+                // Upgrade: dense table over value symbols, then insert.
+                let top = entries
+                    .iter()
+                    .map(|&(v, _)| v)
+                    .max()
+                    .unwrap_or(0)
+                    .max(input);
+                let mut counts = vec![0u32; top as usize + 1];
+                for &(v, n) in entries.iter() {
+                    counts[v as usize] = n as u32;
+                }
+                let distinct = entries.len();
+                *self = Multiplicity::Dense { counts, distinct };
+                self.push(input);
+            }
+            Multiplicity::Dense { counts, distinct } => {
+                if input as usize >= counts.len() {
+                    counts.resize(input as usize + 1, 0);
+                }
+                counts[input as usize] += 1;
+                if counts[input as usize] == 1 {
+                    *distinct += 1;
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self, input: u32) {
+        match self {
+            Multiplicity::Small(entries) => {
+                if let Some(pos) = entries.iter().position(|(v, _)| *v == input) {
+                    entries[pos].1 -= 1;
+                    if entries[pos].1 == 0 {
+                        entries.swap_remove(pos);
+                    }
+                }
+            }
+            Multiplicity::Dense { counts, distinct } => {
+                if let Some(count) = counts.get_mut(input as usize) {
+                    if *count > 0 {
+                        *count -= 1;
+                        if *count == 0 {
+                            *distinct -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn distinct(&self) -> usize {
+        match self {
+            Multiplicity::Small(entries) => entries.len(),
+            Multiplicity::Dense { distinct, .. } => *distinct,
+        }
+    }
 }
 
 impl OpenStarts {
     fn push(&mut self, input: u32) {
-        *self.multiplicity.entry(input).or_insert(0) += 1;
+        self.multiplicity.push(input);
         self.stack.push(input);
     }
 
     fn pop(&mut self) -> Option<u32> {
         let input = self.stack.pop()?;
-        if let Some(count) = self.multiplicity.get_mut(&input) {
-            *count -= 1;
-            if *count == 0 {
-                self.multiplicity.remove(&input);
-            }
-        }
+        self.multiplicity.pop(input);
         Some(input)
     }
 
     /// How many distinct inputs are currently open.
     fn distinct(&self) -> usize {
-        self.multiplicity.len()
+        self.multiplicity.distinct()
     }
 }
 
@@ -313,16 +544,40 @@ impl OpenStarts {
 /// `Xable` verdict remains sound (it exhibits a concrete witness).
 #[derive(Debug, Default)]
 struct AttributionState {
-    open: HashMap<(u32, u8), OpenStarts>,
-    last_start_input: HashMap<(u32, u8), u32>,
+    /// Indexed by `name symbol * 3 + role`: action symbols are dense and
+    /// the alphabet is small, so the attribution step is an array index —
+    /// no hash probe on the per-event path.
+    open: Vec<OpenStarts>,
+    /// Same indexing; the input symbol of the slot's most recent start.
+    last_start_input: Vec<Option<u32>>,
+}
+
+impl AttributionState {
+    /// The dense slot of `(name symbol, role)`, growing the tables on
+    /// first sight of a new action symbol.
+    fn slot(&mut self, ns: u32, role: u8) -> usize {
+        let slot = ns as usize * 3 + role as usize;
+        if slot >= self.open.len() {
+            self.open.resize_with(slot + 1, OpenStarts::default);
+            self.last_start_input.resize(slot + 1, None);
+        }
+        slot
+    }
 }
 
 /// What one [`Engine::observe`] step did — the hooks the incremental
-/// checker's dirty tracking needs.
+/// checker's dirty tracking needs. Self-contained (the group's key and
+/// stamped parent ride along) so tracking needs no engine borrow — which
+/// is what lets [`Engine::observe_batch`] stream these to the aggregate
+/// while the engine itself is mutably borrowed.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Observed {
     /// The group the event was attributed to.
     pub(crate) group: GroupSym,
+    /// The group's key symbols.
+    pub(crate) key: KeySyms,
+    /// The group's round-stamped parent key, if it has the stamped shape.
+    pub(crate) stamped_parent: Option<KeySyms>,
     /// Whether this event created the group.
     pub(crate) created: bool,
     /// Whether this event flipped the group's `has_commit_completion`.
@@ -385,42 +640,134 @@ impl Engine {
             Event::Start(a, iv) => {
                 let ns = self.interner.intern_action(a.base_name());
                 let vs = self.interner.intern_value(iv);
-                let role = role_of(a);
-                self.attribution
-                    .open
-                    .entry((ns, role))
-                    .or_default()
-                    .push(vs);
-                self.attribution.last_start_input.insert((ns, role), vs);
+                self.attribute_start(ns, role_of(a), vs);
                 ((ns, vs), false)
             }
             Event::Complete(a, _) => {
                 let ns = self.interner.intern_action(a.base_name());
-                let role = role_of(a);
-                let open = self.attribution.open.entry((ns, role)).or_default();
-                if open.distinct() > 1 {
-                    self.ambiguous = true;
-                }
-                let vs = match open.pop() {
-                    Some(vs) => vs,
-                    None => match self.attribution.last_start_input.get(&(ns, role)) {
-                        // Duplicate completion after all starts closed:
-                        // attribute to the most recent start.
-                        Some(&vs) => {
-                            self.ambiguous = true;
-                            vs
-                        }
-                        None => {
-                            return Err(format!(
-                                "completion of {a} at index {index} has no start event (violates the event axioms of §2.2)"
-                            ));
-                        }
-                    },
-                };
+                let vs = self.attribute_completion(ns, role_of(a), a, index)?;
                 ((ns, vs), a.is_commit())
             }
         };
-        let (group, created) = match self.group_lookup.get(&key) {
+        let (group, created) = self.group_of(key);
+        Ok(self.record_in_cell(group, key, created, index, is_commit_completion))
+    }
+
+    /// Consumes a slice of events observed together — semantically
+    /// identical to [`Engine::observe`] on each in order, with the
+    /// batch-local memos `TraceStore::push_batch` uses amortizing the
+    /// per-event hash probes: an action-symbol memo (a linear scan over
+    /// the handful of names a batch carries), a last-input memo (a start
+    /// and its retries repeat one value), and a last-group memo (an
+    /// `S S C` run lands in one cell). `track` is called once per event,
+    /// in order, with `Err` for an orphan completion (which, exactly like
+    /// the per-event path, joins no group and stops nothing).
+    pub(crate) fn observe_batch(
+        &mut self,
+        events: &[Event],
+        first_index: usize,
+        track: &mut dyn FnMut(Result<Observed, String>),
+    ) {
+        // Capped like the store's memo: overflow names fall back to the
+        // interner rather than turning the scan quadratic.
+        let mut actions: Vec<(&ActionName, u32)> = Vec::new();
+        let mut last_value: Option<(&Value, u32)> = None;
+        let mut last_group: Option<(KeySyms, GroupSym)> = None;
+        for (offset, event) in events.iter().enumerate() {
+            let index = first_index + offset;
+            let name = event.action().base_name();
+            let ns = match actions.iter().find(|(n, _)| *n == name) {
+                Some(&(_, sym)) => sym,
+                None => {
+                    let sym = self.interner.intern_action(name);
+                    if actions.len() < 64 {
+                        actions.push((name, sym));
+                    }
+                    sym
+                }
+            };
+            let (key, is_commit_completion) = match event {
+                Event::Start(a, iv) => {
+                    let vs = match last_value {
+                        Some((v, sym)) if v == iv => sym,
+                        _ => {
+                            let sym = self.interner.intern_value(iv);
+                            last_value = Some((iv, sym));
+                            sym
+                        }
+                    };
+                    self.attribute_start(ns, role_of(a), vs);
+                    ((ns, vs), false)
+                }
+                Event::Complete(a, _) => {
+                    match self.attribute_completion(ns, role_of(a), a, index) {
+                        Ok(vs) => ((ns, vs), a.is_commit()),
+                        Err(reason) => {
+                            track(Err(reason));
+                            continue;
+                        }
+                    }
+                }
+            };
+            let (group, created) = match last_group {
+                Some((k, sym)) if k == key => (sym, false),
+                _ => {
+                    let (sym, created) = self.group_of(key);
+                    last_group = Some((key, sym));
+                    (sym, created)
+                }
+            };
+            track(Ok(self.record_in_cell(
+                group,
+                key,
+                created,
+                index,
+                is_commit_completion,
+            )));
+        }
+    }
+
+    /// Attribution step for a start: opens `(ns, role)` with input `vs`.
+    fn attribute_start(&mut self, ns: u32, role: u8, vs: u32) {
+        let slot = self.attribution.slot(ns, role);
+        self.attribution.open[slot].push(vs);
+        self.attribution.last_start_input[slot] = Some(vs);
+    }
+
+    /// Attribution step for a completion: the input symbol of the nearest
+    /// open start (or of the most recent start, flagging the ambiguity),
+    /// or `Err` for an orphan completion.
+    fn attribute_completion(
+        &mut self,
+        ns: u32,
+        role: u8,
+        a: &ActionId,
+        index: usize,
+    ) -> Result<u32, String> {
+        let slot = self.attribution.slot(ns, role);
+        let open = &mut self.attribution.open[slot];
+        if open.distinct() > 1 {
+            self.ambiguous = true;
+        }
+        match open.pop() {
+            Some(vs) => Ok(vs),
+            // Duplicate completion after all starts closed: attribute to
+            // the most recent start.
+            None => match self.attribution.last_start_input[slot] {
+                Some(vs) => {
+                    self.ambiguous = true;
+                    Ok(vs)
+                }
+                None => Err(format!(
+                    "completion of {a} at index {index} has no start event (violates the event axioms of §2.2)"
+                )),
+            },
+        }
+    }
+
+    /// The dense group of `key`, created on first sight.
+    fn group_of(&mut self, key: KeySyms) -> (GroupSym, bool) {
+        match self.group_lookup.get(&key) {
             Some(&sym) => (sym, false),
             None => {
                 let sym = u32::try_from(self.cells.len()).expect("more than u32::MAX groups");
@@ -443,15 +790,30 @@ impl Engine {
                 self.cells.push(GroupCell::default());
                 (sym, true)
             }
-        };
+        }
+    }
+
+    /// Appends the event's index to its group's cell and packages the
+    /// self-contained [`Observed`] record.
+    fn record_in_cell(
+        &mut self,
+        group: GroupSym,
+        key: KeySyms,
+        created: bool,
+        index: usize,
+        is_commit_completion: bool,
+    ) -> Observed {
+        let stamped_parent = self.stamped_of[group as usize];
         let cell = &mut self.cells[group as usize];
         let commit_completed = is_commit_completion && !cell.has_commit_completion;
         cell.push_index(index, is_commit_completion);
-        Ok(Observed {
+        Observed {
             group,
+            key,
+            stamped_parent,
             created,
             commit_completed,
-        })
+        }
     }
 
     /// The interner backing the engine's symbols.
@@ -473,12 +835,6 @@ impl Engine {
     /// The key symbols of a group.
     pub(crate) fn key(&self, sym: GroupSym) -> KeySyms {
         self.keys[sym as usize]
-    }
-
-    /// The round-stamped parent key of a group, if it has the stamped
-    /// shape.
-    pub(crate) fn stamped_parent(&self, sym: GroupSym) -> Option<KeySyms> {
-        self.stamped_of[sym as usize]
     }
 
     /// The group with exactly the key `syms`, if any.
@@ -1072,6 +1428,126 @@ mod tests {
 
     fn cnil(a: &ActionId) -> Event {
         Event::complete(a.clone(), Value::Nil)
+    }
+
+    /// The closed form's soundness proof by enumeration: over *every*
+    /// sequence up to [`CLOSED_FORM_MAX_LEN`] events drawn from
+    /// `{S(a,k), C(a,o1), C(a,o2)}` — the entire gated input class modulo
+    /// value identity — the closed form must agree exactly with the real
+    /// reduction search on both the exec and the erase question, anchors
+    /// and outputs included. Equality also proves the search never
+    /// exhausts [`SearchBudget::small`] in the gated regime (a `Budget`
+    /// outcome would mismatch the closed form's decision).
+    #[test]
+    fn closed_form_matches_search_exhaustively() {
+        let name = ActionName::idempotent("a");
+        let action = ActionId::base(name.clone());
+        let input = Value::from(7);
+        let alphabet = [
+            Event::start(action.clone(), input.clone()),
+            Event::complete(action.clone(), Value::from(1)),
+            Event::complete(action.clone(), Value::from(2)),
+        ];
+        let budget = SearchBudget::small();
+        let mut checked = 0usize;
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        while let Some(picks) = stack.pop() {
+            let sub: History = picks.iter().map(|&i| alphabet[i].clone()).collect();
+            let indices: Vec<usize> = (0..sub.len()).collect();
+
+            let fast_exec = run_exec_search(&sub, &indices, &name, &input, budget);
+            let goal = |cand: &History| failure_free_output(&action, &input, cand).is_some();
+            let search_exec = match search_reduction(&sub, goal, 2, budget) {
+                SearchResult::Reached(witness) => {
+                    let output = failure_free_output(&action, &input, &witness)
+                        .expect("goal predicate guarantees failure-free shape");
+                    let anchor = (0..sub.len())
+                        .find(|&i| sub.is_base_completion_at(i))
+                        .expect("a reached idempotent group has a completion");
+                    ExecOutcome::Reduced { output, anchor }
+                }
+                SearchResult::Exhausted => ExecOutcome::Stuck,
+                SearchResult::BudgetExceeded => ExecOutcome::Budget,
+            };
+            assert_eq!(fast_exec, search_exec, "exec closed form diverges on {sub}");
+
+            let fast_erase = run_erase_search(&sub, &indices, budget);
+            let search_erase = match search_reduction(&sub, History::is_empty, 0, budget) {
+                SearchResult::Reached(_) => EraseOutcome::Erases,
+                SearchResult::Exhausted => EraseOutcome::Stuck,
+                SearchResult::BudgetExceeded => EraseOutcome::Budget,
+            };
+            assert_eq!(
+                fast_erase, search_erase,
+                "erase closed form diverges on {sub}"
+            );
+
+            checked += 1;
+            if picks.len() < CLOSED_FORM_MAX_LEN {
+                for next in 0..alphabet.len() {
+                    let mut longer = picks.clone();
+                    longer.push(next);
+                    stack.push(longer);
+                }
+            }
+        }
+        // Σ_{l=0..8} 3^l — the whole gated class was enumerated.
+        assert_eq!(checked, 9_841);
+    }
+
+    /// Groups the closed form must *refuse* (falling back to the search):
+    /// undoable names, cancel/commit events, foreign inputs, over-long
+    /// groups, and sub-`small()` budgets.
+    #[test]
+    fn closed_form_gate_rejects_ungated_shapes() {
+        let a = idem("a");
+        let small = SearchBudget::small();
+        // An undoable group decides through the search (and still works).
+        let u_name = ActionName::undoable("u");
+        let u = ActionId::base(u_name.clone());
+        let commit = u.commit().expect("undoable actions have a commit form");
+        let h: History = [
+            s(&u, 1),
+            c(&u, 5),
+            Event::start(commit.clone(), Value::from(1)),
+            cnil(&commit),
+        ]
+        .into_iter()
+        .collect();
+        let indices: Vec<usize> = (0..h.len()).collect();
+        assert!(matches!(
+            run_exec_search(&h, &indices, &u_name, &Value::from(1), small),
+            ExecOutcome::Reduced { .. }
+        ));
+        // A foreign start input in an idempotent group: gate refuses, the
+        // search still answers (here: stuck — the goal needs input 1).
+        let name = ActionName::idempotent("a");
+        let h: History = [s(&a, 2), c(&a, 5)].into_iter().collect();
+        assert!(idempotent_exec_closed_form(&h, &[0, 1], &name, &Value::from(1), small).is_none());
+        assert_eq!(
+            run_exec_search(&h, &[0, 1], &name, &Value::from(1), small),
+            ExecOutcome::Stuck
+        );
+        // Over-long groups and starved budgets are not closed-formed.
+        let long: History = (0..CLOSED_FORM_MAX_LEN + 1).map(|_| s(&a, 1)).collect();
+        let all: Vec<usize> = (0..long.len()).collect();
+        assert!(idempotent_exec_closed_form(&long, &all, &name, &Value::from(1), small).is_none());
+        let starved = SearchBudget {
+            max_expansions: 10,
+            max_visited: 10,
+        };
+        let h: History = [s(&a, 1), c(&a, 5)].into_iter().collect();
+        assert!(
+            idempotent_exec_closed_form(&h, &[0, 1], &name, &Value::from(1), starved).is_none()
+        );
+        assert!(idempotent_erase_closed_form(&h, starved).is_none());
+        // Mixed-input erase groups fall back too.
+        let mixed: History = [s(&a, 1), s(&a, 2)].into_iter().collect();
+        assert!(idempotent_erase_closed_form(&mixed, small).is_none());
+        assert_eq!(
+            run_erase_search(&mixed, &[0, 1], small),
+            EraseOutcome::Stuck
+        );
     }
 
     #[test]

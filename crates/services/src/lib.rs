@@ -56,6 +56,7 @@ pub mod catalog;
 pub mod core;
 pub mod ledger;
 pub mod logic;
+pub mod pipeline;
 
 pub use core::{FailurePlan, InvokeOutcome, OpKind, ServiceConfig, ServiceCore, ServiceRequest};
 pub use ledger::{
@@ -63,6 +64,7 @@ pub use ledger::{
     SharedLedger,
 };
 pub use logic::BusinessLogic;
+pub use pipeline::PipelinedMonitor;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,214 @@
+//! Property tests for the pipelined online monitor (DESIGN.md §12) and
+//! the batch-amortized observe path.
+//!
+//! THE pipelined contract: at every published window boundary — and at
+//! any prefix in between — [`PipelinedMonitor::verdict_over`] is
+//! **byte-identical** (verdict *and* reason strings) to the sequential
+//! [`IncrementalState`] over the same stream, for every worker count and
+//! window size, including windows that close mid-request. And the batch
+//! ingest contract: `observe_batch` over any chunking of a stream leaves
+//! the state verdict-equivalent to per-event `observe`, anomalies
+//! (orphan completions, undeclared groups, cancelled rounds) included.
+
+use proptest::prelude::*;
+
+use xability::core::xable::{IncrementalState, SearchBudget, Verdict};
+use xability::core::{ActionId, ActionName, Event, Request, Value};
+use xability::services::pipeline::PipelinedMonitor;
+use xability::store::TraceStore;
+
+fn idem() -> ActionId {
+    ActionId::base(ActionName::idempotent("i"))
+}
+
+fn undo() -> ActionId {
+    ActionId::base(ActionName::undoable("u"))
+}
+
+/// Protocol-shaped event alphabet with anomalies: retries, two distinct
+/// outputs (ambiguity), an undoable action with cancel/commit rounds,
+/// and orphan completions arise naturally from random sequences.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let i = idem();
+    let u = undo();
+    let cancel = u.cancel().expect("undoable");
+    let commit = u.commit().expect("undoable");
+    prop_oneof![
+        Just(Event::start(i.clone(), Value::from(1))),
+        Just(Event::complete(i.clone(), Value::from(7))),
+        Just(Event::complete(i, Value::from(8))),
+        Just(Event::start(u.clone(), Value::from(1))),
+        Just(Event::complete(u, Value::from(7))),
+        Just(Event::start(cancel.clone(), Value::from(1))),
+        Just(Event::complete(cancel, Value::Nil)),
+        Just(Event::start(commit.clone(), Value::from(1))),
+        Just(Event::complete(commit, Value::Nil)),
+    ]
+}
+
+fn arb_requests() -> impl Strategy<Value = Vec<Request>> {
+    let i = Request::new(idem(), Value::from(1));
+    let u = Request::new(undo(), Value::from(1));
+    prop_oneof![
+        Just(vec![]),
+        Just(vec![i.clone()]),
+        Just(vec![u.clone()]),
+        Just(vec![i.clone(), u.clone()]),
+        Just(vec![u, i]),
+    ]
+}
+
+/// Drives a sequential monitor and a pipelined one over the same stream
+/// in the same chunks, asserting byte-identical verdicts at every
+/// checkpoint.
+fn assert_pipeline_equal(
+    events: &[Event],
+    requests: &[Request],
+    workers: usize,
+    window: usize,
+    chunk: usize,
+) -> Result<(), TestCaseError> {
+    let mut seq_store = TraceStore::new();
+    let mut seq = IncrementalState::new();
+    let mut pipe_store = TraceStore::new();
+    let mut pipe = PipelinedMonitor::with_config(workers, window, SearchBudget::small());
+    for r in requests {
+        seq.declare_request(r);
+        pipe.declare_request(r);
+    }
+    let chunk = chunk.max(1);
+    for batch in events.chunks(chunk) {
+        seq.observe_batch(batch);
+        seq_store.push_batch(batch);
+        pipe.observe_batch(batch);
+        pipe_store.push_batch(batch);
+        pipe.publish(&pipe_store);
+        let sequential = seq.verdict_over(&seq_store.view());
+        let pipelined = pipe.verdict_over(&pipe_store);
+        prop_assert_eq!(
+            &pipelined,
+            &sequential,
+            "diverged at prefix {} (workers={}, window={}): pipelined={} sequential={}",
+            seq.consumed(),
+            workers,
+            window,
+            &pipelined,
+            &sequential
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pipelined verdicts are byte-identical to the sequential monitor at
+    /// every checkpoint, across worker counts and window sizes — window
+    /// sizes below the chunk size close windows mid-request.
+    #[test]
+    fn pipelined_equals_sequential_at_every_checkpoint(
+        events in prop::collection::vec(arb_event(), 0..40),
+        requests in arb_requests(),
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+        window in prop_oneof![Just(1usize), Just(3), Just(7), Just(16)],
+        chunk in 1usize..9,
+    ) {
+        assert_pipeline_equal(&events, &requests, workers, window, chunk)?;
+    }
+
+    /// The ledger's pipelined monitor mode agrees with its sequential
+    /// mode: same records, same declares, byte-identical verdicts.
+    #[test]
+    fn ledger_pipelined_mode_equals_sequential_mode(
+        events in prop::collection::vec(arb_event(), 0..30),
+        requests in arb_requests(),
+        chunk in 1usize..7,
+    ) {
+        use xability::services::Ledger;
+        use xability::sim::SimTime;
+
+        let mut seq = Ledger::new();
+        let mut pipe = Ledger::without_monitor();
+        pipe.attach_pipelined_monitor_with(2, 5, SearchBudget::small())
+            .expect("no monitor attached yet");
+        seq.declare_requests(&requests);
+        pipe.declare_requests(&requests);
+        for batch in events.chunks(chunk.max(1)) {
+            seq.record_batch(batch, SimTime::ZERO, "svc");
+            pipe.record_batch(batch, SimTime::ZERO, "svc");
+        }
+        let sequential = seq.monitor_verdict().expect("sequential monitor attached");
+        let pipelined = pipe.monitor_verdict().expect("pipelined monitor attached");
+        prop_assert_eq!(pipelined, sequential);
+    }
+
+    /// `observe_batch` over any chunking equals per-event `observe`:
+    /// byte-identical verdicts at every chunk boundary.
+    #[test]
+    fn observe_batch_equals_observe_at_every_chunk(
+        events in prop::collection::vec(arb_event(), 0..40),
+        requests in arb_requests(),
+        chunk in 1usize..11,
+    ) {
+        let mut store = TraceStore::new();
+        let mut batched = IncrementalState::new();
+        let mut per_event = IncrementalState::new();
+        for r in &requests {
+            batched.declare_request(r);
+            per_event.declare_request(r);
+        }
+        for batch in events.chunks(chunk) {
+            batched.observe_batch(batch);
+            for ev in batch {
+                per_event.observe(ev);
+            }
+            store.push_batch(batch);
+            let b: Verdict = batched.verdict_over(&store.view());
+            let p: Verdict = per_event.verdict_over(&store.view());
+            prop_assert_eq!(
+                &b, &p,
+                "batched and per-event verdicts diverged at prefix {}",
+                store.len()
+            );
+        }
+    }
+
+    /// Requests declared *between* batches (mid-stream, as the protocol
+    /// submits them) keep the batched path equivalent to per-event too.
+    #[test]
+    fn observe_batch_with_interleaved_declares(
+        events in prop::collection::vec(arb_event(), 0..30),
+        split in 0usize..31,
+        chunk in 1usize..7,
+    ) {
+        let requests = [
+            Request::new(idem(), Value::from(1)),
+            Request::new(undo(), Value::from(1)),
+        ];
+        let mut store = TraceStore::new();
+        let mut batched = IncrementalState::new();
+        let mut per_event = IncrementalState::new();
+        batched.declare_request(&requests[0]);
+        per_event.declare_request(&requests[0]);
+        let mut declared_late = false;
+        for batch in events.chunks(chunk) {
+            if !declared_late && store.len() >= split {
+                batched.declare_request(&requests[1]);
+                per_event.declare_request(&requests[1]);
+                declared_late = true;
+            }
+            batched.observe_batch(batch);
+            for ev in batch {
+                per_event.observe(ev);
+            }
+            store.push_batch(batch);
+        }
+        if !declared_late {
+            batched.declare_request(&requests[1]);
+            per_event.declare_request(&requests[1]);
+        }
+        let b = batched.verdict_over(&store.view());
+        let p = per_event.verdict_over(&store.view());
+        prop_assert_eq!(b, p);
+    }
+}

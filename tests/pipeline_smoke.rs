@@ -1,0 +1,188 @@
+//! The pipelined-monitor CI gate (DESIGN.md §12): a pinned
+//! byte-identity check at 4 workers — the acceptance bar of the
+//! pipelined merge — plus a release-profile throughput floor on the
+//! end-to-end record+verdict path, so a regression in the window
+//! hand-off fails fast.
+//!
+//! The floor is conservative on purpose: wall-clock throughput is
+//! machine-dependent, so the gate asserts the pipelined ledger stays at
+//! or above the *pre-pipeline* single-thread number (the ~450 k events/s
+//! this repo's BENCH trajectory recorded before batch-amortized dirty
+//! sets landed), not the multiple the bench artifact reports. Like
+//! `tests/obs_overhead.rs`, the timing test is `#[ignore]`d by default
+//! and CI runs it explicitly in the release profile.
+
+use std::time::Instant;
+
+use xability::core::xable::{IncrementalState, SearchBudget};
+use xability::core::{Event, Value};
+use xability::services::pipeline::PipelinedMonitor;
+use xability::services::Ledger;
+use xability::sim::SimTime;
+use xability::store::TraceStore;
+use xability_bench::{n_requests_with_cancelled_rounds, n_retried_requests};
+
+/// A mixed protocol-shaped workload: retried idempotent requests,
+/// undoable requests with a cancelled and a committed round, and one
+/// trailing in-flight (started, not completed) request.
+fn mixed_workload() -> (Vec<Event>, Vec<(xability::core::ActionId, Value)>) {
+    let (idem_h, idem_ops) = n_retried_requests(120);
+    let (undo_h, undo_ops) = n_requests_with_cancelled_rounds(40);
+    let mut events: Vec<Event> = idem_h.iter().cloned().collect();
+    events.extend(undo_h.iter().cloned());
+    let mut ops = idem_ops;
+    ops.extend(undo_ops);
+    // One more declared request whose execution is still in flight.
+    let (a, _) = &ops[0];
+    let tail_key = Value::from("in-flight");
+    events.push(Event::start(a.clone(), tail_key.clone()));
+    ops.push((a.clone(), tail_key));
+    (events, ops)
+}
+
+/// Pinned acceptance check: pipelined verdicts at 4 workers are
+/// byte-identical — verdict variant *and* reason strings — to the
+/// sequential monitor at every checkpoint, for a window that closes
+/// mid-request (7) and a window larger than most batches (64).
+#[test]
+fn pipelined_verdicts_byte_identical_at_4_workers() {
+    let (events, ops) = mixed_workload();
+    for window in [7usize, 64] {
+        let mut seq_store = TraceStore::new();
+        let mut seq = IncrementalState::new();
+        let mut pipe_store = TraceStore::new();
+        let mut pipe = PipelinedMonitor::with_config(4, window, SearchBudget::small());
+        for (a, iv) in &ops {
+            seq.declare(a.clone(), iv.clone());
+            pipe.declare(a.clone(), iv.clone());
+        }
+        for (k, batch) in events.chunks(23).enumerate() {
+            seq.observe_batch(batch);
+            seq_store.push_batch(batch);
+            pipe.observe_batch(batch);
+            pipe_store.push_batch(batch);
+            pipe.publish(&pipe_store);
+            let sequential = seq.verdict_over(&seq_store.view());
+            let pipelined = pipe.verdict_over(&pipe_store);
+            assert_eq!(
+                pipelined, sequential,
+                "window={window}, checkpoint {k}: pipelined and sequential verdicts diverged"
+            );
+        }
+        // The final prefix ends on an in-flight request: R3's
+        // abandoned-last-request fallback applies, and a lone start does
+        // not erase — the pinned final verdict is NotXable, identically
+        // worded on both sides.
+        let last = seq.verdict_over(&seq_store.view());
+        assert!(
+            !last.is_xable(),
+            "expected the in-flight tail to block x-ability, got {last}"
+        );
+    }
+}
+
+/// The same byte-identity through the ledger's opt-in monitor mode.
+#[test]
+fn ledger_pipelined_mode_matches_sequential_ledger() {
+    let (events, ops) = mixed_workload();
+    let mut seq = Ledger::new();
+    let mut pipe = Ledger::without_monitor();
+    pipe.attach_pipelined_monitor(4)
+        .expect("fresh ledger has no monitor");
+    let requests: Vec<xability::core::Request> = ops
+        .iter()
+        .map(|(a, iv)| xability::core::Request::new(a.clone(), iv.clone()))
+        .collect();
+    seq.declare_requests(&requests);
+    pipe.declare_requests(&requests);
+    for batch in events.chunks(64) {
+        seq.record_batch(batch, SimTime::ZERO, "svc");
+        pipe.record_batch(batch, SimTime::ZERO, "svc");
+    }
+    let sequential = seq.monitor_verdict().expect("sequential monitor");
+    let pipelined = pipe.monitor_verdict().expect("pipelined monitor");
+    assert_eq!(pipelined, sequential);
+}
+
+/// End-to-end record+verdict through one ledger: batched records, an
+/// online verdict every `VERDICT_EVERY` batches, a final verdict.
+/// Returns events/s.
+fn ledger_events_per_sec(mut ledger: Ledger, events: &[Event]) -> f64 {
+    const BATCH: usize = 1024;
+    const VERDICT_EVERY: usize = 32;
+    let start = Instant::now();
+    for (k, batch) in events.chunks(BATCH).enumerate() {
+        ledger.record_batch(batch, SimTime::ZERO, "svc");
+        if k % VERDICT_EVERY == VERDICT_EVERY - 1 {
+            // Online verdicts while ingesting — the end-to-end posture.
+            // Mid-stream prefixes may end inside a request, so only the
+            // final verdict's value is asserted; this one is just forced
+            // to be materialized.
+            let verdict = ledger.monitor_verdict().expect("monitor attached");
+            let _ = std::hint::black_box(verdict);
+        }
+    }
+    let final_verdict = ledger.monitor_verdict().expect("monitor attached");
+    let elapsed = start.elapsed();
+    assert!(
+        final_verdict.is_xable(),
+        "workload is x-able by construction, got {final_verdict}"
+    );
+    events.len() as f64 / elapsed.as_secs_f64()
+}
+
+/// Release-profile throughput gate. Two floors, both conservative
+/// multiples below the measured numbers so scheduler noise cannot flake
+/// them:
+///
+/// * The **sequential** ledger (record + online verdict, one thread)
+///   must hold the pre-batch-amortization number, ~450 k events/s —
+///   the regression tripwire for the ingest fast path.
+/// * The **pipelined** ledger at 4 workers must hold the same floor
+///   *when the box actually has parallelism*. On a single-core runner
+///   the four decide workers time-slice one CPU and each re-ingests the
+///   stream, so wall-clock there measures scheduling, not the pipeline;
+///   the number is reported instead of gated (the byte-identity gates
+///   above run everywhere regardless).
+#[test]
+#[ignore = "release-profile CI smoke (pipeline throughput); run with --ignored"]
+fn pipelined_ledger_sustains_the_single_thread_floor() {
+    const FLOOR_EVENTS_PER_SEC: f64 = 450_000.0;
+    const REQUESTS: usize = 100_000; // × 3 events per request
+
+    let (h, ops) = n_retried_requests(REQUESTS);
+    let events: Vec<Event> = h.iter().cloned().collect();
+    let requests: Vec<xability::core::Request> = ops
+        .iter()
+        .map(|(a, iv)| xability::core::Request::new(a.clone(), iv.clone()))
+        .collect();
+
+    let mut sequential = Ledger::new();
+    sequential.declare_requests(&requests);
+    let seq_rate = ledger_events_per_sec(sequential, &events);
+
+    let mut pipelined = Ledger::without_monitor();
+    pipelined
+        .attach_pipelined_monitor(4)
+        .expect("fresh ledger has no monitor");
+    pipelined.declare_requests(&requests);
+    let pipe_rate = ledger_events_per_sec(pipelined, &events);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "pipeline smoke: sequential {seq_rate:.0} events/s, pipelined(4) {pipe_rate:.0} events/s \
+         ({cores} cores, floor {FLOOR_EVENTS_PER_SEC:.0})"
+    );
+    assert!(
+        seq_rate >= FLOOR_EVENTS_PER_SEC,
+        "sequential end-to-end throughput {seq_rate:.0} events/s fell below \
+         the floor {FLOOR_EVENTS_PER_SEC:.0}"
+    );
+    if cores >= 2 {
+        assert!(
+            pipe_rate >= FLOOR_EVENTS_PER_SEC,
+            "pipelined end-to-end throughput {pipe_rate:.0} events/s fell below \
+             the floor {FLOOR_EVENTS_PER_SEC:.0} on a {cores}-core box"
+        );
+    }
+}
